@@ -1,0 +1,352 @@
+package pathoram
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// primitive-operation benchmarks for the library itself. The figure
+// benchmarks run the (scaled) experiment and attach its headline numbers
+// as custom benchmark metrics, so `go test -bench=. -benchmem` both
+// exercises the code paths and reports the reproduced quantities.
+// cmd/oram-experiments prints the full paper-style tables.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/trace"
+
+	cpusim "repro/internal/cpu"
+)
+
+// ---------- primitive benchmarks ----------
+
+func benchORAM(b *testing.B, cfg Config) {
+	b.Helper()
+	cfg.Rand = rand.New(rand.NewSource(1))
+	o, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, cfg.BlockSize)
+	rng := rand.New(rand.NewSource(2))
+	// Pre-fill so benches measure steady state.
+	for a := uint64(0); a < cfg.Blocks; a++ {
+		if err := o.Write(a, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Read(rng.Uint64() % cfg.Blocks); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(o.Stats().DummyAccesses)/float64(b.N), "dummies/op")
+}
+
+func BenchmarkAccessMetadataOnly(b *testing.B) {
+	benchORAM(b, Config{Blocks: 1 << 14, BlockSize: 0, Encryption: EncryptNone})
+}
+
+func BenchmarkAccessPlaintext(b *testing.B) {
+	benchORAM(b, Config{Blocks: 1 << 12, BlockSize: 128, Encryption: EncryptNone})
+}
+
+func BenchmarkAccessCounterEncrypted(b *testing.B) {
+	benchORAM(b, Config{Blocks: 1 << 12, BlockSize: 128, Encryption: EncryptCounter})
+}
+
+func BenchmarkAccessStrawmanEncrypted(b *testing.B) {
+	benchORAM(b, Config{Blocks: 1 << 12, BlockSize: 128, Encryption: EncryptStrawman})
+}
+
+func BenchmarkAccessCounterWithIntegrity(b *testing.B) {
+	benchORAM(b, Config{Blocks: 1 << 12, BlockSize: 128, Encryption: EncryptCounter, Integrity: true})
+}
+
+func BenchmarkAccessSuperBlock2(b *testing.B) {
+	benchORAM(b, Config{Blocks: 1 << 12, BlockSize: 128, Encryption: EncryptNone, SuperBlockSize: 2, Z: 4})
+}
+
+func BenchmarkHierarchyAccess(b *testing.B) {
+	h, err := NewHierarchy(HierarchyConfig{
+		Blocks: 1 << 12, BlockSize: 128, PosBlockSize: 32,
+		OnChipPosMapMax: 1 << 10, Encryption: EncryptNone,
+		Rand: rand.New(rand.NewSource(3)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	for a := uint64(0); a < 1<<12; a++ {
+		if err := h.Write(a, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Read(rng.Uint64() % (1 << 12)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(h.NumORAMs()), "orams")
+}
+
+func BenchmarkExclusiveLoadStore(b *testing.B) {
+	o, err := New(Config{Blocks: 1 << 12, BlockSize: 128, Encryption: EncryptNone,
+		Rand: rand.New(rand.NewSource(5))})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	for a := uint64(0); a < 1<<12; a++ {
+		if err := o.Write(a, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := rng.Uint64() % (1 << 12)
+		d, _, _, err := o.Load(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := o.Store(a, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDRAMPathReadSubtreeVsNaive(b *testing.B) {
+	for _, strat := range []string{"naive", "subtree"} {
+		strat := strat
+		b.Run(strat, func(b *testing.B) {
+			var lastCycles float64
+			for i := 0; i < b.N; i++ {
+				res, err := exp.RunFig11(exp.Fig11Config{
+					WorkingSet: 1 << 25, Channels: []int{2},
+					Settings: []exp.Setting{exp.DZ3Pb32}, Accesses: 16, Seed: 7,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pt := res.Points[0]
+				if strat == "naive" {
+					lastCycles = pt.Naive
+				} else {
+					lastCycles = pt.Subtree
+				}
+			}
+			b.ReportMetric(lastCycles, "DRAMcycles/access")
+		})
+	}
+}
+
+// ---------- per-figure benchmarks ----------
+
+func BenchmarkFig03StashOccupancy(b *testing.B) {
+	cfg := exp.DefaultFig3()
+	cfg.WorkingSetBlocks = 1 << 12
+	cfg.Zs = []int{3, 4}
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Histograms[3].Mean(), "Z3_mean_stash")
+		b.ReportMetric(res.Histograms[3].TailProb(50), "Z3_P_ge_50")
+	}
+}
+
+func BenchmarkFig04CPLAttack(b *testing.B) {
+	cfg := exp.DefaultFig4()
+	cfg.Experiments = 10
+	cfg.Accesses = 1000
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Secure.Mean(), "secure_cpl")
+		b.ReportMetric(res.InsecureCongested.Mean(), "insecure_cpl")
+	}
+}
+
+func BenchmarkFig05AccessOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig5(exp.DZ3Pb32, 1<<25, 2, 16, 31)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SeqReturn, "seq_return_cycles")
+		b.ReportMetric(res.PipelinedReturn, "pipe_return_cycles")
+	}
+}
+
+func BenchmarkFig07DummyRatio(b *testing.B) {
+	cfg := exp.DefaultFig7()
+	cfg.WorkingSetBlocks = 1 << 12
+	cfg.AccessesPerBlock = 6
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Ratio[1][200], "Z1_dummy_ratio")
+		b.ReportMetric(res.Ratio[3][200], "Z3_dummy_ratio")
+	}
+}
+
+func BenchmarkFig08Utilization(b *testing.B) {
+	cfg := exp.DefaultFig8()
+	cfg.WorkingSetBlocks = 1 << 12
+	cfg.AccessesPerBlock = 6
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if best := res.Best(); best != nil {
+			b.ReportMetric(float64(best.Z), "best_Z")
+			b.ReportMetric(best.Overhead, "best_overhead")
+		}
+	}
+}
+
+func BenchmarkFig09Capacity(b *testing.B) {
+	cfg := exp.DefaultFig9()
+	cfg.WorkingSets = []uint64{1 << 10, 1 << 13}
+	cfg.AccessesPerBlock = 6
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range res.Points {
+			if pt.Z == 3 && pt.WorkingSet == 1<<13 {
+				b.ReportMetric(pt.Overhead, "Z3_overhead_8k")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10Hierarchy(b *testing.B) {
+	cfg := exp.DefaultFig10()
+	cfg.SimWorkingSet = 1 << 12
+	cfg.SimAccesses = 1 << 14
+	cfg.Settings = []exp.Setting{exp.DZ3Pb32, exp.BaseORAM}
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		red, err := res.ReductionVsBase("DZ3Pb32")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*red, "overhead_reduction_%")
+	}
+}
+
+func BenchmarkFig11Placement(b *testing.B) {
+	cfg := exp.DefaultFig11()
+	cfg.Settings = []exp.Setting{exp.DZ3Pb32}
+	cfg.Channels = []int{2}
+	cfg.Accesses = 24
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pt := res.Points[0]
+		b.ReportMetric(pt.Naive/pt.Theoretical, "naive_vs_theory")
+		b.ReportMetric(pt.Subtree/pt.Theoretical, "subtree_vs_theory")
+	}
+}
+
+func BenchmarkTable2Latency(b *testing.B) {
+	cfg := exp.DefaultTable2()
+	cfg.Accesses = 24
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunTable2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if row := res.Find("DZ3Pb32"); row != nil {
+			b.ReportMetric(float64(row.ReturnCycles), "DZ3Pb32_return_cyc")
+			b.ReportMetric(float64(row.FinishCycles), "DZ3Pb32_finish_cyc")
+		}
+	}
+}
+
+func BenchmarkFig12SPEC(b *testing.B) {
+	cfg := exp.DefaultFig12()
+	cfg.Instructions = 50_000
+	cfg.Warmup = 50_000
+	cfg.SimWorkingSet = 1 << 12
+	cfg.SimAccesses = 1 << 14
+	cfg.Benchmarks = []string{"mcf", "libquantum", "hmmer"}
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig12(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		imp, err := res.ImprovementVsBase("DZ4Pb32+SB")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*imp, "improvement_%")
+	}
+}
+
+func BenchmarkIntegrityOverhead(b *testing.B) {
+	cfg := exp.DefaultIntegrity()
+	cfg.Accesses = 500
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunIntegrity(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.HashReadsPerAccess, "hash_reads/access")
+	}
+}
+
+// BenchmarkCPUSimulator measures the timing-model throughput itself.
+func BenchmarkCPUSimulator(b *testing.B) {
+	p := trace.ProfileByName("mcf")
+	gen := p.Generator(1)
+	mem := &cpusim.ORAMMemory{ReturnLat: 1848, FinishLat: 3440}
+	cfg := cpusim.Default()
+	b.ResetTimer()
+	if _, err := cpusim.Run(cfg, gen, mem, uint64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N), "instructions")
+}
+
+// BenchmarkEvictionPath isolates the greedy eviction + path write cost.
+func BenchmarkEvictionPath(b *testing.B) {
+	p := core.Params{LeafLevel: 20, Z: 4, Blocks: 1 << 20, StashCapacity: 200, BackgroundEviction: true}
+	store, err := core.NewMemStore(p.LeafLevel, p.Z, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := core.NewMathLeafSource(rand.New(rand.NewSource(7)))
+	pos, err := core.NewOnChipPositionMap(p.Groups(), 1<<20, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, err := core.New(p, store, pos, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Access(rng.Uint64()%(1<<20), core.OpWrite, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Command oram-ablate runs ablation studies that isolate the paper's
+// design decisions beyond its printed figures: super-block size, the
+// exclusive ORAM interface, the encryption schemes, stash capacity and
+// DRAM channel scaling.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oram-ablate: ")
+	var (
+		ws   = flag.Uint64("ws", 1<<13, "working-set blocks for protocol measurements")
+		seed = flag.Int64("seed", 41, "PRNG seed")
+	)
+	flag.Parse()
+
+	sb := exp.DefaultSuperBlockAblation()
+	sb.SimWorkingSet = *ws
+	sb.Seed = *seed
+	sbRes, err := exp.RunSuperBlockAblation(sb)
+	check(err)
+	fmt.Println(sbRes.Table())
+
+	exRes, err := exp.RunExclusiveAblation(exp.DefaultExclusiveAblation())
+	check(err)
+	fmt.Println(exRes.Table())
+
+	fmt.Println(exp.RunEncryptionAblation(1 << 25).Table())
+
+	stash, err := exp.RunStashAblation(exp.DZ3Pb32SB, *ws, 1<<14,
+		[]int{120, 160, 200, 300, 400}, *seed)
+	check(err)
+	fmt.Println(stash.Table())
+
+	chs, err := exp.RunDRAMChannelScaling(exp.DZ3Pb32, 1<<25,
+		[]int{1, 2, 4, 8}, 32, *seed)
+	check(err)
+	fmt.Println(chs.Table())
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

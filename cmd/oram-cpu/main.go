@@ -1,0 +1,52 @@
+// Command oram-cpu reproduces the secure-processor studies: Table 2 (ORAM
+// latency and on-chip storage) and Figure 12 (benchmark slowdowns versus an
+// insecure DRAM-based processor).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oram-cpu: ")
+	var (
+		table2 = flag.Bool("table2", true, "print Table 2")
+		fig12  = flag.Bool("fig12", true, "run the Figure 12 benchmark study")
+		instrs = flag.Uint64("instructions", 400_000, "measured instructions per benchmark")
+		warmup = flag.Uint64("warmup", 400_000, "warm-up instructions per benchmark")
+		simWS  = flag.Uint64("sim-ws", 1<<14, "working set (blocks) for dummy-rate measurement")
+		seed   = flag.Int64("seed", 23, "PRNG seed")
+	)
+	flag.Parse()
+
+	if *table2 {
+		res, err := exp.RunTable2(exp.DefaultTable2())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Table())
+	}
+	if *fig12 {
+		cfg := exp.DefaultFig12()
+		cfg.Instructions = *instrs
+		cfg.Warmup = *warmup
+		cfg.SimWorkingSet = *simWS
+		cfg.Seed = *seed
+		res, err := exp.RunFig12(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Table())
+		if imp, err := res.ImprovementVsBase("DZ3Pb32"); err == nil {
+			fmt.Printf("DZ3Pb32 average runtime improvement vs baseORAM: %.1f%% (paper: 43.9%%)\n", 100*imp)
+		}
+		if imp, err := res.ImprovementVsBase("DZ4Pb32+SB"); err == nil {
+			fmt.Printf("DZ4Pb32+SB average runtime improvement vs baseORAM: %.1f%% (paper: 52.4%%)\n", 100*imp)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Command oram-dram reproduces the DRAM studies: Figure 11 (naive vs
+// subtree placement vs theoretical bandwidth across channel counts) and
+// the Figure 5 access-ordering comparison (-orders).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oram-dram: ")
+	var (
+		ws       = flag.Uint64("ws", 1<<25, "working-set blocks for hierarchy sizing (paper: 2^25)")
+		accesses = flag.Int("accesses", 64, "ORAM accesses per measurement")
+		orders   = flag.Bool("orders", false, "also compare the Figure 5 access orderings")
+		seed     = flag.Int64("seed", 13, "PRNG seed")
+	)
+	flag.Parse()
+
+	cfg := exp.DefaultFig11()
+	cfg.WorkingSet = *ws
+	cfg.Accesses = *accesses
+	cfg.Seed = *seed
+	res, err := exp.RunFig11(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Table())
+
+	if *orders {
+		f5, err := exp.RunFig5(exp.DZ3Pb32, *ws, 2, *accesses, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(f5.Table())
+	}
+}

@@ -1,0 +1,140 @@
+// Command oram-experiments regenerates every table and figure of the
+// paper's evaluation in one run and prints a consolidated report (the
+// source of EXPERIMENTS.md). Use -quick for a fast smoke pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oram-experiments: ")
+	quick := flag.Bool("quick", false, "smaller problem sizes (smoke run)")
+	flag.Parse()
+
+	start := time.Now()
+	section := func(name string) {
+		fmt.Printf("\n######## %s (t=%s) ########\n\n", name, time.Since(start).Round(time.Second))
+	}
+
+	section("Figure 3: stash occupancy")
+	f3 := exp.DefaultFig3()
+	if *quick {
+		f3.WorkingSetBlocks = 1 << 12
+	}
+	r3, err := exp.RunFig3(f3)
+	check(err)
+	fmt.Println(r3.Table())
+
+	section("Figure 4: CPL attack on insecure eviction")
+	f4 := exp.DefaultFig4()
+	if *quick {
+		f4.Experiments = 20
+	}
+	r4, err := exp.RunFig4(f4)
+	check(err)
+	fmt.Println(r4.Table())
+
+	section("Figure 7: dummy/real ratio vs stash size")
+	f7 := exp.DefaultFig7()
+	if *quick {
+		f7.WorkingSetBlocks = 1 << 12
+	}
+	r7, err := exp.RunFig7(f7)
+	check(err)
+	fmt.Println(r7.Table())
+
+	section("Figure 8: access overhead vs utilization")
+	f8 := exp.DefaultFig8()
+	if *quick {
+		f8.WorkingSetBlocks = 1 << 12
+	}
+	r8, err := exp.RunFig8(f8)
+	check(err)
+	fmt.Println(r8.Table())
+	if best := r8.Best(); best != nil {
+		fmt.Printf("best: Z=%d at %.0f%% utilization, overhead %.1f\n",
+			best.Z, 100*best.Utilization, best.Overhead)
+	}
+
+	section("Figure 9: access overhead vs capacity")
+	f9 := exp.DefaultFig9()
+	if *quick {
+		f9.WorkingSets = []uint64{1 << 10, 1 << 12}
+	}
+	r9, err := exp.RunFig9(f9)
+	check(err)
+	fmt.Println(r9.Table())
+
+	section("Figure 10: hierarchical overhead breakdown")
+	f10 := exp.DefaultFig10()
+	if *quick {
+		f10.SimWorkingSet = 1 << 12
+		f10.SimAccesses = 1 << 14
+	}
+	r10, err := exp.RunFig10(f10)
+	check(err)
+	fmt.Println(r10.Table())
+	if red, err := r10.ReductionVsBase("DZ3Pb32"); err == nil {
+		fmt.Printf("DZ3Pb32 reduction vs baseORAM: %.1f%% (paper: 41.8%%)\n", 100*red)
+	}
+	if red, err := r10.ReductionVsBase("DZ4Pb32"); err == nil {
+		fmt.Printf("DZ4Pb32 reduction vs baseORAM: %.1f%% (paper: 35.0%%)\n", 100*red)
+	}
+
+	section("Figure 5: hierarchical access ordering")
+	f5, err := exp.RunFig5(exp.DZ3Pb32, 1<<25, 2, 32, 31)
+	check(err)
+	fmt.Println(f5.Table())
+
+	section("Figure 11: DRAM placement")
+	f11 := exp.DefaultFig11()
+	if *quick {
+		f11.Accesses = 16
+	}
+	r11, err := exp.RunFig11(f11)
+	check(err)
+	fmt.Println(r11.Table())
+
+	section("Table 2: latency and on-chip storage")
+	t2, err := exp.RunTable2(exp.DefaultTable2())
+	check(err)
+	fmt.Println(t2.Table())
+
+	section("Figure 12: SPEC benchmark slowdowns")
+	f12 := exp.DefaultFig12()
+	if *quick {
+		f12.Instructions = 100_000
+		f12.Warmup = 100_000
+		f12.SimWorkingSet = 1 << 12
+		f12.SimAccesses = 1 << 14
+	}
+	r12, err := exp.RunFig12(f12)
+	check(err)
+	fmt.Println(r12.Table())
+	if imp, err := r12.ImprovementVsBase("DZ3Pb32"); err == nil {
+		fmt.Printf("DZ3Pb32 improvement vs baseORAM: %.1f%% (paper: 43.9%%)\n", 100*imp)
+	}
+	if imp, err := r12.ImprovementVsBase("DZ4Pb32+SB"); err == nil {
+		fmt.Printf("DZ4Pb32+SB improvement vs baseORAM: %.1f%% (paper: 52.4%%)\n", 100*imp)
+	}
+
+	section("Section 5: integrity verification")
+	ri, err := exp.RunIntegrity(exp.DefaultIntegrity())
+	check(err)
+	fmt.Println(ri.Table())
+
+	fmt.Printf("\ntotal runtime: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+// Command oram-explore runs the Path ORAM design-space explorations of
+// Section 4.1: stash occupancy (Figure 3), dummy-access ratios (Figure 7),
+// the utilization sweep (Figure 8), the capacity sweep (Figure 9) and the
+// hierarchical overhead breakdown (Figure 10).
+//
+// Problem sizes default to scaled-down working sets that finish in seconds;
+// raise -ws (and be patient) to approach paper scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oram-explore: ")
+	var (
+		fig      = flag.Int("fig", 0, "figure to reproduce: 3, 7, 8, 9 or 10 (0 = all)")
+		ws       = flag.Uint64("ws", 0, "working-set blocks (0 = per-figure default)")
+		perBlock = flag.Int("accesses-per-block", 0, "accesses per block (paper: 10; 0 = default)")
+		seed     = flag.Int64("seed", 1, "PRNG seed")
+	)
+	flag.Parse()
+
+	run := func(f int) {
+		switch f {
+		case 3:
+			cfg := exp.DefaultFig3()
+			apply3(&cfg, *ws, *perBlock, *seed)
+			res, err := exp.RunFig3(cfg)
+			check(err)
+			fmt.Println(res.Table())
+		case 7:
+			cfg := exp.DefaultFig7()
+			if *ws != 0 {
+				cfg.WorkingSetBlocks = *ws
+			}
+			if *perBlock != 0 {
+				cfg.AccessesPerBlock = *perBlock
+			}
+			cfg.Seed = *seed
+			res, err := exp.RunFig7(cfg)
+			check(err)
+			fmt.Println(res.Table())
+		case 8:
+			cfg := exp.DefaultFig8()
+			if *ws != 0 {
+				cfg.WorkingSetBlocks = *ws
+			}
+			if *perBlock != 0 {
+				cfg.AccessesPerBlock = *perBlock
+			}
+			cfg.Seed = *seed
+			res, err := exp.RunFig8(cfg)
+			check(err)
+			fmt.Println(res.Table())
+			if best := res.Best(); best != nil {
+				fmt.Printf("best configuration: Z=%d at %.0f%% utilization (overhead %.1f)\n\n",
+					best.Z, 100*best.Utilization, best.Overhead)
+			}
+		case 9:
+			cfg := exp.DefaultFig9()
+			if *perBlock != 0 {
+				cfg.AccessesPerBlock = *perBlock
+			}
+			cfg.Seed = *seed
+			res, err := exp.RunFig9(cfg)
+			check(err)
+			fmt.Println(res.Table())
+		case 10:
+			cfg := exp.DefaultFig10()
+			if *ws != 0 {
+				cfg.SimWorkingSet = *ws
+			}
+			cfg.Seed = *seed
+			res, err := exp.RunFig10(cfg)
+			check(err)
+			fmt.Println(res.Table())
+			if red, err := res.ReductionVsBase("DZ3Pb32"); err == nil {
+				fmt.Printf("DZ3Pb32 overhead reduction vs baseORAM: %.1f%% (paper: 41.8%%)\n", 100*red)
+			}
+			if red, err := res.ReductionVsBase("DZ4Pb32"); err == nil {
+				fmt.Printf("DZ4Pb32 overhead reduction vs baseORAM: %.1f%% (paper: 35.0%%)\n\n", 100*red)
+			}
+		default:
+			log.Printf("unknown figure %d", f)
+			os.Exit(2)
+		}
+	}
+	if *fig == 0 {
+		for _, f := range []int{3, 7, 8, 9, 10} {
+			run(f)
+		}
+		return
+	}
+	run(*fig)
+}
+
+func apply3(cfg *exp.Fig3Config, ws uint64, perBlock int, seed int64) {
+	if ws != 0 {
+		cfg.WorkingSetBlocks = ws
+	}
+	if perBlock != 0 {
+		cfg.AccessesPerBlock = perBlock
+	}
+	cfg.Seed = seed
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Command oram-trace records synthetic benchmark traces to files and
+// replays them through the processor model, so experiments can be repeated
+// bit-identically or fed with externally produced traces in the same
+// format (see internal/trace.Write for the encoding).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cpu"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oram-trace: ")
+	var (
+		record = flag.String("record", "", "benchmark profile to record (e.g. mcf)")
+		replay = flag.String("replay", "", "trace file to replay through the CPU model")
+		out    = flag.String("o", "trace.pot", "output file for -record")
+		n      = flag.Int("n", 1_000_000, "instructions to record")
+		seed   = flag.Int64("seed", 1, "PRNG seed for -record")
+		list   = flag.Bool("list", false, "list available profiles")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, p := range trace.SPEC06() {
+			fmt.Printf("%-12s memfrac=%.2f seq=%.2f chase=%.3f ws=%dMB\n",
+				p.Name, p.MemFrac, p.SeqFrac, p.ChaseFrac, p.WorkingSet>>20)
+		}
+	case *record != "":
+		p := trace.ProfileByName(*record)
+		if p == nil {
+			log.Fatalf("unknown profile %q (use -list)", *record)
+		}
+		instrs := trace.Record(p.Generator(*seed), *n)
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := trace.Write(f, instrs); err != nil {
+			log.Fatal(err)
+		}
+		st, _ := f.Stat()
+		fmt.Printf("recorded %d instructions of %s to %s (%.2f bytes/instr)\n",
+			*n, *record, *out, float64(st.Size())/float64(*n))
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		instrs, err := trace.Read(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen, err := trace.NewReplayer(instrs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mem := &cpu.ORAMMemory{ReturnLat: 1848, FinishLat: 3440} // DZ3Pb32, Table 2
+		res, err := cpu.Run(cpu.Default(), gen, mem, uint64(len(instrs)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("replayed %d instructions: CPI=%.2f MPKI=%.2f (DZ3Pb32 ORAM memory)\n",
+			res.Instructions, res.CPI(), res.MPKI())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,91 @@
+package pathoram_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	pathoram "repro"
+)
+
+// A minimal oblivious block store: every Read/Write is one random-looking
+// path access.
+func ExampleNew() {
+	oram, err := pathoram.New(pathoram.Config{
+		Blocks:    1024,
+		BlockSize: 64,
+		Rand:      rand.New(rand.NewSource(1)), // deterministic for the example only
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x42}, 64)
+	if err := oram.Write(17, data); err != nil {
+		log.Fatal(err)
+	}
+	got, err := oram.Read(17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bytes.Equal(got, data))
+	// Output: true
+}
+
+// The exclusive interface of Section 3.3.1: Load removes a block from the
+// ORAM (plus its super-block siblings); Store returns it for free.
+func ExampleORAM_Load() {
+	oram, err := pathoram.New(pathoram.Config{
+		Blocks:         256,
+		BlockSize:      16,
+		SuperBlockSize: 2,
+		Encryption:     pathoram.EncryptNone, // simulation mode
+		Rand:           rand.New(rand.NewSource(2)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := oram.Write(8, bytes.Repeat([]byte{1}, 16)); err != nil {
+		log.Fatal(err)
+	}
+	if err := oram.Write(9, bytes.Repeat([]byte{2}, 16)); err != nil {
+		log.Fatal(err)
+	}
+	data, found, group, err := oram.Load(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(found, data[0], len(group), group[0].Addr)
+	// Returning the lines costs no path access.
+	if err := oram.Store(8, data); err != nil {
+		log.Fatal(err)
+	}
+	if err := oram.Store(9, group[0].Data); err != nil {
+		log.Fatal(err)
+	}
+	// Output: true 1 1 9
+}
+
+// A hierarchical ORAM keeps the position map oblivious too: H ORAMs are
+// accessed per request, smallest first (Section 2.3).
+func ExampleNewHierarchy() {
+	mem, err := pathoram.NewHierarchy(pathoram.HierarchyConfig{
+		Blocks:          1 << 12,
+		BlockSize:       32,
+		PosBlockSize:    16,
+		OnChipPosMapMax: 512,
+		Rand:            rand.New(rand.NewSource(3)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mem.Update(100, func(d []byte) { d[0] = 7 }); err != nil {
+		log.Fatal(err)
+	}
+	got, err := mem.Read(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(mem.NumORAMs() > 1, got[0])
+	// Output: true 7
+}

@@ -1,0 +1,87 @@
+// Obliviousness: reproduces the paper's Section 6.2 argument against
+// HIDE-style chunk shuffling. Two programs differ in one secret bit that
+// only affects *which chunk* they touch. Under HIDE the adversary recovers
+// the bit from the address bus with ~100% accuracy despite the intra-chunk
+// shuffling; under Path ORAM the same distinguisher collapses to a coin
+// flip.
+//
+// Run with: go run ./examples/obliviousness
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/hide"
+)
+
+const trials = 400
+
+func main() {
+	// Attack HIDE (64-block chunks, as in the original 8 KB/128 B setup).
+	res, err := hide.RunHIDELeakage(64, trials, rand.New(rand.NewSource(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HIDE (chunk shuffling):  adversary recovers the secret bit with %.1f%% accuracy\n",
+		100*res.Accuracy())
+
+	// The same distinguisher against Path ORAM path observations.
+	rng := rand.New(rand.NewSource(2))
+	correct := 0
+	for t := 0; t < trials; t++ {
+		secret := rng.Intn(2)
+		var observed []uint64
+		p := core.Params{
+			LeafLevel: 7, Z: 4, Blocks: 256,
+			StashCapacity: 120, BackgroundEviction: true,
+			OnPathAccess: func(leaf uint64, _ core.AccessKind) {
+				observed = append(observed, leaf)
+			},
+		}
+		store, err := core.NewMemStore(p.LeafLevel, p.Z, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src := core.NewMathLeafSource(rand.New(rand.NewSource(int64(1000 + t))))
+		pos, err := core.NewOnChipPositionMap(p.Groups(), 128, src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		oram, err := core.New(p, store, pos, src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < 32; i++ {
+			logical := rng.Uint64() % 64
+			if i%2 == 1 {
+				logical = uint64(1+secret)*64 + rng.Uint64()%64
+			}
+			if _, err := oram.Access(logical, core.OpWrite, nil); err != nil {
+				log.Fatal(err)
+			}
+		}
+		c1, c2 := 0, 0
+		for _, leaf := range observed {
+			switch leaf / 32 {
+			case 1:
+				c1++
+			case 2:
+				c2++
+			}
+		}
+		guess := 0
+		if c2 > c1 {
+			guess = 1
+		}
+		if guess == secret {
+			correct++
+		}
+	}
+	fmt.Printf("Path ORAM:               the same adversary guesses with %.1f%% accuracy (coin flip)\n",
+		100*float64(correct)/trials)
+	fmt.Println("\nHIDE hides intra-chunk patterns cheaply, but the chunk index itself leaks;")
+	fmt.Println("cryptographic obliviousness needs the full ORAM (paper, Section 6.2).")
+}

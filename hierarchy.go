@@ -1,0 +1,206 @@
+package pathoram
+
+import (
+	"crypto/aes"
+	crand "crypto/rand"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/encrypt"
+	"repro/internal/hierarchy"
+	"repro/internal/treemath"
+)
+
+// HierarchyConfig describes a hierarchical Path ORAM (Section 2.3): the
+// data ORAM's position map lives in a second ORAM, recursively, until the
+// final map fits on-chip.
+type HierarchyConfig struct {
+	// Blocks is the number of addressable data blocks.
+	Blocks uint64
+	// BlockSize is the data ORAM's block size in bytes (128 in the paper;
+	// 0 = metadata-only data ORAM for simulation).
+	BlockSize int
+	// DataZ / PosZ are bucket capacities (paper: DZ3Pb32 uses 3 and 3).
+	DataZ, PosZ int
+	// PosBlockSize is the position-map ORAM block size (Section 3.3.3;
+	// the paper's best practical choice is 32 bytes).
+	PosBlockSize int
+	// OnChipPosMapMax bounds the final on-chip position map in bytes
+	// (default 200 KB, Section 4.1.5).
+	OnChipPosMapMax uint64
+	// Utilization sizes the data ORAM tree (default 0.5).
+	Utilization float64
+	// SuperBlockSize statically merges adjacent data blocks.
+	SuperBlockSize int
+	// StashCapacity is C per ORAM (default 200).
+	StashCapacity int
+	// Encryption selects the bucket encryption for every level. Each
+	// level gets an independent key derived from Key so one-time pads are
+	// never shared across trees.
+	Encryption Encryption
+	// Key is the 16-byte master key (random if nil).
+	Key []byte
+	// Integrity enables a Section 5 authentication tree per level.
+	Integrity bool
+	// Rand makes the construction deterministic (simulation only).
+	Rand *rand.Rand
+}
+
+// Hierarchy is a hierarchical Path ORAM.
+type Hierarchy struct {
+	inner *hierarchy.ORAM
+	cfg   HierarchyConfig
+}
+
+// NewHierarchy builds the chain. Every ORAM in it — the data ORAM and all
+// position-map ORAMs — gets its own store with the configured encryption
+// and (optionally) integrity layer, and background eviction is coordinated
+// across the chain exactly as in Section 3.1.1.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	if cfg.Blocks == 0 {
+		return nil, fmt.Errorf("pathoram: Blocks must be >= 1")
+	}
+	if cfg.DataZ == 0 {
+		cfg.DataZ = 3
+	}
+	if cfg.PosZ == 0 {
+		cfg.PosZ = 3
+	}
+	if cfg.PosBlockSize == 0 {
+		cfg.PosBlockSize = 32
+	}
+	if cfg.StashCapacity == 0 {
+		cfg.StashCapacity = 200
+	}
+	if cfg.Integrity && cfg.Encryption == EncryptNone {
+		return nil, fmt.Errorf("pathoram: integrity verification requires encryption")
+	}
+	if cfg.Key == nil {
+		cfg.Key = make([]byte, encrypt.KeySize)
+		if _, err := crand.Read(cfg.Key); err != nil {
+			return nil, fmt.Errorf("pathoram: drawing key: %w", err)
+		}
+	}
+	var leaves core.LeafSource
+	if cfg.Rand != nil {
+		leaves = core.NewMathLeafSource(cfg.Rand)
+	} else {
+		leaves = core.NewCryptoLeafSource()
+	}
+	factory := hierarchy.MemStoreFactory
+	if cfg.Encryption != EncryptNone {
+		factory = func(level int, leafLevel, z, blockBytes int) (core.PathStore, error) {
+			if blockBytes == 0 {
+				// Metadata-only data ORAM: nothing to encrypt.
+				return core.NewMemStore(leafLevel, z, blockBytes)
+			}
+			key, err := deriveKey(cfg.Key, level)
+			if err != nil {
+				return nil, err
+			}
+			sub := Config{
+				Encryption: cfg.Encryption,
+				Key:        key,
+				Rand:       cfg.Rand,
+			}
+			scheme, err := sub.buildScheme(treemath.New(leafLevel).NumBuckets())
+			if err != nil {
+				return nil, err
+			}
+			scfg := encrypt.StoreConfig{
+				LeafLevel: leafLevel, Z: z, BlockBytes: blockBytes, Scheme: scheme,
+			}
+			if cfg.Integrity {
+				scfg.Auth = encrypt.NewAuthTree(leafLevel, z, blockBytes, scheme)
+			}
+			return encrypt.NewStore(scfg)
+		}
+	}
+	inner, err := hierarchy.New(hierarchy.Config{
+		Blocks:             cfg.Blocks,
+		DataBlockBytes:     cfg.BlockSize,
+		DataZ:              cfg.DataZ,
+		PosZ:               cfg.PosZ,
+		DataUtilization:    cfg.Utilization,
+		PosBlockBytes:      cfg.PosBlockSize,
+		OnChipPosMapMax:    cfg.OnChipPosMapMax,
+		SuperBlock:         cfg.SuperBlockSize,
+		StashCapacity:      cfg.StashCapacity,
+		BackgroundEviction: true,
+		NewStore:           factory,
+		Leaves:             leaves,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{inner: inner, cfg: cfg}, nil
+}
+
+// deriveKey expands the master key into an independent per-level key with
+// one AES block: K_level = AES_K(level). Distinct levels therefore never
+// share one-time pads even though bucket IDs repeat across trees.
+func deriveKey(master []byte, level int) ([]byte, error) {
+	blk, err := aes.NewCipher(master)
+	if err != nil {
+		return nil, err
+	}
+	var in, out [16]byte
+	in[0] = byte(level)
+	in[1] = byte(level >> 8)
+	blk.Encrypt(out[:], in[:])
+	return out[:], nil
+}
+
+// Read returns a copy of the data block at addr. One path access in every
+// ORAM of the chain (position-map ORAMs first, Section 2.3).
+func (h *Hierarchy) Read(addr uint64) ([]byte, error) {
+	return h.inner.Access(addr, core.OpRead, nil)
+}
+
+// Write replaces the data block at addr.
+func (h *Hierarchy) Write(addr uint64, data []byte) error {
+	_, err := h.inner.Access(addr, core.OpWrite, data)
+	return err
+}
+
+// Update applies fn to the block in one oblivious read-modify-write.
+func (h *Hierarchy) Update(addr uint64, fn func(data []byte)) error {
+	return h.inner.Update(addr, fn)
+}
+
+// Load is the exclusive read through the hierarchy (Section 3.3.1).
+func (h *Hierarchy) Load(addr uint64) (data []byte, found bool, group []Block, err error) {
+	data, found, slots, err := h.inner.Load(addr)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	for _, s := range slots {
+		group = append(group, Block{Addr: s.Addr, Data: s.Data})
+	}
+	return data, found, group, nil
+}
+
+// Store returns a checked-out block to the data ORAM's stash without any
+// path access.
+func (h *Hierarchy) Store(addr uint64, data []byte) error {
+	return h.inner.Store(addr, data)
+}
+
+// NumORAMs returns H, the number of ORAMs in the chain.
+func (h *Hierarchy) NumORAMs() int { return h.inner.NumORAMs() }
+
+// OnChipPositionMapBytes returns the final position map's size.
+func (h *Hierarchy) OnChipPositionMapBytes() uint64 { return h.inner.OnChipPosMapBytes() }
+
+// LevelStats returns per-level protocol counters (index 0 = data ORAM).
+func (h *Hierarchy) LevelStats() []Stats { return h.inner.Stats() }
+
+// DummyRounds returns the number of coordinated background-eviction rounds.
+func (h *Hierarchy) DummyRounds() uint64 { return h.inner.DummyRounds() }
+
+// DummyPerReal returns the hierarchy-level DA/RA factor of Equation 2.
+func (h *Hierarchy) DummyPerReal() float64 { return h.inner.DummyPerReal() }
+
+// Layout describes the sized chain for reporting.
+func (h *Hierarchy) Layout() []hierarchy.LevelInfo { return h.inner.Layout() }

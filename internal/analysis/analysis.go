@@ -1,0 +1,330 @@
+// Package analysis implements the paper's analytical storage and overhead
+// model (Sections 2.2, 2.4 and 3.1.4): per-bucket bit counts under the
+// strawman and counter-based randomized-encryption schemes, DRAM padding,
+// Access_Overhead (Equations 1 and 2), and the sizing of hierarchical
+// position-map ORAM chains (Section 2.3 / 3.3.3).
+//
+// The formulas here are bit-exact per the paper and are used for the design
+// space exploration figures; the functional stores in internal/encrypt use a
+// byte-aligned layout whose constants differ slightly (documented there).
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// DRAMGranularity is the DRAM access granularity in bytes. Buckets are
+// padded to a multiple of it (Section 2.4: "M should be rounded up to a
+// multiple of DRAM access granularity (e.g. 64 bytes)").
+const DRAMGranularity = 64
+
+// Scheme selects the randomized-encryption layout from Section 2.2.
+type Scheme int
+
+const (
+	// SchemeCounter is the counter-based scheme (Section 2.2.2):
+	// M = Z(L+U+B) + 64 bits.
+	SchemeCounter Scheme = iota
+	// SchemeStrawman is the strawman scheme (Section 2.2.1):
+	// M = Z(128 + L+U+B) bits.
+	SchemeStrawman
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeCounter:
+		return "counter"
+	case SchemeStrawman:
+		return "strawman"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// AddrBits returns U = ceil(log2 n), the number of bits needed to store a
+// program address when n addresses exist. AddrBits(0) and AddrBits(1) are 1.
+func AddrBits(n uint64) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len64(n - 1)
+}
+
+// ORAMConfig describes one Path ORAM for analytical purposes.
+type ORAMConfig struct {
+	LeafLevel   int    // L: leaf level; the tree has L+1 levels
+	Z           int    // blocks per bucket
+	BlockBytes  int    // B in bytes
+	ValidBlocks uint64 // number of real (addressable) data blocks stored
+	Scheme      Scheme
+}
+
+// Slots returns N, the total number of block slots in the tree:
+// Z * (2^(L+1)-1).
+func (c ORAMConfig) Slots() uint64 {
+	return uint64(c.Z) * (1<<uint(c.LeafLevel+1) - 1)
+}
+
+// Utilization returns ValidBlocks / Slots (Section 4.1.3).
+func (c ORAMConfig) Utilization() float64 {
+	s := c.Slots()
+	if s == 0 {
+		return 0
+	}
+	return float64(c.ValidBlocks) / float64(s)
+}
+
+// PlainBitsPerBlock returns L + U + B*8: leaf label, program address and
+// payload bits for one block (Section 2.2).
+func (c ORAMConfig) PlainBitsPerBlock() int {
+	return c.LeafLevel + AddrBits(c.Slots()) + 8*c.BlockBytes
+}
+
+// BucketBits returns M, the encrypted bucket size in bits, before padding.
+func (c ORAMConfig) BucketBits() int {
+	plain := c.PlainBitsPerBlock()
+	switch c.Scheme {
+	case SchemeStrawman:
+		return c.Z * (128 + plain)
+	default:
+		return c.Z*plain + 64
+	}
+}
+
+// BucketBytes returns M rounded up to a multiple of the DRAM access
+// granularity, in bytes.
+func (c ORAMConfig) BucketBytes() int {
+	bytes := (c.BucketBits() + 7) / 8
+	return pad(bytes, DRAMGranularity)
+}
+
+// PathBytes returns the number of bytes occupied by one root-to-leaf path:
+// (L+1) * BucketBytes.
+func (c ORAMConfig) PathBytes() int {
+	return (c.LeafLevel + 1) * c.BucketBytes()
+}
+
+// TreeBytes returns the external storage of the whole tree:
+// (2^(L+1)-1) * BucketBytes.
+func (c ORAMConfig) TreeBytes() uint64 {
+	return (1<<uint(c.LeafLevel+1) - 1) * uint64(c.BucketBytes())
+}
+
+// PositionMapBits returns the size of this ORAM's position map:
+// one L-bit leaf label per valid block (Section 2.3).
+func (c ORAMConfig) PositionMapBits() uint64 {
+	return c.ValidBlocks * uint64(c.LeafLevel)
+}
+
+// StashBits returns the on-chip stash storage for capacity C blocks:
+// C * (L + U + B) bits (Section 2.4).
+func (c ORAMConfig) StashBits(capacity int) uint64 {
+	return uint64(capacity) * uint64(c.PlainBitsPerBlock())
+}
+
+// AccessOverhead implements Equation 1: the ratio between data moved and
+// useful data per access, scaled by the dummy-access rate DA/RA.
+func (c ORAMConfig) AccessOverhead(dummyPerReal float64) float64 {
+	return (1 + dummyPerReal) * 2 * float64(c.LeafLevel+1) *
+		float64(c.BucketBytes()) / float64(c.BlockBytes)
+}
+
+// Validate reports configuration errors.
+func (c ORAMConfig) Validate() error {
+	switch {
+	case c.LeafLevel < 0 || c.LeafLevel > 30:
+		return fmt.Errorf("analysis: leaf level %d out of range [0,30]", c.LeafLevel)
+	case c.Z < 1:
+		return fmt.Errorf("analysis: Z=%d must be >= 1", c.Z)
+	case c.BlockBytes < 1:
+		return fmt.Errorf("analysis: block size %dB must be >= 1", c.BlockBytes)
+	case c.ValidBlocks > c.Slots():
+		return fmt.Errorf("analysis: %d valid blocks exceed %d slots", c.ValidBlocks, c.Slots())
+	}
+	return nil
+}
+
+func pad(n, multiple int) int {
+	if r := n % multiple; r != 0 {
+		return n + multiple - r
+	}
+	return n
+}
+
+// LevelsForSlots returns the leaf level L whose tree slot count
+// Z*(2^(L+1)-1) is nearest (in log space) to the requested slot count. The
+// paper's sweeps quantize ORAM capacity this way; achieved utilization is
+// reported alongside requested utilization wherever it matters.
+func LevelsForSlots(slots uint64, z int) int {
+	if slots == 0 || z <= 0 {
+		return 0
+	}
+	target := float64(slots) / float64(z) // desired bucket count ~ 2^(L+1)
+	l := int(math.Round(math.Log2(target))) - 1
+	if l < 0 {
+		l = 0
+	}
+	if l > 30 {
+		l = 30
+	}
+	return l
+}
+
+// MinLevelsForBlocks returns the smallest leaf level whose tree holds at
+// least n blocks with the given Z (used when capacity is a hard floor).
+func MinLevelsForBlocks(n uint64, z int) int {
+	l := 0
+	for uint64(z)*(1<<uint(l+1)-1) < n && l < 30 {
+		l++
+	}
+	return l
+}
+
+// ConfigForWorkingSet builds an ORAMConfig that stores wsBlocks valid
+// blocks at (approximately) the requested utilization.
+func ConfigForWorkingSet(wsBlocks uint64, utilization float64, z, blockBytes int, scheme Scheme) ORAMConfig {
+	if utilization <= 0 {
+		utilization = 1
+	}
+	slots := uint64(float64(wsBlocks) / utilization)
+	return ORAMConfig{
+		LeafLevel:   LevelsForSlots(slots, z),
+		Z:           z,
+		BlockBytes:  blockBytes,
+		ValidBlocks: wsBlocks,
+		Scheme:      scheme,
+	}
+}
+
+// PosMapLevels returns the paper's leaf-level choice for position-map
+// ORAMs: L = ceil(log2 N) - 1 (Section 2.3), i.e. roughly one bucket per
+// block.
+func PosMapLevels(n uint64) int {
+	if n <= 2 {
+		return 0
+	}
+	l := bits.Len64(n-1) - 1 // ceil(log2 n) - 1
+	if l > 30 {
+		l = 30
+	}
+	return l
+}
+
+// HierarchyConfig parameterizes BuildHierarchy.
+type HierarchyConfig struct {
+	WorkingSetBlocks uint64  // addressable data blocks (position map entries of ORAM1)
+	DataUtilization  float64 // data ORAM utilization target (e.g. 0.5)
+	DataZ            int
+	DataBlockBytes   int
+	PosZ             int
+	PosBlockBytes    int
+	OnChipPosMapMax  uint64 // bytes; recursion stops once the map fits
+	DataScheme       Scheme
+	PosScheme        Scheme
+}
+
+// Hierarchy is a sized chain of ORAMs. Levels[0] is the data ORAM (ORAM1 in
+// the paper); subsequent entries are position-map ORAMs.
+type Hierarchy struct {
+	Levels           []ORAMConfig
+	OnChipPosMapBits uint64 // final position map kept on-chip
+}
+
+// BuildHierarchy sizes a hierarchical Path ORAM following Section 2.3:
+// ORAM(h+1) stores k = floor(B*8 / L_h) leaf labels per block, needs
+// N(h+1) = ceil(N_h / k) blocks, and uses leaf level ceil(log2 N)-1. The
+// chain stops as soon as the next position map fits in OnChipPosMapMax.
+func BuildHierarchy(cfg HierarchyConfig) (Hierarchy, error) {
+	if cfg.WorkingSetBlocks == 0 {
+		return Hierarchy{}, fmt.Errorf("analysis: working set must be non-empty")
+	}
+	if cfg.OnChipPosMapMax == 0 {
+		cfg.OnChipPosMapMax = 200 << 10 // paper: "final position map smaller than 200 KB"
+	}
+	data := ConfigForWorkingSet(cfg.WorkingSetBlocks, cfg.DataUtilization,
+		cfg.DataZ, cfg.DataBlockBytes, cfg.DataScheme)
+	if err := data.Validate(); err != nil {
+		return Hierarchy{}, err
+	}
+	h := Hierarchy{Levels: []ORAMConfig{data}}
+	entries := cfg.WorkingSetBlocks // entries of the position map for the last ORAM built
+	labelBits := data.LeafLevel
+	for entries*uint64(labelBits) > cfg.OnChipPosMapMax*8 {
+		if len(h.Levels) > 16 {
+			return Hierarchy{}, fmt.Errorf("analysis: hierarchy did not converge (posmap block too small?)")
+		}
+		k := cfg.PosBlockBytes * 8 / labelBits
+		if k < 1 {
+			return Hierarchy{}, fmt.Errorf("analysis: position map block of %dB cannot hold a %d-bit label",
+				cfg.PosBlockBytes, labelBits)
+		}
+		n := (entries + uint64(k) - 1) / uint64(k)
+		next := ORAMConfig{
+			LeafLevel:   PosMapLevels(n),
+			Z:           cfg.PosZ,
+			BlockBytes:  cfg.PosBlockBytes,
+			ValidBlocks: n,
+			Scheme:      cfg.PosScheme,
+		}
+		if err := next.Validate(); err != nil {
+			return Hierarchy{}, err
+		}
+		h.Levels = append(h.Levels, next)
+		entries = n
+		labelBits = next.LeafLevel
+	}
+	h.OnChipPosMapBits = entries * uint64(labelBits)
+	return h, nil
+}
+
+// AccessOverhead implements Equation 2: sum over the hierarchy of
+// 2(L_i+1)M_i divided by the data block size, scaled by the dummy rate.
+func (h Hierarchy) AccessOverhead(dummyPerReal float64) float64 {
+	if len(h.Levels) == 0 {
+		return 0
+	}
+	var pathBytes float64
+	for _, l := range h.Levels {
+		pathBytes += 2 * float64(l.LeafLevel+1) * float64(l.BucketBytes())
+	}
+	return (1 + dummyPerReal) * pathBytes / float64(h.Levels[0].BlockBytes)
+}
+
+// OverheadBreakdown returns each ORAM's contribution to Equation 2 (used by
+// the Figure 10 stacked bars).
+func (h Hierarchy) OverheadBreakdown(dummyPerReal float64) []float64 {
+	out := make([]float64, len(h.Levels))
+	if len(h.Levels) == 0 {
+		return out
+	}
+	for i, l := range h.Levels {
+		out[i] = (1 + dummyPerReal) * 2 * float64(l.LeafLevel+1) *
+			float64(l.BucketBytes()) / float64(h.Levels[0].BlockBytes)
+	}
+	return out
+}
+
+// PathBytesTotal returns the bytes moved per hierarchical access
+// (read + write of one path in every ORAM).
+func (h Hierarchy) PathBytesTotal() int {
+	total := 0
+	for _, l := range h.Levels {
+		total += 2 * l.PathBytes()
+	}
+	return total
+}
+
+// StashBits returns the total on-chip stash storage with capacity C blocks
+// per ORAM (Section 2.4).
+func (h Hierarchy) StashBits(capacity int) uint64 {
+	var total uint64
+	for _, l := range h.Levels {
+		total += l.StashBits(capacity)
+	}
+	return total
+}
+
+// NumORAMs returns H, the number of ORAMs in the chain.
+func (h Hierarchy) NumORAMs() int { return len(h.Levels) }

@@ -1,0 +1,319 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrBits(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want int
+	}{
+		{0, 1}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1 << 25, 25}, {1<<25 + 1, 26},
+	}
+	for _, c := range cases {
+		if got := AddrBits(c.n); got != c.want {
+			t.Errorf("AddrBits(%d)=%d want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestBucketBitsCounterScheme(t *testing.T) {
+	// Section 2.2.2: M = Z(L+U+B) + 64 bits.
+	c := ORAMConfig{LeafLevel: 23, Z: 3, BlockBytes: 128, Scheme: SchemeCounter}
+	u := AddrBits(c.Slots())
+	want := 3*(23+u+1024) + 64
+	if got := c.BucketBits(); got != want {
+		t.Errorf("BucketBits=%d want %d", got, want)
+	}
+}
+
+func TestBucketBitsStrawman(t *testing.T) {
+	// Section 2.2.1: M = Z(128 + L+U+B) bits.
+	c := ORAMConfig{LeafLevel: 23, Z: 4, BlockBytes: 128, Scheme: SchemeStrawman}
+	u := AddrBits(c.Slots())
+	want := 4 * (128 + 23 + u + 1024)
+	if got := c.BucketBits(); got != want {
+		t.Errorf("BucketBits=%d want %d", got, want)
+	}
+}
+
+func TestBucketBytesPadding(t *testing.T) {
+	c := ORAMConfig{LeafLevel: 20, Z: 3, BlockBytes: 32, Scheme: SchemeCounter}
+	got := c.BucketBytes()
+	if got%DRAMGranularity != 0 {
+		t.Errorf("BucketBytes=%d not a multiple of %d", got, DRAMGranularity)
+	}
+	raw := (c.BucketBits() + 7) / 8
+	if got < raw || got-raw >= DRAMGranularity {
+		t.Errorf("BucketBytes=%d is not the minimal padding of %d", got, raw)
+	}
+}
+
+func TestSmallPosMapBlocksShareBucketSize(t *testing.T) {
+	// Section 4.1.5: 16-byte and 32-byte position map blocks both pad to a
+	// 128-byte bucket (Z=3), which is why 16B blocks are not attractive.
+	b16 := ORAMConfig{LeafLevel: 21, Z: 3, BlockBytes: 16, Scheme: SchemeCounter}
+	b32 := ORAMConfig{LeafLevel: 21, Z: 3, BlockBytes: 32, Scheme: SchemeCounter}
+	if b16.BucketBytes() != 128 || b32.BucketBytes() != 128 {
+		t.Errorf("16B and 32B posmap buckets should both pad to 128B, got %d and %d",
+			b16.BucketBytes(), b32.BucketBytes())
+	}
+}
+
+func TestAccessOverheadEquation1(t *testing.T) {
+	c := ORAMConfig{LeafLevel: 23, Z: 3, BlockBytes: 128, Scheme: SchemeCounter}
+	base := 2 * float64(24) * float64(c.BucketBytes()) / 128
+	if got := c.AccessOverhead(0); math.Abs(got-base) > 1e-9 {
+		t.Errorf("AccessOverhead(0)=%v want %v", got, base)
+	}
+	// Equation 1 scales by (RA+DA)/RA.
+	if got := c.AccessOverhead(0.5); math.Abs(got-1.5*base) > 1e-9 {
+		t.Errorf("AccessOverhead(0.5)=%v want %v", got, 1.5*base)
+	}
+}
+
+func TestPositionMapSizePaperExample(t *testing.T) {
+	// Section 2.3: "a 4 GB Path ORAM with a block size of 128 bytes and
+	// Z = 4 has a position map of 93 MB". 4GB of data blocks = 2^25 blocks.
+	// With leaf level from the paper's convention the map is tens of MB; we
+	// check the order of magnitude (the paper's L is not stated exactly).
+	n := uint64(1) << 25
+	c := ORAMConfig{LeafLevel: PosMapLevels(n), Z: 4, BlockBytes: 128, ValidBlocks: n}
+	mb := float64(c.PositionMapBits()) / 8 / (1 << 20)
+	if mb < 80 || mb > 110 {
+		t.Errorf("position map = %.1f MB, want ~93 MB", mb)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	c := ORAMConfig{LeafLevel: 3, Z: 4, BlockBytes: 128, ValidBlocks: 30}
+	if c.Slots() != 4*15 {
+		t.Fatalf("Slots=%d want 60", c.Slots())
+	}
+	if got := c.Utilization(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Utilization=%v want 0.5", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := ORAMConfig{LeafLevel: 5, Z: 4, BlockBytes: 128, ValidBlocks: 10}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []ORAMConfig{
+		{LeafLevel: -1, Z: 4, BlockBytes: 128},
+		{LeafLevel: 31, Z: 4, BlockBytes: 128},
+		{LeafLevel: 5, Z: 0, BlockBytes: 128},
+		{LeafLevel: 5, Z: 4, BlockBytes: 0},
+		{LeafLevel: 1, Z: 1, BlockBytes: 128, ValidBlocks: 100},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestLevelsForSlots(t *testing.T) {
+	// 2^26 slots at Z=4 => 2^24 buckets => leaf level 23.
+	if l := LevelsForSlots(1<<26, 4); l != 23 {
+		t.Errorf("LevelsForSlots(2^26, 4)=%d want 23", l)
+	}
+	if l := LevelsForSlots(0, 4); l != 0 {
+		t.Errorf("LevelsForSlots(0,4)=%d want 0", l)
+	}
+}
+
+func TestMinLevelsForBlocks(t *testing.T) {
+	// Smallest tree holding n blocks.
+	if l := MinLevelsForBlocks(60, 4); l != 3 {
+		t.Errorf("MinLevelsForBlocks(60,4)=%d want 3 (60 slots)", l)
+	}
+	if l := MinLevelsForBlocks(61, 4); l != 4 {
+		t.Errorf("MinLevelsForBlocks(61,4)=%d want 4", l)
+	}
+	f := func(nRaw uint32, zRaw uint8) bool {
+		n := uint64(nRaw%1_000_000) + 1
+		z := int(zRaw%8) + 1
+		l := MinLevelsForBlocks(n, z)
+		fits := uint64(z)*(1<<uint(l+1)-1) >= n
+		minimal := l == 0 || uint64(z)*(1<<uint(l)-1) < n
+		return fits && minimal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildHierarchyDZ3Pb32(t *testing.T) {
+	// The paper's DZ3Pb32 configuration: 4 GB working set (2^25 blocks of
+	// 128 B), data Z=3, 32-byte position-map blocks with Z=3, final
+	// position map under 200 KB. Table 2 reports a 37 KB on-chip map and a
+	// 4-ORAM hierarchy is expected.
+	h, err := BuildHierarchy(HierarchyConfig{
+		WorkingSetBlocks: 1 << 25,
+		DataUtilization:  0.5,
+		DataZ:            3,
+		DataBlockBytes:   128,
+		PosZ:             3,
+		PosBlockBytes:    32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumORAMs() < 3 || h.NumORAMs() > 5 {
+		t.Errorf("NumORAMs=%d want 3..5 (paper: 4)", h.NumORAMs())
+	}
+	kb := float64(h.OnChipPosMapBits) / 8 / 1024
+	if kb > 200 {
+		t.Errorf("on-chip posmap %.1f KB exceeds 200 KB", kb)
+	}
+	if kb < 5 {
+		t.Errorf("on-chip posmap %.1f KB suspiciously small", kb)
+	}
+	// Data ORAM must be first and hold the working set.
+	if h.Levels[0].BlockBytes != 128 || h.Levels[0].ValidBlocks != 1<<25 {
+		t.Errorf("data ORAM misconfigured: %+v", h.Levels[0])
+	}
+	// Each position-map ORAM must shrink.
+	for i := 1; i < len(h.Levels); i++ {
+		if h.Levels[i].ValidBlocks >= h.Levels[i-1].ValidBlocks {
+			t.Errorf("ORAM%d (%d blocks) did not shrink from ORAM%d (%d blocks)",
+				i+1, h.Levels[i].ValidBlocks, i, h.Levels[i-1].ValidBlocks)
+		}
+	}
+}
+
+func TestBuildHierarchyBaseORAM(t *testing.T) {
+	// baseORAM (Section 4.1.5): 3 ORAMs, all 128-byte blocks, Z=4,
+	// strawman encryption. Table 2 reports a 25 KB final position map.
+	h, err := BuildHierarchy(HierarchyConfig{
+		WorkingSetBlocks: 1 << 25,
+		DataUtilization:  0.5,
+		DataZ:            4,
+		DataBlockBytes:   128,
+		PosZ:             4,
+		PosBlockBytes:    128,
+		DataScheme:       SchemeStrawman,
+		PosScheme:        SchemeStrawman,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumORAMs() != 3 {
+		t.Errorf("baseORAM NumORAMs=%d want 3", h.NumORAMs())
+	}
+	kb := float64(h.OnChipPosMapBits) / 8 / 1024
+	if kb < 10 || kb > 60 {
+		t.Errorf("baseORAM on-chip posmap %.1f KB, paper reports 25 KB", kb)
+	}
+}
+
+func TestHierarchyOverheadImprovement(t *testing.T) {
+	// Figure 10's headline: DZ3Pb32 reduces access overhead by ~41.8%
+	// versus baseORAM (before dummy accesses). Require at least a 30%
+	// analytical reduction.
+	base, err := BuildHierarchy(HierarchyConfig{
+		WorkingSetBlocks: 1 << 25, DataUtilization: 0.5,
+		DataZ: 4, DataBlockBytes: 128, PosZ: 4, PosBlockBytes: 128,
+		DataScheme: SchemeStrawman, PosScheme: SchemeStrawman,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := BuildHierarchy(HierarchyConfig{
+		WorkingSetBlocks: 1 << 25, DataUtilization: 0.5,
+		DataZ: 3, DataBlockBytes: 128, PosZ: 3, PosBlockBytes: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, oo := base.AccessOverhead(0), opt.AccessOverhead(0)
+	if oo >= ob {
+		t.Fatalf("optimized overhead %.1f not better than base %.1f", oo, ob)
+	}
+	if red := 1 - oo/ob; red < 0.30 {
+		t.Errorf("overhead reduction %.1f%% below 30%% (paper: 41.8%%)", red*100)
+	}
+}
+
+func TestOverheadBreakdownSumsToTotal(t *testing.T) {
+	h, err := BuildHierarchy(HierarchyConfig{
+		WorkingSetBlocks: 1 << 20, DataUtilization: 0.5,
+		DataZ: 3, DataBlockBytes: 128, PosZ: 3, PosBlockBytes: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := h.OverheadBreakdown(0.25)
+	var sum float64
+	for _, p := range parts {
+		sum += p
+	}
+	if total := h.AccessOverhead(0.25); math.Abs(sum-total) > 1e-9 {
+		t.Errorf("breakdown sum %v != total %v", sum, total)
+	}
+}
+
+func TestHierarchyStashBits(t *testing.T) {
+	h, err := BuildHierarchy(HierarchyConfig{
+		WorkingSetBlocks: 1 << 25, DataUtilization: 0.5,
+		DataZ: 3, DataBlockBytes: 128, PosZ: 3, PosBlockBytes: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 2: DZ3Pb32 stash is ~47 KB at C=200.
+	kb := float64(h.StashBits(200)) / 8 / 1024
+	if kb < 30 || kb > 70 {
+		t.Errorf("stash=%.1f KB want ~47 KB", kb)
+	}
+}
+
+func TestBuildHierarchyErrors(t *testing.T) {
+	if _, err := BuildHierarchy(HierarchyConfig{}); err == nil {
+		t.Error("empty working set should fail")
+	}
+	// A 1-byte posmap block cannot hold a 20+-bit label.
+	_, err := BuildHierarchy(HierarchyConfig{
+		WorkingSetBlocks: 1 << 25, DataUtilization: 0.5,
+		DataZ: 3, DataBlockBytes: 128, PosZ: 3, PosBlockBytes: 1,
+	})
+	if err == nil {
+		t.Error("1-byte posmap block should fail")
+	}
+}
+
+func TestPosMapLevels(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want int
+	}{{1, 0}, {2, 0}, {4, 1}, {1 << 20, 19}, {1<<20 + 1, 20}}
+	for _, c := range cases {
+		if got := PosMapLevels(c.n); got != c.want {
+			t.Errorf("PosMapLevels(%d)=%d want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if SchemeCounter.String() != "counter" || SchemeStrawman.String() != "strawman" {
+		t.Error("scheme names wrong")
+	}
+	if Scheme(9).String() == "" {
+		t.Error("unknown scheme should still print")
+	}
+}
+
+func TestPathAndTreeBytes(t *testing.T) {
+	c := ORAMConfig{LeafLevel: 3, Z: 2, BlockBytes: 16, Scheme: SchemeCounter}
+	if got, want := c.PathBytes(), 4*c.BucketBytes(); got != want {
+		t.Errorf("PathBytes=%d want %d", got, want)
+	}
+	if got, want := c.TreeBytes(), uint64(15*c.BucketBytes()); got != want {
+		t.Errorf("TreeBytes=%d want %d", got, want)
+	}
+}

@@ -1,0 +1,216 @@
+// Package cache provides the set-associative LRU caches and the exclusive
+// two-level hierarchy of the paper's processor model (Table 1: 32 KB 4-way
+// L1, 1 MB 16-way L2, 128-byte lines, exclusive). Exclusivity matters for
+// the ORAM integration (Section 3.3.1): a line lives in exactly one of
+// {L1, L2, ORAM}, so every L2 eviction — clean or dirty — must be handed
+// back to the ORAM stash.
+package cache
+
+import "fmt"
+
+// Victim is a line pushed out of the hierarchy toward memory.
+type Victim struct {
+	LineAddr uint64
+	Dirty    bool
+}
+
+// Cache is one set-associative LRU cache. Addresses are line-granular
+// (byte address / line size).
+type Cache struct {
+	sets     [][]entry // each set ordered MRU-first
+	numSets  uint64
+	ways     int
+	lineSize int
+
+	hits, misses, evictions uint64
+}
+
+type entry struct {
+	line  uint64
+	dirty bool
+}
+
+// New builds a cache of sizeBytes with the given associativity and line
+// size. sizeBytes must divide evenly into sets.
+func New(sizeBytes, ways, lineBytes int) (*Cache, error) {
+	if sizeBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		return nil, fmt.Errorf("cache: all parameters must be positive")
+	}
+	lines := sizeBytes / lineBytes
+	if lines == 0 || lines%ways != 0 {
+		return nil, fmt.Errorf("cache: %dB / %dB lines not divisible into %d ways", sizeBytes, lineBytes, ways)
+	}
+	numSets := uint64(lines / ways)
+	c := &Cache{
+		sets:     make([][]entry, numSets),
+		numSets:  numSets,
+		ways:     ways,
+		lineSize: lineBytes,
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]entry, 0, ways)
+	}
+	return c, nil
+}
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return c.lineSize }
+
+// Stats returns (hits, misses, evictions).
+func (c *Cache) Stats() (hits, misses, evictions uint64) {
+	return c.hits, c.misses, c.evictions
+}
+
+func (c *Cache) set(line uint64) int { return int(line % c.numSets) }
+
+// Lookup probes for a line; on a hit it refreshes LRU order and optionally
+// marks the line dirty.
+func (c *Cache) Lookup(line uint64, makeDirty bool) bool {
+	s := c.sets[c.set(line)]
+	for i := range s {
+		if s[i].line == line {
+			e := s[i]
+			e.dirty = e.dirty || makeDirty
+			copy(s[1:i+1], s[:i])
+			s[0] = e
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Contains probes without touching LRU state or counters.
+func (c *Cache) Contains(line uint64) bool {
+	s := c.sets[c.set(line)]
+	for i := range s {
+		if s[i].line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Remove extracts a line (for exclusive moves between levels). It does not
+// touch hit/miss counters.
+func (c *Cache) Remove(line uint64) (dirty, present bool) {
+	idx := c.set(line)
+	s := c.sets[idx]
+	for i := range s {
+		if s[i].line == line {
+			dirty = s[i].dirty
+			c.sets[idx] = append(s[:i], s[i+1:]...)
+			return dirty, true
+		}
+	}
+	return false, false
+}
+
+// Insert places a line as MRU, evicting the LRU entry if the set is full.
+// The caller must ensure the line is not already present.
+func (c *Cache) Insert(line uint64, dirty bool) (victim Victim, evicted bool) {
+	idx := c.set(line)
+	s := c.sets[idx]
+	if len(s) == c.ways {
+		lru := s[len(s)-1]
+		victim = Victim{LineAddr: lru.line, Dirty: lru.dirty}
+		evicted = true
+		s = s[:len(s)-1]
+		c.evictions++
+	}
+	s = append(s, entry{})
+	copy(s[1:], s)
+	s[0] = entry{line: line, dirty: dirty}
+	c.sets[idx] = s
+	return victim, evicted
+}
+
+// LinesResident returns the number of lines currently cached.
+func (c *Cache) LinesResident() int {
+	n := 0
+	for _, s := range c.sets {
+		n += len(s)
+	}
+	return n
+}
+
+// Hierarchy is the exclusive L1D + L2 pair. Instruction fetches are modeled
+// as always hitting L1I (the synthetic traces carry no code addresses), so
+// only the data side is simulated.
+type Hierarchy struct {
+	L1, L2 *Cache
+
+	l1Misses, l2Misses uint64
+	accesses           uint64
+}
+
+// NewHierarchy wires an exclusive pair; both caches must share a line size.
+func NewHierarchy(l1, l2 *Cache) (*Hierarchy, error) {
+	if l1.lineSize != l2.lineSize {
+		return nil, fmt.Errorf("cache: L1 line %dB != L2 line %dB", l1.lineSize, l2.lineSize)
+	}
+	return &Hierarchy{L1: l1, L2: l2}, nil
+}
+
+// Result describes one hierarchy access.
+type Result struct {
+	L1Hit, L2Hit bool
+	// MemFill is true when the line had to come from memory.
+	MemFill bool
+	// Victims are the lines pushed out of the L2 toward memory by this
+	// access (at most a couple per access).
+	Victims []Victim
+}
+
+// Access performs a data access at line granularity, maintaining
+// exclusivity: a hit in L2 moves the line to L1; fills from memory go to
+// L1; L1 victims fall to L2; L2 victims leave the chip.
+func (h *Hierarchy) Access(line uint64, write bool) Result {
+	h.accesses++
+	if h.L1.Lookup(line, write) {
+		return Result{L1Hit: true}
+	}
+	h.l1Misses++
+	if dirty, ok := h.L2.Remove(line); ok {
+		// Count as an L2 hit (Remove bypasses counters).
+		h.L2.hits++
+		return Result{L2Hit: true, Victims: h.fillL1(line, dirty || write)}
+	}
+	h.L2.misses++
+	h.l2Misses++
+	return Result{MemFill: true, Victims: h.fillL1(line, write)}
+}
+
+// InsertPrefetch places a prefetched line (a super-block sibling) into the
+// L2 if it is not already on-chip, returning any displaced victim.
+func (h *Hierarchy) InsertPrefetch(line uint64) []Victim {
+	if h.L1.Contains(line) || h.L2.Contains(line) {
+		return nil
+	}
+	if v, ok := h.L2.Insert(line, false); ok {
+		return []Victim{v}
+	}
+	return nil
+}
+
+// Contains reports whether the line is anywhere on-chip.
+func (h *Hierarchy) Contains(line uint64) bool {
+	return h.L1.Contains(line) || h.L2.Contains(line)
+}
+
+// fillL1 inserts into L1 and cascades victims down to L2 and out.
+func (h *Hierarchy) fillL1(line uint64, dirty bool) []Victim {
+	var out []Victim
+	if v1, ok := h.L1.Insert(line, dirty); ok {
+		if v2, ok2 := h.L2.Insert(v1.LineAddr, v1.Dirty); ok2 {
+			out = append(out, v2)
+		}
+	}
+	return out
+}
+
+// Stats returns (accesses, l1Misses, l2Misses).
+func (h *Hierarchy) Stats() (accesses, l1Misses, l2Misses uint64) {
+	return h.accesses, h.l1Misses, h.l2Misses
+}

@@ -1,0 +1,224 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4, 128); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := New(1024, 0, 128); err == nil {
+		t.Error("zero ways accepted")
+	}
+	if _, err := New(1024, 4, 0); err == nil {
+		t.Error("zero line accepted")
+	}
+	if _, err := New(1000, 3, 128); err == nil {
+		t.Error("indivisible geometry accepted")
+	}
+}
+
+func TestLookupInsertBasics(t *testing.T) {
+	c, err := New(1024, 2, 64) // 16 lines, 8 sets, 2 ways
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Lookup(5, false) {
+		t.Error("hit on empty cache")
+	}
+	c.Insert(5, false)
+	if !c.Lookup(5, false) {
+		t.Error("miss after insert")
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats=(%d,%d) want (1,1)", hits, misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, _ := New(2*64, 2, 64) // one set, two ways
+	c.Insert(0, false)
+	c.Insert(1, false)
+	// Touch 0 so 1 becomes LRU.
+	c.Lookup(0, false)
+	v, evicted := c.Insert(2, false)
+	if !evicted || v.LineAddr != 1 {
+		t.Errorf("evicted %+v want line 1", v)
+	}
+	if !c.Contains(0) || !c.Contains(2) || c.Contains(1) {
+		t.Error("LRU state wrong after eviction")
+	}
+}
+
+func TestDirtyPropagation(t *testing.T) {
+	c, _ := New(2*64, 2, 64)
+	c.Insert(0, false)
+	c.Lookup(0, true) // write marks dirty
+	c.Insert(1, false)
+	c.Insert(2, false) // evicts line 1 (LRU) -- wait: 0 touched most recently
+	// Order: after Lookup(0), MRU=0; Insert(1) -> MRU=1; Insert(2) evicts 0.
+	v, evicted := c.Insert(3, false)
+	if !evicted {
+		t.Fatal("expected eviction")
+	}
+	_ = v
+	// Pull line 0's dirty state out via Remove if still present, else it
+	// was evicted dirty above. Track explicitly instead:
+	c2, _ := New(2*64, 2, 64)
+	c2.Insert(7, false)
+	c2.Lookup(7, true)
+	dirty, present := c2.Remove(7)
+	if !present || !dirty {
+		t.Error("dirty bit lost")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c, _ := New(1024, 4, 64)
+	c.Insert(9, true)
+	dirty, ok := c.Remove(9)
+	if !ok || !dirty {
+		t.Error("Remove lost the line or its dirty bit")
+	}
+	if _, ok := c.Remove(9); ok {
+		t.Error("double remove")
+	}
+	if c.LinesResident() != 0 {
+		t.Error("line count wrong")
+	}
+}
+
+func TestSetIsolation(t *testing.T) {
+	c, _ := New(4*64, 1, 64) // 4 sets, direct-mapped
+	c.Insert(0, false)
+	c.Insert(1, false)
+	c.Insert(2, false)
+	c.Insert(3, false)
+	if c.LinesResident() != 4 {
+		t.Error("distinct sets should not conflict")
+	}
+	// 4 maps to the same set as 0.
+	v, evicted := c.Insert(4, false)
+	if !evicted || v.LineAddr != 0 {
+		t.Errorf("conflict eviction wrong: %+v", v)
+	}
+}
+
+func TestHierarchyExclusive(t *testing.T) {
+	l1, _ := New(2*64, 2, 64)
+	l2, _ := New(8*64, 2, 64)
+	h, err := NewHierarchy(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := h.Access(10, false)
+	if r.L1Hit || r.L2Hit || !r.MemFill {
+		t.Errorf("first access should be a memory fill: %+v", r)
+	}
+	// The line is in L1 only (exclusive).
+	if !l1.Contains(10) || l2.Contains(10) {
+		t.Error("exclusivity violated after fill")
+	}
+	// Hit in L1.
+	if r := h.Access(10, false); !r.L1Hit {
+		t.Error("expected L1 hit")
+	}
+	// Force 10 out of L1: lines 10 and 12 share set 0 (2 sets? 64B lines,
+	// 2 ways, 2*64B -> 1 set). Insert two more lines.
+	h.Access(11, false)
+	h.Access(12, false) // evicts 10 (LRU) into L2
+	if l1.Contains(10) || !l2.Contains(10) {
+		t.Error("L1 victim did not fall into L2")
+	}
+	// Access 10 again: must be an L2 hit that moves it back up.
+	r = h.Access(10, false)
+	if !r.L2Hit || r.MemFill {
+		t.Errorf("expected L2 hit: %+v", r)
+	}
+	if !l1.Contains(10) || l2.Contains(10) {
+		t.Error("exclusivity violated after promotion")
+	}
+}
+
+func TestHierarchyVictimsReachMemory(t *testing.T) {
+	l1, _ := New(2*64, 2, 64)
+	l2, _ := New(4*64, 2, 64)
+	h, _ := NewHierarchy(l1, l2)
+	var victims []Victim
+	// Stream enough distinct lines through one set to overflow both
+	// levels; all map to set 0 of both caches by stride.
+	for i := uint64(0); i < 32; i++ {
+		r := h.Access(i*4, i%2 == 0) // stride keeps sets aligned; alternate dirty
+		victims = append(victims, r.Victims...)
+	}
+	if len(victims) == 0 {
+		t.Fatal("no victims escaped the hierarchy")
+	}
+	sawDirty := false
+	for _, v := range victims {
+		if v.Dirty {
+			sawDirty = true
+		}
+	}
+	if !sawDirty {
+		t.Error("dirty victims lost their dirty bit")
+	}
+}
+
+func TestNoLineInBothLevels(t *testing.T) {
+	l1, _ := New(4*64, 2, 64)
+	l2, _ := New(16*64, 4, 64)
+	h, _ := NewHierarchy(l1, l2)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		line := rng.Uint64() % 64
+		h.Access(line, rng.Intn(2) == 0)
+		if l1.Contains(line) && l2.Contains(line) {
+			t.Fatalf("line %d in both levels", line)
+		}
+	}
+}
+
+func TestInsertPrefetch(t *testing.T) {
+	l1, _ := New(2*64, 2, 64)
+	l2, _ := New(4*64, 2, 64)
+	h, _ := NewHierarchy(l1, l2)
+	h.Access(8, false) // 8 in L1
+	// Prefetching a line already on-chip is a no-op.
+	if v := h.InsertPrefetch(8); v != nil {
+		t.Error("prefetch duplicated an on-chip line")
+	}
+	if v := h.InsertPrefetch(9); v != nil {
+		t.Error("prefetch into empty L2 should not evict")
+	}
+	if !l2.Contains(9) {
+		t.Error("prefetch did not land in L2")
+	}
+	if h.Access(9, false); !l1.Contains(9) {
+		t.Error("prefetched line should promote on access")
+	}
+}
+
+func TestHierarchyLineMismatch(t *testing.T) {
+	l1, _ := New(1024, 2, 64)
+	l2, _ := New(1024, 2, 128)
+	if _, err := NewHierarchy(l1, l2); err == nil {
+		t.Error("line size mismatch accepted")
+	}
+}
+
+func TestHierarchyStats(t *testing.T) {
+	l1, _ := New(2*64, 2, 64)
+	l2, _ := New(4*64, 2, 64)
+	h, _ := NewHierarchy(l1, l2)
+	h.Access(1, false)
+	h.Access(1, false)
+	h.Access(2, false)
+	acc, m1, m2 := h.Stats()
+	if acc != 3 || m1 != 2 || m2 != 2 {
+		t.Errorf("stats=(%d,%d,%d) want (3,2,2)", acc, m1, m2)
+	}
+}

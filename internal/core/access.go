@@ -1,0 +1,425 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// AccessKind tags the paths an observer sees (Params.OnPathAccess).
+type AccessKind int
+
+const (
+	// KindReal is a program-initiated access.
+	KindReal AccessKind = iota
+	// KindDummy is a background-eviction dummy access (Section 3.1.1).
+	KindDummy
+	// KindEviction is an insecure block-remapping eviction access
+	// (Section 3.1.3); it exists only for the Figure 4 attack study.
+	KindEviction
+)
+
+// ErrStashOverflow reports Path ORAM failure: the stash exceeded its
+// capacity with background eviction disabled (Section 2.5.1).
+var ErrStashOverflow = errors.New("core: stash overflow (Path ORAM failure)")
+
+// Access performs the paper's accessORAM(u, op, b'): one oblivious path
+// access that reads or writes the block at addr. For OpRead it returns a
+// copy of the block's content (fresh-fill bytes if the block was never
+// written; the paper returns nil here, we return the deterministic fill for
+// convenience). For OpWrite, data must be exactly BlockBytes long (or nil
+// in metadata-only mode) and is copied in.
+func (o *ORAM) Access(addr uint64, op Op, data []byte) ([]byte, error) {
+	if err := o.checkAddr(addr); err != nil {
+		return nil, err
+	}
+	if _, out := o.checkedOut[addr]; out {
+		return nil, fmt.Errorf("core: address %d is checked out; use Store to return it", addr)
+	}
+	if op == OpWrite {
+		if err := o.checkData(data); err != nil {
+			return nil, err
+		}
+	}
+	var result []byte
+	err := o.realAccess(addr, KindReal, func(newLeaf uint32) error {
+		i := o.stash.find(addr)
+		switch op {
+		case OpRead:
+			if i >= 0 {
+				result = append([]byte(nil), o.stash.entries[i].Data...)
+			} else {
+				result = o.freshData()
+			}
+		case OpWrite:
+			if i >= 0 {
+				o.stash.entries[i].Data = copyData(o.stash.entries[i].Data, data)
+			} else {
+				o.stash.add(Slot{Addr: addr, Leaf: newLeaf, Data: copyData(nil, data)})
+				o.stats.BlocksInORAM++
+			}
+		default:
+			return fmt.Errorf("core: unknown op %d", op)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return result, o.drainBackground()
+}
+
+// Update performs a read-modify-write in a single oblivious access: fn
+// mutates the block's content in place. A block that was never written is
+// materialized filled with FreshFill before fn runs (the hierarchical
+// position map relies on this to distinguish unassigned labels). Update
+// requires a payload-carrying ORAM (BlockBytes > 0).
+func (o *ORAM) Update(addr uint64, fn func(data []byte)) error {
+	if err := o.checkAddr(addr); err != nil {
+		return err
+	}
+	if o.p.BlockBytes == 0 {
+		return fmt.Errorf("core: Update requires payloads (metadata-only ORAM)")
+	}
+	if _, out := o.checkedOut[addr]; out {
+		return fmt.Errorf("core: address %d is checked out; use Store to return it", addr)
+	}
+	err := o.realAccess(addr, KindReal, func(newLeaf uint32) error {
+		if i := o.stash.find(addr); i >= 0 {
+			fn(o.stash.entries[i].Data)
+			return nil
+		}
+		d := o.freshData()
+		fn(d)
+		o.stash.add(Slot{Addr: addr, Leaf: newLeaf, Data: d})
+		o.stats.BlocksInORAM++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return o.drainBackground()
+}
+
+// Load is the exclusive-ORAM read of Section 3.3.1: one oblivious access
+// that removes the requested block — and, with super blocks enabled, every
+// other resident member of its group (Section 3.2) — from the ORAM and
+// hands them to the processor. found is false if addr was never written
+// (data is then a fresh-filled buffer). The returned blocks are "checked
+// out": they must come back via Store before they can be accessed again.
+func (o *ORAM) Load(addr uint64) (data []byte, found bool, group []Slot, err error) {
+	if err := o.checkAddr(addr); err != nil {
+		return nil, false, nil, err
+	}
+	if _, out := o.checkedOut[addr]; out {
+		return nil, false, nil, fmt.Errorf("core: address %d already checked out", addr)
+	}
+	lo, hi := o.groupRange(o.group(addr))
+	err = o.realAccess(addr, KindReal, func(newLeaf uint32) error {
+		for i := 0; i < o.stash.len(); {
+			e := o.stash.entries[i]
+			if e.Addr < lo || e.Addr >= hi {
+				i++
+				continue
+			}
+			o.stash.removeAt(i)
+			o.checkedOut[e.Addr] = struct{}{}
+			o.stats.BlocksInORAM--
+			if e.Addr == addr {
+				data, found = e.Data, true
+			} else {
+				group = append(group, e)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, false, nil, err
+	}
+	if !found {
+		data = o.freshData()
+		o.checkedOut[addr] = struct{}{}
+	}
+	return data, found, group, o.drainBackground()
+}
+
+// Store returns a checked-out block to the ORAM. Because the ORAM is
+// exclusive it holds no stale copy, so the block goes straight into the
+// stash with its group's current leaf — no path access (Section 3.3.1).
+func (o *ORAM) Store(addr uint64, data []byte) error {
+	if err := o.checkAddr(addr); err != nil {
+		return err
+	}
+	if _, out := o.checkedOut[addr]; !out {
+		return fmt.Errorf("core: address %d is not checked out; use Access for inclusive writes", addr)
+	}
+	if err := o.checkData(data); err != nil {
+		return err
+	}
+	leaf, ok, err := o.pos.Peek(o.group(addr))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("core: no position for checked-out address %d", addr)
+	}
+	o.stash.add(Slot{Addr: addr, Leaf: leaf, Data: copyData(nil, data)})
+	delete(o.checkedOut, addr)
+	o.stats.Stores++
+	o.stats.BlocksInORAM++
+	o.notePeak()
+	if o.p.StashCapacity > 0 && !o.p.BackgroundEviction && o.stash.len() > o.p.StashCapacity {
+		return ErrStashOverflow
+	}
+	return o.drainBackground()
+}
+
+// CheckedOut reports whether addr is currently held by the processor.
+func (o *ORAM) CheckedOut(addr uint64) bool {
+	_, ok := o.checkedOut[addr]
+	return ok
+}
+
+// NeedsBackgroundEviction reports whether stash occupancy exceeds the
+// C - Z(L+1) threshold. Hierarchies poll this to coordinate dummy requests
+// across all their ORAMs (Section 3.1.1).
+func (o *ORAM) NeedsBackgroundEviction() bool {
+	return o.threshold >= 0 && o.stash.len() > o.threshold
+}
+
+// DummyAccess reads a uniformly random path and writes back as many blocks
+// as possible, without remapping anything — indistinguishable from a real
+// access to an observer, and guaranteed not to grow the stash.
+func (o *ORAM) DummyAccess() error {
+	leaf := o.leaves.Leaf(o.tree.NumLeaves())
+	if err := o.pathAccess(leaf, KindDummy, nil); err != nil {
+		return err
+	}
+	o.stats.DummyAccesses++
+	return nil
+}
+
+// realAccess is the shared body of Access/Update/Load and of insecure
+// eviction accesses: position-map lookup + remap, then one path access
+// during which all stash-resident group members are moved to the new leaf
+// and fn applies the caller's block operation.
+func (o *ORAM) realAccess(addr uint64, kind AccessKind, fn func(newLeaf uint32) error) error {
+	g := o.group(addr)
+	oldLeaf, newLeaf, err := o.pos.Access(g)
+	if err != nil {
+		return err
+	}
+	lo, hi := o.groupRange(g)
+	err = o.pathAccess(uint64(oldLeaf), kind, func() error {
+		for i := range o.stash.entries {
+			if e := &o.stash.entries[i]; e.Addr >= lo && e.Addr < hi {
+				e.Leaf = newLeaf
+			}
+		}
+		return fn(newLeaf)
+	})
+	if err != nil {
+		return err
+	}
+	if kind == KindEviction {
+		o.stats.EvictionAccesses++
+	} else {
+		o.stats.RealAccesses++
+	}
+	if o.p.StashCapacity > 0 && !o.p.BackgroundEviction && o.stash.len() > o.p.StashCapacity {
+		return ErrStashOverflow
+	}
+	return nil
+}
+
+// pathAccess implements steps 2 and 5 of accessORAM: read the whole path
+// into the stash, run the mutation, then evict greedily back onto the same
+// path.
+func (o *ORAM) pathAccess(leaf uint64, kind AccessKind, mutate func() error) error {
+	o.slotBuf = o.slotBuf[:0]
+	slots, err := o.store.ReadPath(leaf, o.slotBuf)
+	if err != nil {
+		return err
+	}
+	o.slotBuf = slots // keep grown capacity for reuse
+	for _, sl := range slots {
+		o.stash.add(sl)
+	}
+	if mutate != nil {
+		if err := mutate(); err != nil {
+			return err
+		}
+	}
+	if err := o.evictTo(leaf); err != nil {
+		return err
+	}
+	// Peak is the paper's notion of occupancy: blocks resident in the
+	// stash after the access completes (Figure 3 samples exactly this).
+	// Blocks streaming through during a path read/write are not counted.
+	o.notePeak()
+	if o.p.OnPathAccess != nil {
+		o.p.OnPathAccess(leaf, kind)
+	}
+	if o.p.AfterAccess != nil {
+		o.p.AfterAccess(o.stash.len(), kind)
+	}
+	return nil
+}
+
+// evictTo writes back the path to leaf, placing each stash block as deep as
+// its own leaf allows (the ORAM "shuffle" of Section 2.1, step 5).
+func (o *ORAM) evictTo(leaf uint64) error {
+	l := o.tree.LeafLevel()
+	for d := range o.byDepth {
+		o.byDepth[d] = o.byDepth[d][:0]
+	}
+	for i := range o.stash.entries {
+		d := o.tree.DeepestLevel(uint64(o.stash.entries[i].Leaf), leaf)
+		o.byDepth[d] = append(o.byDepth[d], i)
+	}
+	placed := o.placedBuf(o.stash.len())
+	for d := range o.bucketBuf {
+		o.bucketBuf[d] = o.bucketBuf[d][:0]
+	}
+	pool := o.poolBuf[:0]
+	for d := l; d >= 0; d-- {
+		pool = append(pool, o.byDepth[d]...)
+		for len(o.bucketBuf[d]) < o.p.Z && len(pool) > 0 {
+			idx := pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+			o.bucketBuf[d] = append(o.bucketBuf[d], o.stash.entries[idx])
+			placed[idx] = true
+		}
+	}
+	o.poolBuf = pool[:0]
+	if err := o.store.WritePath(leaf, o.bucketBuf); err != nil {
+		return err
+	}
+	o.stash.compact(placed)
+	return nil
+}
+
+// drainBackground applies the configured eviction policy until the stash is
+// at or below the threshold.
+func (o *ORAM) drainBackground() error {
+	if !o.p.BackgroundEviction {
+		return nil
+	}
+	switch o.p.Policy {
+	case EvictBackgroundDummy:
+		run := 0
+		for o.NeedsBackgroundEviction() {
+			if run >= o.maxDummy {
+				return ErrLivelock
+			}
+			if err := o.DummyAccess(); err != nil {
+				return err
+			}
+			run++
+		}
+		if run > o.stats.MaxDummyRun {
+			o.stats.MaxDummyRun = run
+		}
+	case EvictInsecureRemap:
+		run := 0
+		for o.NeedsBackgroundEviction() {
+			if run >= o.maxDummy {
+				return ErrLivelock
+			}
+			// Remap a random stash block: this "escapes" congested paths
+			// but correlates consecutive accessed paths — the leak the
+			// Figure 4 attack detects.
+			idx := uniformIndex(o.leaves, o.stash.len())
+			addr := o.stash.entries[idx].Addr
+			if err := o.realAccess(addr, KindEviction, func(uint32) error { return nil }); err != nil {
+				return err
+			}
+			run++
+		}
+	default:
+		return fmt.Errorf("core: unknown eviction policy %d", o.p.Policy)
+	}
+	return nil
+}
+
+func (o *ORAM) groupRange(g uint64) (lo, hi uint64) {
+	s := uint64(o.p.GroupSize())
+	lo = g * s
+	hi = lo + s
+	if hi > o.p.Blocks {
+		hi = o.p.Blocks
+	}
+	return lo, hi
+}
+
+func (o *ORAM) freshData() []byte {
+	if o.p.BlockBytes == 0 {
+		return nil
+	}
+	d := make([]byte, o.p.BlockBytes)
+	if o.p.FreshFill != 0 {
+		for i := range d {
+			d[i] = o.p.FreshFill
+		}
+	}
+	return d
+}
+
+func (o *ORAM) checkData(data []byte) error {
+	if o.p.BlockBytes == 0 {
+		return nil // metadata-only: payloads ignored
+	}
+	if len(data) != o.p.BlockBytes {
+		return fmt.Errorf("core: data length %d, want block size %d", len(data), o.p.BlockBytes)
+	}
+	return nil
+}
+
+func (o *ORAM) notePeak() {
+	if n := o.stash.len(); n > o.stats.StashPeak {
+		o.stats.StashPeak = n
+	}
+}
+
+// placedBuf returns a zeroed []bool of length n, reusing prior capacity.
+func (o *ORAM) placedBuf(n int) []bool {
+	if cap(o.placed) < n {
+		o.placed = make([]bool, n)
+	}
+	o.placed = o.placed[:n]
+	for i := range o.placed {
+		o.placed[i] = false
+	}
+	return o.placed
+}
+
+// copyData copies src into dst (reusing dst's storage when possible).
+// A nil src yields nil, preserving metadata-only mode.
+func copyData(dst, src []byte) []byte {
+	if src == nil {
+		return nil
+	}
+	if cap(dst) < len(src) {
+		dst = make([]byte, len(src))
+	}
+	dst = dst[:len(src)]
+	copy(dst, src)
+	return dst
+}
+
+// uniformIndex draws a uniform index in [0, n) from a power-of-two
+// LeafSource by rejection sampling.
+func uniformIndex(src LeafSource, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// next power of two >= n
+	p := uint64(1)
+	for p < uint64(n) {
+		p <<= 1
+	}
+	for {
+		if v := src.Leaf(p); v < uint64(n) {
+			return int(v)
+		}
+	}
+}

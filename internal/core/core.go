@@ -1,0 +1,267 @@
+// Package core implements the Path ORAM protocol of Ren et al. (ISCA 2013):
+// the binary-tree external memory, the stash, greedy path eviction, the
+// background-eviction schemes of Section 3.1 (including the insecure
+// block-remapping variant used by the Figure 4 attack), super blocks
+// (Section 3.2) and the exclusive Load/Store interface (Section 3.3.1).
+//
+// The protocol logic is independent of how buckets are stored: it talks to
+// a PathStore (plain in-memory for fast metadata-only simulation, or the
+// encrypting/integrity-verifying store in internal/encrypt) and to a
+// PositionMap (an on-chip table, or a map backed by another ORAM as in the
+// hierarchical construction of internal/hierarchy).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/treemath"
+)
+
+// Op selects the operation of an Access, mirroring the paper's
+// accessORAM(u, op, b') interface.
+type Op int
+
+const (
+	// OpRead returns the block's current content.
+	OpRead Op = iota
+	// OpWrite replaces the block's content.
+	OpWrite
+)
+
+// EvictionPolicy selects what the ORAM does when the stash exceeds the
+// background-eviction threshold (Section 3.1).
+type EvictionPolicy int
+
+const (
+	// EvictBackgroundDummy is the paper's provably secure scheme: issue
+	// dummy accesses (random path read + write-back, no remap) until the
+	// stash drains below the threshold.
+	EvictBackgroundDummy EvictionPolicy = iota
+	// EvictInsecureRemap is the insecure block-remapping scheme of
+	// Section 3.1.3, implemented solely so the Figure 4 CPL attack can be
+	// reproduced. Do not use it for anything else.
+	EvictInsecureRemap
+)
+
+// UnassignedLeaf is the sentinel stored in position maps for blocks that
+// have never been mapped. Valid leaves are < 2^30 (treemath.MaxLeafLevel),
+// so the all-ones value is never a real label.
+const UnassignedLeaf = ^uint32(0)
+
+// DefaultMaxDummyRun bounds consecutive dummy accesses. Background-eviction
+// livelock is astronomically unlikely (Section 3.1.1 estimates ~1e-100);
+// the guard turns an impossible hang into a diagnosable error.
+const DefaultMaxDummyRun = 1 << 20
+
+// ErrLivelock is returned if background eviction issues MaxDummyRun dummy
+// accesses without draining the stash.
+var ErrLivelock = errors.New("core: background eviction livelock guard tripped")
+
+// Params configures an ORAM.
+type Params struct {
+	// LeafLevel is L: the tree has L+1 levels and 2^L leaves.
+	LeafLevel int
+	// Z is the bucket capacity in blocks.
+	Z int
+	// BlockBytes is the payload size B. Zero selects metadata-only mode:
+	// no payloads are stored and Access returns nil data, which makes the
+	// design-space simulations fast.
+	BlockBytes int
+	// Blocks is the number of addressable program blocks; valid addresses
+	// are 0..Blocks-1. (The paper reserves internal address 0 for dummy
+	// blocks; that shift happens inside the stores.)
+	Blocks uint64
+	// StashCapacity is C, the stash size in blocks. Zero means unbounded
+	// (used by the Figure 3 stash-occupancy study). When non-zero,
+	// background eviction keeps occupancy at or below C - Z(L+1) between
+	// accesses, so the stash can never overflow mid-access.
+	StashCapacity int
+	// SuperBlock is |S|, the static super block size of Section 3.2:
+	// groups of SuperBlock adjacent addresses share one position-map entry
+	// and move together. 0 or 1 disables merging.
+	SuperBlock int
+	// BackgroundEviction enables automatic draining after each operation.
+	// Hierarchies disable it and coordinate dummy accesses across levels
+	// themselves (Section 3.1.1).
+	BackgroundEviction bool
+	// Policy selects the eviction scheme when BackgroundEviction is on.
+	Policy EvictionPolicy
+	// MaxDummyRun overrides DefaultMaxDummyRun when positive.
+	MaxDummyRun int
+	// FreshFill is the byte replicated into a block the first time it is
+	// accessed before ever being written. Data ORAMs use 0; ORAMs holding
+	// position-map labels use 0xFF so fresh labels read as UnassignedLeaf.
+	FreshFill byte
+	// OnPathAccess, when set, observes every path the ORAM touches in
+	// order, tagged with what triggered the access. This is the
+	// adversary's view used by the Figure 4 attack.
+	OnPathAccess func(leaf uint64, kind AccessKind)
+	// AfterAccess, when set, observes the stash occupancy (in blocks)
+	// after each completed path access. Used by the Figure 3 study.
+	AfterAccess func(stashBlocks int, kind AccessKind)
+}
+
+// GroupSize returns the effective super block size (at least 1).
+func (p Params) GroupSize() int {
+	if p.SuperBlock < 1 {
+		return 1
+	}
+	return p.SuperBlock
+}
+
+// Groups returns the number of position-map entries: ceil(Blocks / |S|).
+func (p Params) Groups() uint64 {
+	s := uint64(p.GroupSize())
+	return (p.Blocks + s - 1) / s
+}
+
+// EvictionThreshold returns the paper's background-eviction threshold
+// C - Z(L+1), or -1 when the stash is unbounded.
+func (p Params) EvictionThreshold() int {
+	if p.StashCapacity == 0 {
+		return -1
+	}
+	return p.StashCapacity - p.Z*(p.LeafLevel+1)
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	switch {
+	case p.LeafLevel < 0 || p.LeafLevel > treemath.MaxLeafLevel:
+		return fmt.Errorf("core: leaf level %d out of range [0,%d]", p.LeafLevel, treemath.MaxLeafLevel)
+	case p.Z < 1:
+		return fmt.Errorf("core: Z=%d must be >= 1", p.Z)
+	case p.Blocks < 1:
+		return fmt.Errorf("core: Blocks must be >= 1")
+	case p.BlockBytes < 0:
+		return fmt.Errorf("core: negative block size")
+	case p.SuperBlock < 0:
+		return fmt.Errorf("core: negative super block size")
+	case p.StashCapacity < 0:
+		return fmt.Errorf("core: negative stash capacity")
+	}
+	if p.BackgroundEviction {
+		if p.StashCapacity == 0 {
+			return fmt.Errorf("core: background eviction requires a bounded stash")
+		}
+		if p.EvictionThreshold() < 1 {
+			return fmt.Errorf("core: stash capacity %d leaves no headroom above Z(L+1)=%d",
+				p.StashCapacity, p.Z*(p.LeafLevel+1))
+		}
+	}
+	return nil
+}
+
+// Stats counts ORAM activity. DummyAccesses / RealAccesses is the DA/RA
+// factor of Equation 1.
+type Stats struct {
+	// RealAccesses counts program-initiated path accesses (Access, Update,
+	// Load). Store does not access a path (Section 3.3.1) and is counted
+	// separately.
+	RealAccesses uint64
+	// DummyAccesses counts background-eviction dummy path accesses.
+	DummyAccesses uint64
+	// EvictionAccesses counts insecure block-remapping eviction accesses
+	// (only under EvictInsecureRemap).
+	EvictionAccesses uint64
+	// Stores counts exclusive write-backs into the stash.
+	Stores uint64
+	// StashPeak is the largest stash occupancy (blocks) ever observed.
+	StashPeak int
+	// BlocksInORAM tracks how many real blocks currently live in the tree
+	// plus stash (i.e. not checked out).
+	BlocksInORAM uint64
+	// MaxDummyRun is the longest run of consecutive dummy accesses needed
+	// to drain the stash.
+	MaxDummyRun int
+}
+
+// DummyPerReal returns DA/RA (0 when no real accesses happened).
+func (s Stats) DummyPerReal() float64 {
+	if s.RealAccesses == 0 {
+		return 0
+	}
+	return float64(s.DummyAccesses) / float64(s.RealAccesses)
+}
+
+// ORAM is a single Path ORAM.
+type ORAM struct {
+	p         Params
+	tree      treemath.Tree
+	store     PathStore
+	pos       PositionMap
+	leaves    LeafSource
+	stash     stash
+	threshold int
+	maxDummy  int
+
+	checkedOut map[uint64]struct{} // addresses held by the processor (exclusive mode)
+
+	stats Stats
+
+	// reusable buffers
+	bucketBuf [][]Slot
+	slotBuf   []Slot
+	byDepth   [][]int
+	poolBuf   []int
+	placed    []bool
+}
+
+// New assembles an ORAM from a validated parameter set, a bucket store, a
+// position map and a leaf randomness source.
+func New(p Params, store PathStore, pos PositionMap, leaves LeafSource) (*ORAM, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if store == nil || pos == nil || leaves == nil {
+		return nil, fmt.Errorf("core: store, position map and leaf source are required")
+	}
+	tree := treemath.New(p.LeafLevel)
+	o := &ORAM{
+		p:          p,
+		tree:       tree,
+		store:      store,
+		pos:        pos,
+		leaves:     leaves,
+		threshold:  p.EvictionThreshold(),
+		maxDummy:   p.MaxDummyRun,
+		checkedOut: make(map[uint64]struct{}),
+		bucketBuf:  make([][]Slot, tree.Levels()),
+		byDepth:    make([][]int, tree.Levels()),
+	}
+	if o.maxDummy <= 0 {
+		o.maxDummy = DefaultMaxDummyRun
+	}
+	for i := range o.bucketBuf {
+		o.bucketBuf[i] = make([]Slot, 0, p.Z)
+	}
+	return o, nil
+}
+
+// Params returns the configuration.
+func (o *ORAM) Params() Params { return o.p }
+
+// Tree returns the tree geometry.
+func (o *ORAM) Tree() treemath.Tree { return o.tree }
+
+// Stats returns a snapshot of the activity counters.
+func (o *ORAM) Stats() Stats { return o.stats }
+
+// ResetStats clears the activity counters (peak occupancy included).
+func (o *ORAM) ResetStats() { o.stats = Stats{} }
+
+// StashSize returns the current stash occupancy in blocks.
+func (o *ORAM) StashSize() int { return o.stash.len() }
+
+// group returns the position-map entry index for a program address.
+func (o *ORAM) group(addr uint64) uint64 {
+	return addr / uint64(o.p.GroupSize())
+}
+
+func (o *ORAM) checkAddr(addr uint64) error {
+	if addr >= o.p.Blocks {
+		return fmt.Errorf("core: address %d out of range [0,%d)", addr, o.p.Blocks)
+	}
+	return nil
+}

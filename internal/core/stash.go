@@ -1,0 +1,53 @@
+package core
+
+// stash is the ORAM interface's on-chip block buffer (the paper's term for
+// the "local cache" of the original Path ORAM paper). It is a small flat
+// slice: with realistic capacities (~200 blocks, Section 4.1.2) linear
+// scans beat map overhead and keep iteration deterministic.
+type stash struct {
+	entries []Slot
+}
+
+func (s *stash) len() int { return len(s.entries) }
+
+// find returns the index of addr, or -1.
+func (s *stash) find(addr uint64) int {
+	for i := range s.entries {
+		if s.entries[i].Addr == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// add inserts a block. The caller guarantees addr is not already present
+// (the Path ORAM invariant makes tree and stash disjoint).
+func (s *stash) add(b Slot) {
+	s.entries = append(s.entries, b)
+}
+
+// removeAt deletes the entry at index i (order is not preserved).
+func (s *stash) removeAt(i int) Slot {
+	e := s.entries[i]
+	last := len(s.entries) - 1
+	s.entries[i] = s.entries[last]
+	s.entries[last] = Slot{}
+	s.entries = s.entries[:last]
+	return e
+}
+
+// compact removes all entries marked in placed (parallel to entries) and
+// keeps the rest, preserving nothing about order.
+func (s *stash) compact(placed []bool) {
+	keep := s.entries[:0]
+	for i := range s.entries {
+		if !placed[i] {
+			keep = append(keep, s.entries[i])
+		}
+	}
+	// Zero the tail so payload buffers can be collected.
+	for i := len(keep); i < len(s.entries); i++ {
+		s.entries[i] = Slot{}
+	}
+	s.entries = keep
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/treemath"
+)
+
+// Slot is one real block as it travels between the tree, the stash and the
+// caller: program address, currently assigned leaf, and payload (nil in
+// metadata-only mode).
+type Slot struct {
+	Addr uint64
+	Leaf uint32
+	Data []byte
+}
+
+// PathStore abstracts the external-memory tree at path granularity, the
+// unit of every Path ORAM operation.
+//
+// ReadPath appends every real block stored on the path to the given leaf to
+// dst and returns the extended slice (bucket boundaries are irrelevant to
+// the protocol on reads). WritePath replaces the whole path: buckets[d]
+// holds the blocks for the level-d bucket (at most Z); unfilled slots
+// become dummy blocks.
+type PathStore interface {
+	ReadPath(leaf uint64, dst []Slot) ([]Slot, error)
+	WritePath(leaf uint64, buckets [][]Slot) error
+}
+
+// MemStore is the plain in-memory PathStore: no serialization, no
+// encryption. It backs the design-space simulations, where only metadata
+// matters, and the fast functional tests. Slot storage is flat (two parallel
+// arrays plus an optional payload array) to keep paper-scale trees tractable.
+type MemStore struct {
+	tree treemath.Tree
+	z    int
+	// addr1[i] == 0 marks an empty slot; otherwise it stores Addr+1
+	// (the paper reserves address 0 for dummy blocks; the same trick
+	// gives us a zero-initialized empty tree).
+	addr1  []uint64
+	leaves []uint32
+	data   [][]byte // nil in metadata-only mode
+}
+
+// NewMemStore allocates an empty tree with the given leaf level and bucket
+// capacity. If blockBytes > 0 payloads are stored; otherwise the store is
+// metadata-only.
+func NewMemStore(leafLevel, z, blockBytes int) (*MemStore, error) {
+	if z < 1 {
+		return nil, fmt.Errorf("core: Z=%d must be >= 1", z)
+	}
+	tree := treemath.New(leafLevel)
+	slots := tree.NumBuckets() * uint64(z)
+	s := &MemStore{
+		tree:   tree,
+		z:      z,
+		addr1:  make([]uint64, slots),
+		leaves: make([]uint32, slots),
+	}
+	if blockBytes > 0 {
+		s.data = make([][]byte, slots)
+	}
+	return s, nil
+}
+
+// ReadPath implements PathStore.
+func (s *MemStore) ReadPath(leaf uint64, dst []Slot) ([]Slot, error) {
+	if !s.tree.ValidLeaf(leaf) {
+		return dst, fmt.Errorf("core: leaf %d out of range", leaf)
+	}
+	for d := 0; d <= s.tree.LeafLevel(); d++ {
+		base := s.tree.PathBucket(leaf, d) * uint64(s.z)
+		for i := uint64(0); i < uint64(s.z); i++ {
+			if a := s.addr1[base+i]; a != 0 {
+				slot := Slot{Addr: a - 1, Leaf: s.leaves[base+i]}
+				if s.data != nil {
+					slot.Data = s.data[base+i]
+				}
+				dst = append(dst, slot)
+			}
+		}
+	}
+	return dst, nil
+}
+
+// WritePath implements PathStore.
+func (s *MemStore) WritePath(leaf uint64, buckets [][]Slot) error {
+	if !s.tree.ValidLeaf(leaf) {
+		return fmt.Errorf("core: leaf %d out of range", leaf)
+	}
+	if len(buckets) != s.tree.Levels() {
+		return fmt.Errorf("core: WritePath got %d buckets, want %d", len(buckets), s.tree.Levels())
+	}
+	for d := 0; d <= s.tree.LeafLevel(); d++ {
+		if len(buckets[d]) > s.z {
+			return fmt.Errorf("core: bucket at level %d holds %d > Z=%d blocks", d, len(buckets[d]), s.z)
+		}
+		base := s.tree.PathBucket(leaf, d) * uint64(s.z)
+		for i := 0; i < s.z; i++ {
+			idx := base + uint64(i)
+			if i < len(buckets[d]) {
+				b := buckets[d][i]
+				s.addr1[idx] = b.Addr + 1
+				s.leaves[idx] = b.Leaf
+				if s.data != nil {
+					s.data[idx] = b.Data
+				}
+			} else {
+				s.addr1[idx] = 0
+				s.leaves[idx] = 0
+				if s.data != nil {
+					s.data[idx] = nil
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CountBlocks scans the whole tree and returns the number of real blocks
+// stored. It exists for tests and invariant checks; it is O(tree size).
+func (s *MemStore) CountBlocks() uint64 {
+	var n uint64
+	for _, a := range s.addr1 {
+		if a != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEachBlock invokes fn for every real block in the tree with its bucket
+// level. Intended for invariant checking in tests.
+func (s *MemStore) ForEachBlock(fn func(slot Slot, level int, bucketPos uint64)) {
+	for flat := uint64(0); flat < s.tree.NumBuckets(); flat++ {
+		base := flat * uint64(s.z)
+		for i := 0; i < s.z; i++ {
+			if a := s.addr1[base+uint64(i)]; a != 0 {
+				slot := Slot{Addr: a - 1, Leaf: s.leaves[base+uint64(i)]}
+				if s.data != nil {
+					slot.Data = s.data[base+uint64(i)]
+				}
+				fn(slot, s.tree.LevelOf(flat), s.tree.PosOf(flat))
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/trace"
+)
+
+// scripted replays a fixed instruction slice (cycling).
+type scripted struct {
+	instrs []trace.Instr
+	i      int
+}
+
+func (s *scripted) Next() trace.Instr {
+	in := s.instrs[s.i%len(s.instrs)]
+	s.i++
+	return in
+}
+
+func TestKindLatencies(t *testing.T) {
+	cfg := Default()
+	// Pure compute: cycles must be the exact sum of kind latencies.
+	gen := &scripted{instrs: []trace.Instr{
+		{Kind: trace.Arith}, {Kind: trace.Mult}, {Kind: trace.Div},
+		{Kind: trace.FPArith}, {Kind: trace.FPMult}, {Kind: trace.FPDiv},
+	}}
+	res, err := Run(cfg, gen, PerfectMemory{}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(1 + 4 + 12 + 2 + 4 + 10)
+	if res.Cycles != want {
+		t.Errorf("cycles=%d want %d (Table 1 latencies)", res.Cycles, want)
+	}
+	if res.MemAccesses != 0 {
+		t.Error("compute-only run touched memory")
+	}
+}
+
+func TestCacheLatencies(t *testing.T) {
+	cfg := Default()
+	// Two loads to the same line: first misses everywhere (perfect
+	// memory, zero fill latency), second hits L1.
+	gen := &scripted{instrs: []trace.Instr{
+		{Kind: trace.Load, Addr: 0}, {Kind: trace.Load, Addr: 8},
+	}}
+	res, err := Run(cfg, gen, PerfectMemory{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First: 1 (issue) + 2 (L1) + 1 (miss) + 10 (L2) + 4 (miss) = 18.
+	// Second: 1 + 2 = 3.
+	if res.Cycles != 21 {
+		t.Errorf("cycles=%d want 21", res.Cycles)
+	}
+	if res.L1Misses != 1 || res.L2Misses != 1 {
+		t.Errorf("misses=(%d,%d) want (1,1)", res.L1Misses, res.L2Misses)
+	}
+}
+
+func TestORAMMemoryOccupancy(t *testing.T) {
+	m := &ORAMMemory{ReturnLat: 100, FinishLat: 160}
+	r1, sib := m.Fetch(0, 5)
+	if r1 != 100 || sib != NoSibling {
+		t.Errorf("first fetch ready=%d sib=%d", r1, sib)
+	}
+	// Immediate second fetch must wait for the first to finish (160).
+	r2, _ := m.Fetch(10, 6)
+	if r2 != 160+100 {
+		t.Errorf("second fetch ready=%d want 260 (ORAM busy)", r2)
+	}
+	// Idle gap: no queueing.
+	r3, _ := m.Fetch(10_000, 7)
+	if r3 != 10_100 {
+		t.Errorf("idle fetch ready=%d want 10100", r3)
+	}
+}
+
+func TestORAMMemoryDummyRate(t *testing.T) {
+	m := &ORAMMemory{ReturnLat: 100, FinishLat: 100, DummyRate: 0.5}
+	m.Fetch(0, 1)
+	r2, _ := m.Fetch(0, 2)
+	// Occupancy = 100 * 1.5 = 150, so the second access returns at 250.
+	if r2 != 250 {
+		t.Errorf("ready=%d want 250 with 0.5 dummy rate", r2)
+	}
+}
+
+func TestORAMMemorySuperBlockSibling(t *testing.T) {
+	m := &ORAMMemory{ReturnLat: 10, FinishLat: 20, SuperBlock: true}
+	_, sib := m.Fetch(0, 10)
+	if sib != 11 {
+		t.Errorf("sibling of 10 = %d want 11", sib)
+	}
+	_, sib = m.Fetch(0, 11)
+	if sib != 10 {
+		t.Errorf("sibling of 11 = %d want 10", sib)
+	}
+}
+
+func TestSuperBlockPrefetchTurnsMissesIntoHits(t *testing.T) {
+	cfg := Default()
+	// Strictly sequential line-sized strides: every second line comes for
+	// free with super blocks.
+	mk := func() trace.Generator {
+		p := trace.Profile{Name: "seq", MemFrac: 1.0, SeqFrac: 1.0, WorkingSet: 64 << 20}
+		return p.Generator(1)
+	}
+	plain := &ORAMMemory{ReturnLat: 100, FinishLat: 160}
+	r1, err := Run(cfg, mk(), plain, 400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := &ORAMMemory{ReturnLat: 100, FinishLat: 160, SuperBlock: true}
+	r2, err := Run(cfg, mk(), sb, 400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.L2Misses >= r1.L2Misses {
+		t.Fatalf("super blocks did not cut misses: %d vs %d", r2.L2Misses, r1.L2Misses)
+	}
+	ratio := float64(r2.L2Misses) / float64(r1.L2Misses)
+	if ratio > 0.65 {
+		t.Errorf("sequential super-block miss ratio %.2f, want ~0.5", ratio)
+	}
+	if r2.Cycles >= r1.Cycles {
+		t.Error("super blocks did not speed up a streaming workload")
+	}
+	if r2.Prefetches == 0 {
+		t.Error("no prefetches recorded")
+	}
+}
+
+func TestDRAMMemoryBaseline(t *testing.T) {
+	sys, err := dram.New(dram.MicronGeometry(2), dram.DDR3Micron())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewDRAMMemory(sys, 128)
+	ready, sib := m.Fetch(400, 3)
+	if sib != NoSibling {
+		t.Error("DRAM baseline should not prefetch")
+	}
+	if ready <= 400 {
+		t.Error("DRAM fetch cannot be instantaneous")
+	}
+	// 128B line = 2 accesses of 64B.
+	if got := sys.Stats().Reads; got != 2 {
+		t.Errorf("reads=%d want 2", got)
+	}
+	m.Writeback(800, 9, false)
+	if sys.Stats().Writes != 0 {
+		t.Error("clean victim should not write DRAM")
+	}
+	m.Writeback(800, 9, true)
+	if sys.Stats().Writes != 2 {
+		t.Errorf("dirty writeback wrote %d accesses want 2", sys.Stats().Writes)
+	}
+}
+
+func TestRunWithDRAMAndProfile(t *testing.T) {
+	sys, _ := dram.New(dram.MicronGeometry(2), dram.DDR3Micron())
+	p := trace.ProfileByName("mcf")
+	res, err := Run(Default(), p.Generator(5), NewDRAMMemory(sys, 128), 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPI() < 1 {
+		t.Errorf("CPI=%.2f below 1 for an in-order core", res.CPI())
+	}
+	if res.MPKI() <= 0 {
+		t.Error("mcf should miss in the L2")
+	}
+}
+
+func TestMemoryBoundProfilesMissMore(t *testing.T) {
+	// The calibrated split that drives Figure 12: mcf must miss far more
+	// than hmmer.
+	mpki := func(name string) float64 {
+		p := trace.ProfileByName(name)
+		if p == nil {
+			t.Fatalf("missing profile %s", name)
+		}
+		res, err := RunWithWarmup(Default(), p.Generator(21), PerfectMemory{}, 500_000, 500_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MPKI()
+	}
+	m, h := mpki("mcf"), mpki("hmmer")
+	if m < 5*h {
+		t.Errorf("mcf MPKI %.2f not clearly above hmmer %.2f", m, h)
+	}
+}
+
+func TestResultDerivedMetrics(t *testing.T) {
+	r := Result{Instructions: 1000, Cycles: 2500, L2Misses: 10}
+	if r.CPI() != 2.5 {
+		t.Errorf("CPI=%v", r.CPI())
+	}
+	if r.MPKI() != 10 {
+		t.Errorf("MPKI=%v", r.MPKI())
+	}
+	if (Result{}).CPI() != 0 || (Result{}).MPKI() != 0 {
+		t.Error("empty result should report zeros")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := Default()
+	bad.LineBytes = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero line accepted")
+	}
+}
+
+func TestWritebacksReachMemory(t *testing.T) {
+	// Stores over a large footprint must generate dirty writebacks.
+	p := trace.Profile{Name: "wb", MemFrac: 1.0, StoreFrac: 1.0, SeqFrac: 1.0, WorkingSet: 16 << 20}
+	m := &ORAMMemory{ReturnLat: 10, FinishLat: 20}
+	res, err := Run(Default(), p.Generator(2), m, 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writebacks == 0 || m.Stores == 0 {
+		t.Errorf("no writebacks: res=%d mem=%d", res.Writebacks, m.Stores)
+	}
+}

@@ -1,0 +1,275 @@
+// Package dram is an event-driven DDR3 timing model standing in for the
+// DRAMSim2 simulator the paper uses (Section 4.2). It models what the
+// Figure 11 experiment depends on: per-bank open-row state (row-buffer hits
+// vs. misses), ACT/PRE/CAS timing, data-bus serialization with read/write
+// turnaround, independent channels, and periodic refresh. The address
+// mapping matches the paper: adjacent addresses first differ in channels,
+// then columns, then banks, and lastly rows.
+package dram
+
+import "fmt"
+
+// Timing collects DDR3 timing parameters in memory-bus clock cycles.
+type Timing struct {
+	CL     int // CAS (read) latency
+	CWL    int // CAS write latency
+	TRCD   int // ACT to CAS
+	TRP    int // precharge
+	TRAS   int // ACT to precharge
+	TBURST int // data-bus occupancy per column access (BL8 -> 4)
+	TCCD   int // CAS-to-CAS minimum spacing
+	TWR    int // write recovery before precharge
+	TWTR   int // write-to-read turnaround
+	TRTW   int // read-to-write turnaround (bus gap)
+	TRRD   int // ACT-to-ACT across banks
+	TREFI  int // refresh interval (0 disables refresh)
+	TRFC   int // refresh cycle time
+}
+
+// DDR3Micron returns timing close to DRAMSim2's DDR3 micron configuration
+// used in the paper (x16 parts, DDR3-1333-class timings).
+func DDR3Micron() Timing {
+	return Timing{
+		CL: 10, CWL: 7, TRCD: 10, TRP: 10, TRAS: 24,
+		TBURST: 4, TCCD: 4, TWR: 10, TWTR: 5, TRTW: 2, TRRD: 4,
+		TREFI: 5200, TRFC: 88,
+	}
+}
+
+// Geometry describes the memory system shape.
+type Geometry struct {
+	Channels    int
+	Banks       int // banks per channel
+	RowBytes    int // row-buffer size per bank
+	AccessBytes int // column access granularity (bytes per burst)
+}
+
+// MicronGeometry mirrors the paper's DRAMSim2 setup: 8 banks, 1024 columns
+// per row at a 64-bit bus = 8 KB row buffers, 64-byte accesses.
+func MicronGeometry(channels int) Geometry {
+	return Geometry{Channels: channels, Banks: 8, RowBytes: 8192, AccessBytes: 64}
+}
+
+// Validate reports configuration errors.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Channels < 1:
+		return fmt.Errorf("dram: need at least one channel")
+	case g.Banks < 1:
+		return fmt.Errorf("dram: need at least one bank")
+	case g.AccessBytes < 1:
+		return fmt.Errorf("dram: access granularity must be positive")
+	case g.RowBytes < g.AccessBytes || g.RowBytes%g.AccessBytes != 0:
+		return fmt.Errorf("dram: row size %d not a multiple of access size %d", g.RowBytes, g.AccessBytes)
+	}
+	return nil
+}
+
+// Location is a decoded physical address.
+type Location struct {
+	Channel int
+	Bank    int
+	Row     uint64
+	Col     uint64
+}
+
+// Request is one column access.
+type Request struct {
+	Addr  uint64
+	Write bool
+}
+
+// Stats counts memory-system events.
+type Stats struct {
+	Reads, Writes       uint64
+	RowHits, RowMisses  uint64
+	Refreshes           uint64
+	DataBusBusyCycles   uint64
+	LastCompletionCycle uint64
+}
+
+type bank struct {
+	openRow    int64 // -1 = closed
+	actAt      uint64
+	preReadyAt uint64
+	casReadyAt uint64
+}
+
+type channel struct {
+	banks       []bank
+	busFreeAt   uint64
+	lastWrite   bool
+	lastDataEnd uint64
+	lastActAt   uint64
+	nextRefresh uint64
+}
+
+// System is one memory system instance.
+type System struct {
+	g     Geometry
+	t     Timing
+	chans []channel
+	stats Stats
+}
+
+// New builds a memory system.
+func New(g Geometry, t Timing) (*System, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{g: g, t: t, chans: make([]channel, g.Channels)}
+	s.Reset()
+	return s, nil
+}
+
+// Reset clears all timing state and statistics.
+func (s *System) Reset() {
+	for i := range s.chans {
+		c := &s.chans[i]
+		c.banks = make([]bank, s.g.Banks)
+		for b := range c.banks {
+			c.banks[b].openRow = -1
+		}
+		c.busFreeAt, c.lastDataEnd, c.lastActAt = 0, 0, 0
+		c.lastWrite = false
+		c.nextRefresh = uint64(s.t.TREFI)
+	}
+	s.stats = Stats{}
+}
+
+// Geometry returns the configured shape.
+func (s *System) Geometry() Geometry { return s.g }
+
+// Timing returns the configured timing.
+func (s *System) Timing() Timing { return s.t }
+
+// Stats returns a snapshot of the counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// Map decodes a byte address: channel bits first, then column, bank, row
+// (the paper's interleaving, Section 3.3.4).
+func (s *System) Map(addr uint64) Location {
+	u := addr / uint64(s.g.AccessBytes)
+	var loc Location
+	loc.Channel = int(u % uint64(s.g.Channels))
+	u /= uint64(s.g.Channels)
+	cols := uint64(s.g.RowBytes / s.g.AccessBytes)
+	loc.Col = u % cols
+	u /= cols
+	loc.Bank = int(u % uint64(s.g.Banks))
+	u /= uint64(s.g.Banks)
+	loc.Row = u
+	return loc
+}
+
+// Access performs one column access arriving at the given cycle and
+// returns its completion cycle (data fully transferred).
+func (s *System) Access(at uint64, addr uint64, write bool) uint64 {
+	loc := s.Map(addr)
+	c := &s.chans[loc.Channel]
+	t := at
+
+	// Refresh: close every row and stall through the refresh window.
+	if s.t.TREFI > 0 {
+		for t+0 >= c.nextRefresh {
+			if t < c.nextRefresh+uint64(s.t.TRFC) {
+				t = c.nextRefresh + uint64(s.t.TRFC)
+			}
+			for b := range c.banks {
+				c.banks[b].openRow = -1
+			}
+			c.nextRefresh += uint64(s.t.TREFI)
+			s.stats.Refreshes++
+		}
+	}
+
+	b := &c.banks[loc.Bank]
+	var casEarliest uint64
+	if b.openRow != int64(loc.Row) {
+		s.stats.RowMisses++
+		act := t
+		if b.openRow >= 0 {
+			pre := max64(t, b.preReadyAt)
+			act = pre + uint64(s.t.TRP)
+		}
+		act = max64(act, c.lastActAt+uint64(s.t.TRRD))
+		b.actAt = act
+		c.lastActAt = act
+		b.openRow = int64(loc.Row)
+		casEarliest = act + uint64(s.t.TRCD)
+	} else {
+		s.stats.RowHits++
+		casEarliest = max64(t, b.actAt+uint64(s.t.TRCD))
+	}
+	casEarliest = max64(casEarliest, b.casReadyAt)
+
+	lat := uint64(s.t.CL)
+	if write {
+		lat = uint64(s.t.CWL)
+	}
+	dataStart := max64(casEarliest+lat, c.busFreeAt)
+	// Bus turnaround between reads and writes.
+	if c.lastDataEnd > 0 && write != c.lastWrite {
+		gap := uint64(s.t.TRTW)
+		if c.lastWrite && !write {
+			gap = uint64(s.t.TWTR) + uint64(s.t.CL)
+		}
+		dataStart = max64(dataStart, c.lastDataEnd+gap)
+	}
+	dataEnd := dataStart + uint64(s.t.TBURST)
+
+	c.busFreeAt = dataEnd
+	c.lastWrite = write
+	c.lastDataEnd = dataEnd
+	b.casReadyAt = dataStart - lat + uint64(s.t.TCCD)
+	if write {
+		b.preReadyAt = max64(b.actAt+uint64(s.t.TRAS), dataEnd+uint64(s.t.TWR))
+		s.stats.Writes++
+	} else {
+		b.preReadyAt = max64(b.actAt+uint64(s.t.TRAS), dataStart)
+		s.stats.Reads++
+	}
+	s.stats.DataBusBusyCycles += uint64(s.t.TBURST)
+	if dataEnd > s.stats.LastCompletionCycle {
+		s.stats.LastCompletionCycle = dataEnd
+	}
+	return dataEnd
+}
+
+// AccessAll submits a batch arriving at the given cycle. Requests are
+// routed to their channels and processed in slice order per channel
+// (channels proceed independently). It returns the completion cycle of the
+// last request.
+func (s *System) AccessAll(at uint64, reqs []Request) uint64 {
+	var done uint64
+	for _, r := range reqs {
+		if d := s.Access(at, r.Addr, r.Write); d > done {
+			done = d
+		}
+	}
+	return done
+}
+
+// PeakBytesPerCycle returns the theoretical aggregate data-bus bandwidth:
+// AccessBytes per TBURST cycles per channel. The paper's "theoretical"
+// series in Figure 11 divides total bytes moved by this rate.
+func (s *System) PeakBytesPerCycle() float64 {
+	return float64(s.g.Channels) * float64(s.g.AccessBytes) / float64(s.t.TBURST)
+}
+
+// RowHitRate returns hits / (hits+misses), the quantity subtree placement
+// is designed to raise.
+func (s *System) RowHitRate() float64 {
+	total := s.stats.RowHits + s.stats.RowMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.stats.RowHits) / float64(total)
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

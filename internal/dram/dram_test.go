@@ -1,0 +1,221 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newSys(t *testing.T, channels int) *System {
+	t.Helper()
+	s, err := New(MicronGeometry(channels), DDR3Micron())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGeometryValidate(t *testing.T) {
+	bad := []Geometry{
+		{Channels: 0, Banks: 8, RowBytes: 8192, AccessBytes: 64},
+		{Channels: 1, Banks: 0, RowBytes: 8192, AccessBytes: 64},
+		{Channels: 1, Banks: 8, RowBytes: 8192, AccessBytes: 0},
+		{Channels: 1, Banks: 8, RowBytes: 100, AccessBytes: 64},
+	}
+	for i, g := range bad {
+		if _, err := New(g, DDR3Micron()); err == nil {
+			t.Errorf("bad geometry %d accepted", i)
+		}
+	}
+}
+
+func TestAddressMappingOrder(t *testing.T) {
+	// Paper Section 3.3.4: adjacent addresses differ first in channels,
+	// then columns, then banks, then rows.
+	s := newSys(t, 2)
+	g := s.Geometry()
+	a := s.Map(0)
+	b := s.Map(uint64(g.AccessBytes)) // next 64B unit -> next channel
+	if b.Channel != (a.Channel+1)%2 || b.Col != a.Col || b.Bank != a.Bank || b.Row != a.Row {
+		t.Errorf("adjacent unit should switch channels: %+v -> %+v", a, b)
+	}
+	colsSpan := uint64(g.AccessBytes * g.Channels)
+	c := s.Map(colsSpan) // past channels -> next column
+	if c.Col != a.Col+1 || c.Channel != a.Channel || c.Bank != a.Bank {
+		t.Errorf("expected next column: %+v", c)
+	}
+	bankSpan := colsSpan * uint64(g.RowBytes/g.AccessBytes)
+	d := s.Map(bankSpan)
+	if d.Bank != a.Bank+1 || d.Row != a.Row {
+		t.Errorf("expected next bank: %+v", d)
+	}
+	rowSpan := bankSpan * uint64(g.Banks)
+	e := s.Map(rowSpan)
+	if e.Row != a.Row+1 || e.Bank != a.Bank {
+		t.Errorf("expected next row: %+v", e)
+	}
+}
+
+func TestMappingBijective(t *testing.T) {
+	s := newSys(t, 4)
+	seen := map[Location]uint64{}
+	f := func(raw uint32) bool {
+		addr := uint64(raw) / 64 * 64 // align to access units
+		loc := s.Map(addr)
+		if prev, ok := seen[loc]; ok {
+			return prev == addr
+		}
+		seen[loc] = addr
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	s := newSys(t, 1)
+	first := s.Access(0, 0, false) // opens the row
+	st := s.stats
+	if st.RowMisses != 1 {
+		t.Fatalf("first access should miss, stats=%+v", st)
+	}
+	second := s.Access(first, 64, false) // same row, next column
+	if s.stats.RowHits != 1 {
+		t.Fatalf("second access should hit, stats=%+v", s.stats)
+	}
+	hitLat := second - first
+	// A row conflict in the same bank: different row, same bank.
+	g := s.Geometry()
+	conflictAddr := uint64(g.RowBytes) * uint64(g.Channels) * uint64(g.Banks) // row+1, bank 0
+	third := s.Access(second, conflictAddr, false)
+	missLat := third - second
+	if hitLat >= missLat {
+		t.Errorf("row hit latency %d should beat conflict latency %d", hitLat, missLat)
+	}
+}
+
+func TestStreamingIsBusLimited(t *testing.T) {
+	// Sequential streaming within open rows must approach one burst per
+	// TBURST cycles.
+	s := newSys(t, 1)
+	const n = 2048
+	var done uint64
+	for i := 0; i < n; i++ {
+		done = s.Access(0, uint64(i*64), false)
+	}
+	perAccess := float64(done) / n
+	if perAccess > 1.5*float64(s.Timing().TBURST) {
+		t.Errorf("streaming cost %.2f cycles/access, want close to TBURST=%d",
+			perAccess, s.Timing().TBURST)
+	}
+	if s.RowHitRate() < 0.95 {
+		t.Errorf("streaming row hit rate %.2f, want ~1", s.RowHitRate())
+	}
+}
+
+func TestChannelsParallelize(t *testing.T) {
+	// The same request stream spread over 4 channels should finish much
+	// faster than on 1 channel.
+	run := func(channels int) uint64 {
+		s := newSys(t, channels)
+		reqs := make([]Request, 1024)
+		for i := range reqs {
+			reqs[i] = Request{Addr: uint64(i * 64)}
+		}
+		return s.AccessAll(0, reqs)
+	}
+	t1, t4 := run(1), run(4)
+	if float64(t4) > 0.5*float64(t1) {
+		t.Errorf("4-channel run (%d cycles) not meaningfully faster than 1-channel (%d)", t4, t1)
+	}
+}
+
+func TestRandomAccessesSlowerThanStreaming(t *testing.T) {
+	stream := newSys(t, 1)
+	var sdone uint64
+	for i := 0; i < 1024; i++ {
+		sdone = stream.Access(0, uint64(i*64), false)
+	}
+	randSys := newSys(t, 1)
+	rng := rand.New(rand.NewSource(1))
+	var rdone uint64
+	for i := 0; i < 1024; i++ {
+		addr := uint64(rng.Intn(1<<30)) / 64 * 64
+		rdone = randSys.Access(0, addr, false)
+	}
+	if rdone <= sdone {
+		t.Errorf("random pattern (%d cycles) should be slower than streaming (%d)", rdone, sdone)
+	}
+	if randSys.RowHitRate() > 0.2 {
+		t.Errorf("random row hit rate %.2f suspiciously high", randSys.RowHitRate())
+	}
+}
+
+func TestWritesAndTurnaround(t *testing.T) {
+	s := newSys(t, 1)
+	end1 := s.Access(0, 0, false)
+	end2 := s.Access(end1, 64, true) // read->write turnaround
+	end3 := s.Access(end2, 128, false)
+	if end2 <= end1 || end3 <= end2 {
+		t.Error("time must advance across mixed accesses")
+	}
+	st := s.Stats()
+	if st.Reads != 2 || st.Writes != 1 {
+		t.Errorf("stats=%+v want 2 reads / 1 write", st)
+	}
+}
+
+func TestRefreshOccursAndStalls(t *testing.T) {
+	s := newSys(t, 1)
+	tm := s.Timing()
+	// Access right before the refresh deadline, then right at it.
+	s.Access(uint64(tm.TREFI)-10, 0, false)
+	if s.Stats().Refreshes != 0 {
+		t.Fatal("refresh fired early")
+	}
+	done := s.Access(uint64(tm.TREFI), 64, false)
+	if s.Stats().Refreshes == 0 {
+		t.Fatal("refresh did not fire")
+	}
+	if done < uint64(tm.TREFI)+uint64(tm.TRFC) {
+		t.Errorf("access completed at %d, before refresh window closed", done)
+	}
+}
+
+func TestRefreshDisabled(t *testing.T) {
+	tm := DDR3Micron()
+	tm.TREFI = 0
+	s, err := New(MicronGeometry(1), tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Access(1_000_000, 0, false)
+	if s.Stats().Refreshes != 0 {
+		t.Error("refresh fired while disabled")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	s := newSys(t, 2)
+	s.Access(0, 0, false)
+	s.Reset()
+	if s.Stats() != (Stats{}) {
+		t.Error("Reset left stats")
+	}
+	// After reset, the same access must behave like a cold start.
+	d1 := s.Access(0, 0, false)
+	s.Reset()
+	d2 := s.Access(0, 0, false)
+	if d1 != d2 {
+		t.Errorf("cold-start latency changed after reset: %d vs %d", d1, d2)
+	}
+}
+
+func TestPeakBandwidth(t *testing.T) {
+	s := newSys(t, 4)
+	want := 4.0 * 64 / float64(s.Timing().TBURST)
+	if got := s.PeakBytesPerCycle(); got != want {
+		t.Errorf("PeakBytesPerCycle=%v want %v", got, want)
+	}
+}

@@ -1,0 +1,218 @@
+// Package encrypt implements the paper's two randomized bucket-encryption
+// schemes (Section 2.2) and an encrypting PathStore that serializes buckets
+// into a flat external memory, optionally verified by the authentication
+// tree of internal/integrity (Section 5).
+//
+// Layout note: the analytical model in internal/analysis uses the paper's
+// bit-exact field widths (L-bit leaves, U-bit addresses). The functional
+// store here uses byte-aligned fields — 8-byte address (0 reserved for
+// dummies, as in the paper), 4-byte leaf — which only changes constants.
+package encrypt
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// KeySize is the AES-128 key size used throughout (the paper's processor
+// secret key K).
+const KeySize = 16
+
+// Scheme is a randomized encryption over whole buckets. Implementations
+// must re-randomize on every Seal so an observer cannot tell whether bucket
+// contents changed (Section 2).
+type Scheme interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Overhead returns the ciphertext bytes added to a z-slot bucket.
+	Overhead(z int) int
+	// Seal encrypts plain into out, which must be exactly
+	// len(plain)+Overhead(z) bytes. bucketID seeds position binding where
+	// the scheme requires it.
+	Seal(bucketID uint64, plain []byte, z int, out []byte) error
+	// Open decrypts ct into out, which must be exactly
+	// len(ct)-Overhead(z) bytes.
+	Open(bucketID uint64, ct []byte, z int, out []byte) error
+}
+
+// CounterScheme is the counter-based scheme of Section 2.2.2: one 64-bit
+// per-bucket counter stored in the clear; the bucket plaintext is XORed
+// with the one-time pad AES_K(BucketID || BucketCounter || chunk). Because
+// buckets are read and written atomically, a (BucketID, counter) pair is
+// never reused, and seeding with BucketID keeps pads of distinct buckets
+// distinct. Overhead: 8 bytes per bucket (vs. 16 per block for the
+// strawman — the paper's 2Z reduction).
+type CounterScheme struct {
+	block    cipher.Block
+	counters []uint64
+}
+
+// NewCounterScheme builds the scheme for a tree of numBuckets buckets under
+// the 16-byte processor key. Counters start at zero but, per the paper,
+// need no particular initial value.
+func NewCounterScheme(key []byte, numBuckets uint64) (*CounterScheme, error) {
+	b, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("encrypt: %w", err)
+	}
+	return &CounterScheme{block: b, counters: make([]uint64, numBuckets)}, nil
+}
+
+// Name implements Scheme.
+func (s *CounterScheme) Name() string { return "counter" }
+
+// Overhead implements Scheme.
+func (s *CounterScheme) Overhead(int) int { return 8 }
+
+// Counter returns the current counter of a bucket (for tests and the
+// Section 2.2.2 non-rollover discussion).
+func (s *CounterScheme) Counter(bucketID uint64) uint64 { return s.counters[bucketID] }
+
+// Seal implements Scheme.
+func (s *CounterScheme) Seal(bucketID uint64, plain []byte, z int, out []byte) error {
+	if len(out) != len(plain)+8 {
+		return fmt.Errorf("encrypt: seal buffer %d want %d", len(out), len(plain)+8)
+	}
+	if bucketID >= uint64(len(s.counters)) {
+		return fmt.Errorf("encrypt: bucket %d out of range", bucketID)
+	}
+	s.counters[bucketID]++
+	ctr := s.counters[bucketID]
+	binary.LittleEndian.PutUint64(out[:8], ctr)
+	s.xorPad(bucketID, ctr, plain, out[8:])
+	return nil
+}
+
+// Open implements Scheme.
+func (s *CounterScheme) Open(bucketID uint64, ct []byte, z int, out []byte) error {
+	if len(ct) < 8 || len(out) != len(ct)-8 {
+		return fmt.Errorf("encrypt: open buffer %d for ct %d", len(out), len(ct))
+	}
+	if bucketID >= uint64(len(s.counters)) {
+		return fmt.Errorf("encrypt: bucket %d out of range", bucketID)
+	}
+	ctr := binary.LittleEndian.Uint64(ct[:8])
+	s.xorPad(bucketID, ctr, ct[8:], out)
+	return nil
+}
+
+// xorPad XORs src with the OTP stream AES_K(bucketID || ctr || i) into dst.
+func (s *CounterScheme) xorPad(bucketID, ctr uint64, src, dst []byte) {
+	var seed, pad [aes.BlockSize]byte
+	// 6 bytes of bucket ID (trees are capped well below 2^48 buckets),
+	// 8 bytes of counter, 2 bytes of chunk index.
+	seed[0] = byte(bucketID)
+	seed[1] = byte(bucketID >> 8)
+	seed[2] = byte(bucketID >> 16)
+	seed[3] = byte(bucketID >> 24)
+	seed[4] = byte(bucketID >> 32)
+	seed[5] = byte(bucketID >> 40)
+	binary.LittleEndian.PutUint64(seed[6:14], ctr)
+	for off, i := 0, uint16(0); off < len(src); off, i = off+aes.BlockSize, i+1 {
+		binary.LittleEndian.PutUint16(seed[14:16], i)
+		s.block.Encrypt(pad[:], seed[:])
+		n := len(src) - off
+		if n > aes.BlockSize {
+			n = aes.BlockSize
+		}
+		for j := 0; j < n; j++ {
+			dst[off+j] = src[off+j] ^ pad[j]
+		}
+	}
+}
+
+// StrawmanScheme is the per-block random-key scheme of Section 2.2.1: each
+// block gets a fresh random key K', stored as AES_K(K'), and the block
+// plaintext is XORed with the pad AES_K'(i). Overhead: 16 bytes per block.
+type StrawmanScheme struct {
+	block cipher.Block
+	rand  io.Reader
+}
+
+// NewStrawmanScheme builds the scheme under the processor key; random reads
+// per-block keys from rand (crypto/rand in production, a seeded generator
+// in tests).
+func NewStrawmanScheme(key []byte, rand io.Reader) (*StrawmanScheme, error) {
+	b, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("encrypt: %w", err)
+	}
+	if rand == nil {
+		return nil, fmt.Errorf("encrypt: strawman scheme needs a randomness source")
+	}
+	return &StrawmanScheme{block: b, rand: rand}, nil
+}
+
+// Name implements Scheme.
+func (s *StrawmanScheme) Name() string { return "strawman" }
+
+// Overhead implements Scheme.
+func (s *StrawmanScheme) Overhead(z int) int { return 16 * z }
+
+// Seal implements Scheme. The bucket plaintext is split into z equal slots,
+// each encrypted independently (the strawman has no bucket-level state, so
+// bucketID is unused).
+func (s *StrawmanScheme) Seal(_ uint64, plain []byte, z int, out []byte) error {
+	if z < 1 || len(plain)%z != 0 {
+		return fmt.Errorf("encrypt: plaintext %dB not divisible into %d slots", len(plain), z)
+	}
+	if len(out) != len(plain)+16*z {
+		return fmt.Errorf("encrypt: seal buffer %d want %d", len(out), len(plain)+16*z)
+	}
+	slot := len(plain) / z
+	for i := 0; i < z; i++ {
+		var kPrime [16]byte
+		if _, err := io.ReadFull(s.rand, kPrime[:]); err != nil {
+			return fmt.Errorf("encrypt: drawing block key: %w", err)
+		}
+		dst := out[i*(16+slot):]
+		s.block.Encrypt(dst[:16], kPrime[:]) // AES_K(K'), invertible for decryption
+		blk, err := aes.NewCipher(kPrime[:])
+		if err != nil {
+			return err
+		}
+		otp(blk, plain[i*slot:(i+1)*slot], dst[16:16+slot])
+	}
+	return nil
+}
+
+// Open implements Scheme.
+func (s *StrawmanScheme) Open(_ uint64, ct []byte, z int, out []byte) error {
+	if z < 1 || len(ct)%z != 0 {
+		return fmt.Errorf("encrypt: ciphertext %dB not divisible into %d slots", len(ct), z)
+	}
+	slot := len(ct)/z - 16
+	if slot < 0 || len(out) != len(ct)-16*z {
+		return fmt.Errorf("encrypt: open buffer %d for ct %d", len(out), len(ct))
+	}
+	for i := 0; i < z; i++ {
+		src := ct[i*(16+slot):]
+		var kPrime [16]byte
+		s.block.Decrypt(kPrime[:], src[:16])
+		blk, err := aes.NewCipher(kPrime[:])
+		if err != nil {
+			return err
+		}
+		otp(blk, src[16:16+slot], out[i*slot:(i+1)*slot])
+	}
+	return nil
+}
+
+// otp XORs src with the pad AES_k(i) into dst.
+func otp(blk cipher.Block, src, dst []byte) {
+	var seed, pad [aes.BlockSize]byte
+	for off, i := 0, uint64(0); off < len(src); off, i = off+aes.BlockSize, i+1 {
+		binary.LittleEndian.PutUint64(seed[:8], i)
+		blk.Encrypt(pad[:], seed[:])
+		n := len(src) - off
+		if n > aes.BlockSize {
+			n = aes.BlockSize
+		}
+		for j := 0; j < n; j++ {
+			dst[off+j] = src[off+j] ^ pad[j]
+		}
+	}
+}

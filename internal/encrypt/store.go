@@ -1,0 +1,266 @@
+package encrypt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/integrity"
+	"repro/internal/treemath"
+)
+
+// PadGranularity pads each bucket ciphertext to a multiple of the DRAM
+// access granularity (Section 2.4).
+const PadGranularity = 64
+
+// slotHeaderBytes is the byte-aligned per-slot header: 8-byte address
+// (stored as Addr+1; 0 marks a dummy block, the paper's reserved address)
+// plus a 4-byte leaf label.
+const slotHeaderBytes = 12
+
+// StoreConfig parameterizes a Store.
+type StoreConfig struct {
+	LeafLevel  int
+	Z          int
+	BlockBytes int // must be > 0: ciphertexts need payloads
+	Scheme     Scheme
+	// Auth, when non-nil, verifies every path read and re-authenticates
+	// every write-back (Section 5). Build it with NewAuthTree so the
+	// hashed bucket width matches.
+	Auth *integrity.Tree
+	// RandomizeMemory fills external memory with bytes from this reader at
+	// construction, simulating uninitialized DRAM. Requires Auth: the
+	// valid bits are what make garbage memory safe to consume.
+	RandomizeMemory io.Reader
+	// OnBucketAccess observes external-memory traffic (bucket granularity).
+	OnBucketAccess func(flat uint64, write bool)
+}
+
+// Store is a core.PathStore that serializes buckets byte-aligned, encrypts
+// them with a randomized Scheme and keeps them in a flat external memory,
+// optionally authenticated.
+type Store struct {
+	cfg    StoreConfig
+	tree   treemath.Tree
+	z      int
+	pbytes int // plaintext bucket bytes
+	cbytes int // raw ciphertext bucket bytes
+	stride int // padded ciphertext bucket bytes
+
+	mem     []byte
+	written []bool // per bucket; used instead of valid bits when Auth == nil
+
+	// state carried from ReadPath to the matching WritePath
+	lastLeaf  uint64
+	lastReach []bool
+	havePath  bool
+
+	// reusable buffers
+	plainBuf []byte
+	ctRefs   [][]byte
+
+	bucketReads, bucketWrites uint64
+}
+
+// PlainBucketBytes returns the serialized plaintext size of one bucket.
+func PlainBucketBytes(z, blockBytes int) int { return z * (slotHeaderBytes + blockBytes) }
+
+// CipherBucketBytes returns the raw ciphertext size of one bucket under the
+// given scheme.
+func CipherBucketBytes(s Scheme, z, blockBytes int) int {
+	return PlainBucketBytes(z, blockBytes) + s.Overhead(z)
+}
+
+// PaddedBucketBytes returns the external-memory stride of one bucket.
+func PaddedBucketBytes(s Scheme, z, blockBytes int) int {
+	raw := CipherBucketBytes(s, z, blockBytes)
+	if r := raw % PadGranularity; r != 0 {
+		raw += PadGranularity - r
+	}
+	return raw
+}
+
+// NewAuthTree builds an authentication tree sized for this store's
+// ciphertext buckets.
+func NewAuthTree(leafLevel, z, blockBytes int, s Scheme) *integrity.Tree {
+	return integrity.New(treemath.New(leafLevel), CipherBucketBytes(s, z, blockBytes))
+}
+
+// NewStore allocates the external memory and wires the scheme.
+func NewStore(cfg StoreConfig) (*Store, error) {
+	if cfg.Scheme == nil {
+		return nil, fmt.Errorf("encrypt: scheme is required")
+	}
+	if cfg.Z < 1 {
+		return nil, fmt.Errorf("encrypt: Z=%d must be >= 1", cfg.Z)
+	}
+	if cfg.BlockBytes < 1 {
+		return nil, fmt.Errorf("encrypt: encrypted stores need payloads (BlockBytes >= 1)")
+	}
+	if cfg.RandomizeMemory != nil && cfg.Auth == nil {
+		return nil, fmt.Errorf("encrypt: RandomizeMemory requires the integrity layer")
+	}
+	tree := treemath.New(cfg.LeafLevel)
+	s := &Store{
+		cfg:    cfg,
+		tree:   tree,
+		z:      cfg.Z,
+		pbytes: PlainBucketBytes(cfg.Z, cfg.BlockBytes),
+	}
+	s.cbytes = s.pbytes + cfg.Scheme.Overhead(cfg.Z)
+	s.stride = s.cbytes
+	if r := s.stride % PadGranularity; r != 0 {
+		s.stride += PadGranularity - r
+	}
+	s.mem = make([]byte, tree.NumBuckets()*uint64(s.stride))
+	s.written = make([]bool, tree.NumBuckets())
+	s.plainBuf = make([]byte, s.pbytes)
+	s.ctRefs = make([][]byte, tree.Levels())
+	if cfg.RandomizeMemory != nil {
+		if _, err := io.ReadFull(cfg.RandomizeMemory, s.mem); err != nil {
+			return nil, fmt.Errorf("encrypt: randomizing memory: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// MemoryBytes returns the external-memory footprint of the tree.
+func (s *Store) MemoryBytes() uint64 { return uint64(len(s.mem)) }
+
+// Traffic returns cumulative bucket reads and writes.
+func (s *Store) Traffic() (reads, writes uint64) { return s.bucketReads, s.bucketWrites }
+
+func (s *Store) bucketSlice(flat uint64) []byte {
+	off := flat * uint64(s.stride)
+	return s.mem[off : off+uint64(s.cbytes)]
+}
+
+// ReadPath implements core.PathStore: decrypt (and verify) the path,
+// append the real blocks to dst.
+func (s *Store) ReadPath(leaf uint64, dst []core.Slot) ([]core.Slot, error) {
+	if !s.tree.ValidLeaf(leaf) {
+		return dst, fmt.Errorf("encrypt: leaf %d out of range", leaf)
+	}
+	reach := make([]bool, s.tree.Levels())
+	for d := 0; d <= s.tree.LeafLevel(); d++ {
+		flat := s.tree.PathBucket(leaf, d)
+		s.ctRefs[d] = s.bucketSlice(flat)
+		s.noteAccess(flat, false)
+	}
+	if s.cfg.Auth != nil {
+		copy(reach, s.cfg.Auth.PathReachability(leaf))
+		if err := s.cfg.Auth.VerifyPath(leaf, s.ctRefs); err != nil {
+			return dst, err
+		}
+	} else {
+		for d := 0; d <= s.tree.LeafLevel(); d++ {
+			reach[d] = s.written[s.tree.PathBucket(leaf, d)]
+		}
+	}
+	for d := 0; d <= s.tree.LeafLevel(); d++ {
+		if !reach[d] {
+			continue // never written: only garbage (or zeroes) there
+		}
+		flat := s.tree.PathBucket(leaf, d)
+		if err := s.cfg.Scheme.Open(flat, s.ctRefs[d], s.z, s.plainBuf); err != nil {
+			return dst, err
+		}
+		for i := 0; i < s.z; i++ {
+			rec := s.plainBuf[i*(slotHeaderBytes+s.cfg.BlockBytes):]
+			addr1 := binary.LittleEndian.Uint64(rec[:8])
+			if addr1 == 0 {
+				continue // dummy block
+			}
+			data := make([]byte, s.cfg.BlockBytes)
+			copy(data, rec[slotHeaderBytes:slotHeaderBytes+s.cfg.BlockBytes])
+			dst = append(dst, core.Slot{
+				Addr: addr1 - 1,
+				Leaf: binary.LittleEndian.Uint32(rec[8:12]),
+				Data: data,
+			})
+		}
+	}
+	s.lastLeaf, s.havePath = leaf, true
+	s.lastReach = reach
+	return dst, nil
+}
+
+// WritePath implements core.PathStore: serialize, pad with dummies,
+// re-encrypt under fresh randomness and re-authenticate. The protocol
+// always writes the path it just read, which the store enforces.
+func (s *Store) WritePath(leaf uint64, buckets [][]core.Slot) error {
+	if !s.havePath || leaf != s.lastLeaf {
+		return fmt.Errorf("encrypt: WritePath(%d) without matching ReadPath", leaf)
+	}
+	if len(buckets) != s.tree.Levels() {
+		return fmt.Errorf("encrypt: got %d buckets, want %d", len(buckets), s.tree.Levels())
+	}
+	s.havePath = false
+	for d := 0; d <= s.tree.LeafLevel(); d++ {
+		if len(buckets[d]) > s.z {
+			return fmt.Errorf("encrypt: bucket at level %d overfull (%d > %d)", d, len(buckets[d]), s.z)
+		}
+		flat := s.tree.PathBucket(leaf, d)
+		for i := 0; i < s.z; i++ {
+			rec := s.plainBuf[i*(slotHeaderBytes+s.cfg.BlockBytes):]
+			if i < len(buckets[d]) {
+				b := buckets[d][i]
+				binary.LittleEndian.PutUint64(rec[:8], b.Addr+1)
+				binary.LittleEndian.PutUint32(rec[8:12], b.Leaf)
+				if len(b.Data) != s.cfg.BlockBytes {
+					return fmt.Errorf("encrypt: block %d payload %dB, want %dB", b.Addr, len(b.Data), s.cfg.BlockBytes)
+				}
+				copy(rec[slotHeaderBytes:slotHeaderBytes+s.cfg.BlockBytes], b.Data)
+			} else {
+				// Dummy block: zero header; zero payload keeps plaintext
+				// deterministic, the randomized encryption hides it.
+				for j := 0; j < slotHeaderBytes+s.cfg.BlockBytes; j++ {
+					rec[j] = 0
+				}
+			}
+		}
+		ct := s.bucketSlice(flat)
+		if err := s.cfg.Scheme.Seal(flat, s.plainBuf, s.z, ct); err != nil {
+			return err
+		}
+		s.written[flat] = true
+		s.ctRefs[d] = ct
+		s.noteAccess(flat, true)
+	}
+	if s.cfg.Auth != nil {
+		return s.cfg.Auth.UpdatePath(leaf, s.ctRefs, s.lastReach)
+	}
+	return nil
+}
+
+// TamperBucket XORs mask into a bucket's ciphertext (test hook simulating
+// external-memory tampering).
+func (s *Store) TamperBucket(flat uint64, mask byte) {
+	ct := s.bucketSlice(flat)
+	for i := range ct {
+		ct[i] ^= mask
+	}
+}
+
+// SnapshotBucket returns a copy of a bucket's ciphertext, and
+// RestoreBucket writes one back — together they simulate a replay attack.
+func (s *Store) SnapshotBucket(flat uint64) []byte {
+	return append([]byte(nil), s.bucketSlice(flat)...)
+}
+
+// RestoreBucket implements the replay half of Snapshot/Restore.
+func (s *Store) RestoreBucket(flat uint64, snap []byte) {
+	copy(s.bucketSlice(flat), snap)
+}
+
+func (s *Store) noteAccess(flat uint64, write bool) {
+	if write {
+		s.bucketWrites++
+	} else {
+		s.bucketReads++
+	}
+	if s.cfg.OnBucketAccess != nil {
+		s.cfg.OnBucketAccess(flat, write)
+	}
+}

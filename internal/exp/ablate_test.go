@@ -1,0 +1,142 @@
+package exp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSuperBlockAblation(t *testing.T) {
+	cfg := DefaultSuperBlockAblation()
+	cfg.SimWorkingSet = 1 << 12
+	cfg.SimAccesses = 1 << 13
+	res, err := RunSuperBlockAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(z, s int) *SuperBlockAblationRow {
+		for i := range res.Rows {
+			if res.Rows[i].DataZ == z && res.Rows[i].Size == s {
+				return &res.Rows[i]
+			}
+		}
+		return nil
+	}
+	// |S|=2 at Z=4 must be a clear win on a streaming workload
+	// (the paper's chosen Figure 12 configuration).
+	z4s2 := find(4, 2)
+	if z4s2 == nil || z4s2.NetSpeedup <= 1.1 {
+		t.Errorf("DZ4 |S|=2 speedup %v, want > 1.1", z4s2)
+	}
+	if z4s2.MissRatio > 0.65 {
+		t.Errorf("DZ4 |S|=2 miss ratio %.2f, want ~0.5", z4s2.MissRatio)
+	}
+	// Dummy rate must be monotone in |S| for fixed Z.
+	for _, z := range cfg.DataZs {
+		prev := -1.0
+		for _, s := range cfg.Sizes {
+			row := find(z, s)
+			if row == nil {
+				t.Fatalf("missing row Z=%d S=%d", z, s)
+			}
+			if row.DummyRate < prev {
+				t.Errorf("Z=%d: dummy rate not monotone in |S|", z)
+			}
+			prev = row.DummyRate
+		}
+	}
+	_ = res.Table().String()
+}
+
+func TestExclusiveAblation(t *testing.T) {
+	cfg := DefaultExclusiveAblation()
+	cfg.Benchmarks = []string{"mcf", "hmmer"}
+	cfg.Instructions = 400_000
+	cfg.Warmup = 400_000
+	res, err := RunExclusiveAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.InclusivePenalty < 0.999 {
+			t.Errorf("%s: inclusive faster than exclusive (%.3f)?", row.Benchmark, row.InclusivePenalty)
+		}
+	}
+	// mcf writes enough to show a real penalty.
+	if res.Rows[0].Benchmark != "mcf" || res.Rows[0].InclusivePenalty < 1.02 {
+		t.Errorf("mcf inclusive penalty %.3f, want > 1.02", res.Rows[0].InclusivePenalty)
+	}
+	_ = res.Table().String()
+}
+
+func TestEncryptionAblation(t *testing.T) {
+	res := RunEncryptionAblation(1 << 20)
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range res.Rows {
+		if row.StrawmanBucket < row.CounterBucket {
+			t.Errorf("Z=%d: strawman bucket %d smaller than counter %d",
+				row.Z, row.StrawmanBucket, row.CounterBucket)
+		}
+		if row.StrawmanOH < row.CounterOH {
+			t.Errorf("Z=%d: strawman overhead below counter", row.Z)
+		}
+	}
+	// At large Z the padding can no longer hide the 16B/block premium.
+	last := res.Rows[len(res.Rows)-1]
+	if last.StrawmanBucket == last.CounterBucket {
+		t.Errorf("Z=%d buckets identical; expected strawman premium", last.Z)
+	}
+	_ = res.Table().String()
+}
+
+func TestStashAblationMonotone(t *testing.T) {
+	res, err := RunStashAblation(DZ3Pb32SB, 1<<12, 1<<13, []int{120, 200, 400}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Rates); i++ {
+		if res.Rates[i] > res.Rates[i-1]+1e-9 {
+			t.Errorf("dummy rate not non-increasing in C: %v", res.Rates)
+		}
+	}
+	for i := 1; i < len(res.StashKBs); i++ {
+		if res.StashKBs[i] <= res.StashKBs[i-1] {
+			t.Errorf("stash KB not increasing in C: %v", res.StashKBs)
+		}
+	}
+	_ = res.Table().String()
+}
+
+func TestDRAMChannelScaling(t *testing.T) {
+	res, err := RunDRAMChannelScaling(DZ3Pb32, 1<<20, []int{1, 2, 4}, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Subtree); i++ {
+		if res.Subtree[i] >= res.Subtree[i-1] {
+			t.Errorf("latency not decreasing with channels: %v", res.Subtree)
+		}
+	}
+	// Efficiency (ratio to theory) degrades as channels grow — the
+	// Section 4.2 "keep all channels busy" challenge.
+	first := res.Subtree[0] / res.Theory[0]
+	lastIdx := len(res.Subtree) - 1
+	last := res.Subtree[lastIdx] / res.Theory[lastIdx]
+	if last < first {
+		t.Errorf("channel efficiency improved with more channels (%.2f -> %.2f)?", first, last)
+	}
+	if math.IsNaN(first) || math.IsNaN(last) {
+		t.Error("NaN ratios")
+	}
+	_ = res.Table().String()
+}
+
+func TestSettingOrderingAndPlacement(t *testing.T) {
+	if BaseORAM.PlacementStrategy() != "naive" || !BaseORAM.SequentialOrder {
+		t.Error("baseORAM must predate the placement and ordering optimizations")
+	}
+	if DZ3Pb32.PlacementStrategy() != "subtree" || DZ3Pb32.SequentialOrder {
+		t.Error("optimized settings must use subtree placement and pipelined order")
+	}
+}

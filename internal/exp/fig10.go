@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+)
+
+// Fig10Config parameterizes the hierarchical overhead breakdown: for each
+// configuration the paper stacks each ORAM's contribution to Equation 2.
+// The analytical hierarchy is sized at paper scale (bit-exact); the dummy
+// rate is measured on a scaled functional hierarchy (see
+// Setting.MeasureDummyRate).
+type Fig10Config struct {
+	// PaperWorkingSet sizes the analytical hierarchy (default 2^25 blocks
+	// = 4 GB of 128-byte blocks).
+	PaperWorkingSet uint64
+	// SimWorkingSet sizes the scaled dummy-rate measurement.
+	SimWorkingSet uint64
+	SimAccesses   int
+	Stash         int
+	Settings      []Setting
+	Seed          int64
+}
+
+// DefaultFig10 returns the paper's configuration sweep: position-map block
+// sizes {8,12,16,32,64} for data Z in {3,4}, plus baseORAM.
+func DefaultFig10() Fig10Config {
+	var settings []Setting
+	for _, z := range []int{3, 4} {
+		for _, pb := range []int{8, 12, 16, 32, 64} {
+			settings = append(settings, Setting{
+				Name:           fmt.Sprintf("DZ%dPb%d", z, pb),
+				DataZ:          z,
+				PosZ:           3,
+				DataBlockBytes: 128,
+				PosBlockBytes:  pb,
+				Scheme:         analysis.SchemeCounter,
+				SuperBlock:     1,
+			})
+		}
+	}
+	settings = append(settings, BaseORAM)
+	return Fig10Config{
+		PaperWorkingSet: 1 << 25,
+		SimWorkingSet:   1 << 14,
+		SimAccesses:     1 << 17,
+		Stash:           200,
+		Settings:        settings,
+		Seed:            11,
+	}
+}
+
+// Fig10Row is one configuration's breakdown.
+type Fig10Row struct {
+	Setting   Setting
+	DummyRate float64
+	Breakdown []float64 // per-ORAM contribution to Equation 2
+	Total     float64
+	NumORAMs  int
+	PosMapKB  float64 // final on-chip map
+	Err       string  // non-empty if the config failed to size
+}
+
+// Fig10Result holds all configurations.
+type Fig10Result struct {
+	Config Fig10Config
+	Rows   []Fig10Row
+}
+
+// RunFig10 sizes each hierarchy analytically and measures its dummy rate
+// on the scaled simulation.
+func RunFig10(cfg Fig10Config) (*Fig10Result, error) {
+	res := &Fig10Result{Config: cfg}
+	for i, s := range cfg.Settings {
+		row := Fig10Row{Setting: s}
+		h, err := s.Hierarchy(cfg.PaperWorkingSet)
+		if err != nil {
+			row.Err = err.Error()
+			res.Rows = append(res.Rows, row)
+			continue
+		}
+		rate, err := s.MeasureDummyRate(cfg.SimWorkingSet, cfg.Stash, cfg.SimAccesses, cfg.Seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		row.DummyRate = rate
+		row.Breakdown = h.OverheadBreakdown(rate)
+		row.Total = h.AccessOverhead(rate)
+		row.NumORAMs = h.NumORAMs()
+		row.PosMapKB = float64(h.OnChipPosMapBits) / 8 / 1024
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the Figure 10 stacked bars as columns per ORAM.
+func (r *Fig10Result) Table() *Table {
+	maxORAMs := 0
+	for _, row := range r.Rows {
+		if row.NumORAMs > maxORAMs {
+			maxORAMs = row.NumORAMs
+		}
+	}
+	t := &Table{
+		Title:  "Figure 10: hierarchical access-overhead breakdown (Equation 2)",
+		Header: []string{"config", "H", "DA/RA", "total"},
+		Note:   "per-ORAM columns are each level's contribution; posmap KB is the final on-chip map",
+	}
+	for i := 1; i <= maxORAMs; i++ {
+		t.Header = append(t.Header, fmt.Sprintf("ORAM%d", i))
+	}
+	t.Header = append(t.Header, "posmap KB")
+	for _, row := range r.Rows {
+		if row.Err != "" {
+			t.AddRow(row.Setting.Name, "-", "-", "error: "+row.Err)
+			continue
+		}
+		cells := []string{row.Setting.Name, fmt.Sprintf("%d", row.NumORAMs), f3(row.DummyRate), f1(row.Total)}
+		for i := 0; i < maxORAMs; i++ {
+			if i < len(row.Breakdown) {
+				cells = append(cells, f1(row.Breakdown[i]))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		cells = append(cells, f1(row.PosMapKB))
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Find returns the row for a named setting (nil if absent).
+func (r *Fig10Result) Find(name string) *Fig10Row {
+	for i := range r.Rows {
+		if r.Rows[i].Setting.Name == name {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// ReductionVsBase returns 1 - overhead(name)/overhead(baseORAM), the
+// paper's headline 41.8% metric.
+func (r *Fig10Result) ReductionVsBase(name string) (float64, error) {
+	base := r.Find("baseORAM")
+	opt := r.Find(name)
+	if base == nil || opt == nil || base.Err != "" || opt.Err != "" {
+		return 0, fmt.Errorf("exp: missing rows for reduction (%q vs baseORAM)", name)
+	}
+	return 1 - opt.Total/base.Total, nil
+}

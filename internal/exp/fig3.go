@@ -1,0 +1,123 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Fig3Config parameterizes the stash-occupancy study (Figure 3): an ORAM
+// with an infinite stash and no background eviction, filled to the target
+// utilization and then sampled after every access. The paper uses a 4 GB
+// ORAM with a 2 GB working set; occupancy distributions depend on Z and
+// utilization, not absolute capacity, so the default is scaled down.
+type Fig3Config struct {
+	WorkingSetBlocks uint64
+	Utilization      float64
+	Zs               []int
+	// AccessesPerBlock: the paper simulates 10*N accesses.
+	AccessesPerBlock int
+	Thresholds       []int
+	Seed             int64
+}
+
+// DefaultFig3 returns the scaled default configuration.
+func DefaultFig3() Fig3Config {
+	return Fig3Config{
+		WorkingSetBlocks: 1 << 15,
+		Utilization:      0.5,
+		Zs:               []int{1, 2, 3, 4},
+		AccessesPerBlock: 10,
+		Thresholds:       []int{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000},
+		Seed:             1,
+	}
+}
+
+// Fig3Result carries the per-Z occupancy histograms.
+type Fig3Result struct {
+	Config     Fig3Config
+	Histograms map[int]*stats.Histogram // by Z
+	Valid      map[int]uint64           // realized working set per Z
+}
+
+// RunFig3 fills each ORAM, then samples stash occupancy after every access.
+func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
+	res := &Fig3Result{
+		Config:     cfg,
+		Histograms: map[int]*stats.Histogram{},
+		Valid:      map[int]uint64{},
+	}
+	for _, z := range cfg.Zs {
+		leafLevel, valid := treeFor(cfg.WorkingSetBlocks, cfg.Utilization, z)
+		h := stats.NewHistogram(1 << 16)
+		measuring := false
+		p := core.Params{
+			LeafLevel:     leafLevel,
+			Z:             z,
+			Blocks:        valid,
+			StashCapacity: 0, // infinite stash
+			AfterAccess: func(n int, kind core.AccessKind) {
+				if measuring {
+					h.Observe(n)
+				}
+			},
+		}
+		o, err := buildMetaORAM(p, cfg.Seed+int64(z))
+		if err != nil {
+			return nil, err
+		}
+		for b := uint64(0); b < valid; b++ {
+			if _, err := o.Access(b, core.OpWrite, nil); err != nil {
+				return nil, err
+			}
+		}
+		measuring = true
+		rng := rand.New(rand.NewSource(cfg.Seed + 100 + int64(z)))
+		n := int(valid) * cfg.AccessesPerBlock
+		for i := 0; i < n; i++ {
+			if _, err := o.Access(rng.Uint64()%valid, core.OpWrite, nil); err != nil {
+				return nil, err
+			}
+		}
+		res.Histograms[z] = h
+		res.Valid[z] = valid
+	}
+	return res, nil
+}
+
+// Table renders P(stash occupancy >= m) per Z, the quantity Figure 3 plots.
+func (r *Fig3Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 3: P(blocks in stash >= m), infinite stash, no background eviction",
+		Header: []string{"m"},
+		Note: fmt.Sprintf("~%d-block working set at %.0f%% utilization, %d accesses per block, steady state",
+			r.Config.WorkingSetBlocks, 100*r.Config.Utilization, r.Config.AccessesPerBlock),
+	}
+	for _, z := range r.Config.Zs {
+		t.Header = append(t.Header, fmt.Sprintf("Z=%d", z))
+	}
+	for _, m := range r.Config.Thresholds {
+		row := []string{fmt.Sprintf("%d", m)}
+		for _, z := range r.Config.Zs {
+			row = append(row, sci(r.Histograms[z].TailProb(m)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// buildMetaORAM wires a metadata-only ORAM with an on-chip map.
+func buildMetaORAM(p core.Params, seed int64) (*core.ORAM, error) {
+	store, err := core.NewMemStore(p.LeafLevel, p.Z, 0)
+	if err != nil {
+		return nil, err
+	}
+	src := core.NewMathLeafSource(rand.New(rand.NewSource(seed)))
+	pos, err := core.NewOnChipPositionMap(p.Groups(), 1<<uint(p.LeafLevel), src)
+	if err != nil {
+		return nil, err
+	}
+	return core.New(p, store, pos, src)
+}

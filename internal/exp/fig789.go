@@ -1,0 +1,349 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+)
+
+// sweepPoint fills a metadata-only single ORAM to its valid-block count,
+// then measures the steady-state DA/RA ratio under uniform random writes.
+// infeasible is reported when the dummy budget is exhausted — the regime
+// the paper describes as "so inefficient that we cannot finish 10*N
+// accesses" (Section 4.1.3).
+func sweepPoint(leafLevel, z int, validBlocks uint64, stash int, accesses int, seed int64, dummyBudget uint64) (rate float64, infeasible bool, err error) {
+	p := core.Params{
+		LeafLevel:          leafLevel,
+		Z:                  z,
+		Blocks:             validBlocks,
+		StashCapacity:      stash,
+		BackgroundEviction: true,
+		MaxDummyRun:        1 << 16, // treat runaway drains as infeasible, not fatal
+	}
+	if p.EvictionThreshold() < 1 {
+		return 0, true, nil // stash cannot even hold one path's worth
+	}
+	o, err := buildMetaORAM(p, seed)
+	if err != nil {
+		return 0, false, err
+	}
+	overBudget := func() bool { return o.Stats().DummyAccesses > dummyBudget }
+	for b := uint64(0); b < validBlocks; b++ {
+		if _, err := o.Access(b, core.OpWrite, nil); err != nil {
+			if errors.Is(err, core.ErrLivelock) {
+				return 0, true, nil
+			}
+			return 0, false, err
+		}
+		if overBudget() {
+			return 0, true, nil
+		}
+	}
+	o.ResetStats()
+	rng := rand.New(rand.NewSource(seed + 1))
+	for i := 0; i < accesses; i++ {
+		if _, err := o.Access(rng.Uint64()%validBlocks, core.OpWrite, nil); err != nil {
+			if errors.Is(err, core.ErrLivelock) {
+				return 0, true, nil
+			}
+			return 0, false, err
+		}
+		if overBudget() {
+			return 0, true, nil
+		}
+	}
+	return o.Stats().DummyPerReal(), false, nil
+}
+
+// Fig7Config parameterizes the dummy-ratio vs stash-size study.
+type Fig7Config struct {
+	WorkingSetBlocks uint64
+	Utilization      float64
+	Zs               []int
+	StashSizes       []int
+	AccessesPerBlock int
+	Seed             int64
+}
+
+// DefaultFig7 returns the scaled defaults (paper: 4 GB ORAM, 2 GB working
+// set, stash 100..800, Z=1..3).
+func DefaultFig7() Fig7Config {
+	return Fig7Config{
+		WorkingSetBlocks: 1 << 14,
+		Utilization:      0.5,
+		Zs:               []int{1, 2, 3},
+		StashSizes:       []int{100, 200, 400, 800},
+		AccessesPerBlock: 10,
+		Seed:             3,
+	}
+}
+
+// Fig7Result holds DA/RA per (Z, stash size).
+type Fig7Result struct {
+	Config Fig7Config
+	Ratio  map[int]map[int]float64 // [z][stash]
+}
+
+// RunFig7 measures the dummy/real ratio for each configuration.
+func RunFig7(cfg Fig7Config) (*Fig7Result, error) {
+	res := &Fig7Result{Config: cfg, Ratio: map[int]map[int]float64{}}
+	for _, z := range cfg.Zs {
+		res.Ratio[z] = map[int]float64{}
+		l, valid := treeFor(cfg.WorkingSetBlocks, cfg.Utilization, z)
+		accesses := int(valid) * cfg.AccessesPerBlock
+		for _, c := range cfg.StashSizes {
+			rate, infeasible, err := sweepPoint(l, z, valid, c,
+				accesses, cfg.Seed+int64(z*1000+c), uint64(accesses)*100)
+			if err != nil {
+				return nil, err
+			}
+			if infeasible {
+				rate = -1
+			}
+			res.Ratio[z][c] = rate
+		}
+	}
+	return res, nil
+}
+
+// Table renders Figure 7.
+func (r *Fig7Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 7: dummy accesses / real accesses vs stash size",
+		Header: []string{"stash size"},
+		Note: fmt.Sprintf("working set %d blocks at %.0f%% utilization",
+			r.Config.WorkingSetBlocks, 100*r.Config.Utilization),
+	}
+	for _, z := range r.Config.Zs {
+		t.Header = append(t.Header, fmt.Sprintf("Z=%d", z))
+	}
+	for _, c := range r.Config.StashSizes {
+		row := []string{fmt.Sprintf("%d", c)}
+		for _, z := range r.Config.Zs {
+			row = append(row, f3(r.Ratio[z][c]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig8Config parameterizes the utilization sweep.
+type Fig8Config struct {
+	WorkingSetBlocks uint64
+	Utilizations     []float64
+	Zs               []int
+	Stash            int
+	BlockBytes       int
+	AccessesPerBlock int
+	// DummyBudgetPerReal aborts hopeless configurations (the paper's
+	// missing bars for Z=1 at >=67% and Z=2 at >=75%).
+	DummyBudgetPerReal float64
+	Seed               int64
+}
+
+// DefaultFig8 returns the scaled defaults.
+func DefaultFig8() Fig8Config {
+	return Fig8Config{
+		WorkingSetBlocks:   1 << 14,
+		Utilizations:       []float64{0.02, 0.05, 0.125, 0.25, 0.50, 0.67, 0.75, 0.80},
+		Zs:                 []int{1, 2, 3, 4, 8},
+		Stash:              200,
+		BlockBytes:         128,
+		AccessesPerBlock:   10,
+		DummyBudgetPerReal: 50,
+		Seed:               5,
+	}
+}
+
+// Fig8Point is one measured configuration.
+type Fig8Point struct {
+	Z           int
+	Utilization float64 // requested
+	Achieved    float64 // after tree quantization
+	LeafLevel   int
+	DummyRate   float64
+	Overhead    float64 // Equation 1
+	Infeasible  bool
+}
+
+// Fig8Result holds the sweep.
+type Fig8Result struct {
+	Config Fig8Config
+	Points []Fig8Point
+}
+
+// RunFig8 sweeps utilization for each Z and evaluates Equation 1 with the
+// measured dummy rates.
+func RunFig8(cfg Fig8Config) (*Fig8Result, error) {
+	res := &Fig8Result{Config: cfg}
+	for _, z := range cfg.Zs {
+		for _, u := range cfg.Utilizations {
+			l, valid := treeFor(cfg.WorkingSetBlocks, u, z)
+			accesses := int(valid) * cfg.AccessesPerBlock
+			budget := uint64(float64(accesses) * cfg.DummyBudgetPerReal)
+			ac := analysis.ORAMConfig{
+				LeafLevel: l, Z: z, BlockBytes: cfg.BlockBytes,
+				ValidBlocks: valid, Scheme: analysis.SchemeCounter,
+			}
+			pt := Fig8Point{Z: z, Utilization: u, Achieved: ac.Utilization(), LeafLevel: l}
+			rate, infeasible, err := sweepPoint(l, z, valid, cfg.Stash,
+				accesses, cfg.Seed+int64(z)*31+int64(u*1000), budget)
+			if err != nil {
+				return nil, err
+			}
+			if infeasible {
+				pt.Infeasible = true
+			} else {
+				pt.DummyRate = rate
+				pt.Overhead = ac.AccessOverhead(rate)
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res, nil
+}
+
+// Table renders Figure 8: access overhead by utilization and Z.
+func (r *Fig8Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 8: access overhead vs utilization (Equation 1)",
+		Header: []string{"utilization"},
+		Note:   "'-' marks configurations whose dummy-access budget exploded (paper: missing bars)",
+	}
+	for _, z := range r.Config.Zs {
+		t.Header = append(t.Header, fmt.Sprintf("Z=%d", z))
+	}
+	for _, u := range r.Config.Utilizations {
+		row := []string{fmt.Sprintf("%.1f%%", 100*u)}
+		for _, z := range r.Config.Zs {
+			pt := r.find(z, u)
+			if pt == nil || pt.Infeasible {
+				row = append(row, "-")
+			} else {
+				row = append(row, f1(pt.Overhead))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func (r *Fig8Result) find(z int, u float64) *Fig8Point {
+	for i := range r.Points {
+		if r.Points[i].Z == z && r.Points[i].Utilization == u {
+			return &r.Points[i]
+		}
+	}
+	return nil
+}
+
+// Best returns the point with the lowest feasible overhead.
+func (r *Fig8Result) Best() *Fig8Point {
+	var best *Fig8Point
+	for i := range r.Points {
+		p := &r.Points[i]
+		if p.Infeasible {
+			continue
+		}
+		if best == nil || p.Overhead < best.Overhead {
+			best = p
+		}
+	}
+	return best
+}
+
+// Fig9Config parameterizes the capacity sweep at fixed utilization.
+type Fig9Config struct {
+	WorkingSets      []uint64 // blocks
+	Utilization      float64
+	Zs               []int
+	Stash            int
+	BlockBytes       int
+	AccessesPerBlock int
+	Seed             int64
+}
+
+// DefaultFig9 returns scaled defaults (paper: 1 MB .. 16 GB at 50%).
+func DefaultFig9() Fig9Config {
+	return Fig9Config{
+		WorkingSets:      []uint64{1 << 10, 1 << 12, 1 << 14, 1 << 16},
+		Utilization:      0.5,
+		Zs:               []int{1, 2, 3, 4},
+		Stash:            200,
+		BlockBytes:       128,
+		AccessesPerBlock: 10,
+		Seed:             9,
+	}
+}
+
+// Fig9Point is one measured capacity point.
+type Fig9Point struct {
+	Z          int
+	WorkingSet uint64
+	LeafLevel  int
+	DummyRate  float64
+	Overhead   float64
+	Infeasible bool
+}
+
+// Fig9Result holds the sweep.
+type Fig9Result struct {
+	Config Fig9Config
+	Points []Fig9Point
+}
+
+// RunFig9 sweeps ORAM capacity.
+func RunFig9(cfg Fig9Config) (*Fig9Result, error) {
+	res := &Fig9Result{Config: cfg}
+	for _, ws := range cfg.WorkingSets {
+		for _, z := range cfg.Zs {
+			l, valid := treeFor(ws, cfg.Utilization, z)
+			ac := analysis.ORAMConfig{
+				LeafLevel: l, Z: z, BlockBytes: cfg.BlockBytes,
+				ValidBlocks: valid, Scheme: analysis.SchemeCounter,
+			}
+			accesses := int(valid) * cfg.AccessesPerBlock
+			rate, infeasible, err := sweepPoint(l, z, valid, cfg.Stash,
+				accesses, cfg.Seed+int64(z)*7+int64(ws), uint64(accesses)*50)
+			if err != nil {
+				return nil, err
+			}
+			pt := Fig9Point{Z: z, WorkingSet: ws, LeafLevel: l, Infeasible: infeasible}
+			if !infeasible {
+				pt.DummyRate = rate
+				pt.Overhead = ac.AccessOverhead(rate)
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res, nil
+}
+
+// Table renders Figure 9.
+func (r *Fig9Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 9: access overhead vs capacity at fixed utilization",
+		Header: []string{"working set (blocks)"},
+		Note:   fmt.Sprintf("utilization %.0f%%, stash %d", 100*r.Config.Utilization, r.Config.Stash),
+	}
+	for _, z := range r.Config.Zs {
+		t.Header = append(t.Header, fmt.Sprintf("Z=%d", z))
+	}
+	for _, ws := range r.Config.WorkingSets {
+		row := []string{fmt.Sprintf("%d", ws)}
+		for _, pt := range r.Points {
+			if pt.WorkingSet == ws {
+				if pt.Infeasible {
+					row = append(row, "-")
+				} else {
+					row = append(row, f1(pt.Overhead))
+				}
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

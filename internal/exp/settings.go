@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+)
+
+// Setting names one hierarchical ORAM configuration from Section 4
+// ("DZ3Pb32" = data ORAM Z=3, position-map ORAM blocks of 32 bytes).
+type Setting struct {
+	Name           string
+	DataZ          int
+	PosZ           int
+	DataBlockBytes int
+	PosBlockBytes  int
+	Scheme         analysis.Scheme
+	SuperBlock     int // 1 = off, 2 = the paper's static pairs
+	// Placement selects the DRAM layout for latency studies ("subtree"
+	// default; baseORAM uses "naive" since it predates the Section 3.3.4
+	// optimization).
+	Placement string
+	// SequentialOrder selects the Figure 5(a) per-ORAM read+write order
+	// instead of the pipelined 5(b) order (baseORAM predates the Section
+	// 3.3.2 optimization too).
+	SequentialOrder bool
+}
+
+// PlacementStrategy returns the DRAM layout for this setting.
+func (s Setting) PlacementStrategy() string {
+	if s.Placement == "" {
+		return "subtree"
+	}
+	return s.Placement
+}
+
+// The configurations evaluated in Figures 10-12 and Table 2.
+var (
+	// BaseORAM is the paper's baseline from the Ascend publication [3]:
+	// three ORAMs, all with 128-byte blocks, Z=4, strawman encryption,
+	// and no subtree DRAM placement.
+	BaseORAM = Setting{Name: "baseORAM", DataZ: 4, PosZ: 4,
+		DataBlockBytes: 128, PosBlockBytes: 128, Scheme: analysis.SchemeStrawman,
+		SuperBlock: 1, Placement: "naive", SequentialOrder: true}
+	DZ3Pb32 = Setting{Name: "DZ3Pb32", DataZ: 3, PosZ: 3,
+		DataBlockBytes: 128, PosBlockBytes: 32, Scheme: analysis.SchemeCounter, SuperBlock: 1}
+	DZ4Pb32 = Setting{Name: "DZ4Pb32", DataZ: 4, PosZ: 3,
+		DataBlockBytes: 128, PosBlockBytes: 32, Scheme: analysis.SchemeCounter, SuperBlock: 1}
+	DZ3Pb12 = Setting{Name: "DZ3Pb12", DataZ: 3, PosZ: 3,
+		DataBlockBytes: 128, PosBlockBytes: 12, Scheme: analysis.SchemeCounter, SuperBlock: 1}
+	DZ4Pb12 = Setting{Name: "DZ4Pb12", DataZ: 4, PosZ: 3,
+		DataBlockBytes: 128, PosBlockBytes: 12, Scheme: analysis.SchemeCounter, SuperBlock: 1}
+	// Super-block variants used in Figure 12.
+	DZ3Pb32SB = Setting{Name: "DZ3Pb32+SB", DataZ: 3, PosZ: 3,
+		DataBlockBytes: 128, PosBlockBytes: 32, Scheme: analysis.SchemeCounter, SuperBlock: 2}
+	DZ4Pb32SB = Setting{Name: "DZ4Pb32+SB", DataZ: 4, PosZ: 3,
+		DataBlockBytes: 128, PosBlockBytes: 32, Scheme: analysis.SchemeCounter, SuperBlock: 2}
+)
+
+// Hierarchy builds the bit-exact analytical hierarchy for a setting at the
+// given working-set size (the paper's Figures 10-12 use 2^25 blocks = 4 GB).
+func (s Setting) Hierarchy(wsBlocks uint64) (analysis.Hierarchy, error) {
+	return analysis.BuildHierarchy(analysis.HierarchyConfig{
+		WorkingSetBlocks: wsBlocks,
+		DataUtilization:  0.5,
+		DataZ:            s.DataZ,
+		DataBlockBytes:   s.DataBlockBytes,
+		PosZ:             s.PosZ,
+		PosBlockBytes:    s.PosBlockBytes,
+		DataScheme:       s.Scheme,
+		PosScheme:        s.Scheme,
+	})
+}
+
+// MeasureDummyRate fills a scaled functional hierarchy, then measures the
+// steady-state DA/RA ratio (Equations 1-2) under uniform random accesses.
+// The rate depends on Z, utilization and stash headroom more than on
+// absolute capacity (Figure 9), but it does grow with tree depth; see
+// EXPERIMENTS.md for the scales used versus the paper's.
+func (s Setting) MeasureDummyRate(wsBlocks uint64, stash int, accesses int, seed int64) (float64, error) {
+	h, err := hierarchy.New(hierarchy.Config{
+		Blocks:             wsBlocks,
+		DataBlockBytes:     0, // metadata-only data ORAM
+		DataZ:              s.DataZ,
+		PosZ:               s.PosZ,
+		PosBlockBytes:      s.PosBlockBytes,
+		OnChipPosMapMax:    1 << 10,
+		SuperBlock:         s.SuperBlock,
+		StashCapacity:      stash,
+		BackgroundEviction: true,
+		MaxDummyRun:        1 << 14, // declare infeasibility early
+		Leaves:             core.NewMathLeafSource(rand.New(rand.NewSource(seed))),
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Fill phase: the paper's experiments run on a populated ORAM.
+	for b := uint64(0); b < wsBlocks; b++ {
+		if _, err := h.Access(b, core.OpWrite, nil); err != nil {
+			if errors.Is(err, core.ErrLivelock) {
+				return math.Inf(1), nil // infeasible configuration
+			}
+			return 0, err
+		}
+	}
+	h.ResetStats()
+	rng := rand.New(rand.NewSource(seed + 1))
+	for i := 0; i < accesses; i++ {
+		if _, err := h.Access(rng.Uint64()%wsBlocks, core.OpWrite, nil); err != nil {
+			if errors.Is(err, core.ErrLivelock) {
+				return math.Inf(1), nil
+			}
+			return 0, err
+		}
+	}
+	return h.DummyPerReal(), nil
+}

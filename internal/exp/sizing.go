@@ -1,0 +1,33 @@
+package exp
+
+import "math"
+
+// treeFor sizes a tree for a sweep point: the leaf level is chosen so the
+// slot count Z*(2^(L+1)-1) is nearest wsBlocks/utilization in log space,
+// and the valid-block count is then derived as utilization * slots, so the
+// achieved utilization is exact. (Complete binary trees quantize capacity;
+// the paper's utilization axis can only be realized this way — e.g. 80%
+// at Z=1 has no power-of-two tree for a fixed working set.)
+func treeFor(wsBlocks uint64, utilization float64, z int) (leafLevel int, valid uint64) {
+	if utilization <= 0 || utilization > 1 {
+		utilization = 1
+	}
+	target := float64(wsBlocks) / utilization / float64(z) // desired bucket count
+	l := int(math.Round(math.Log2(target + 1)))
+	if l < 1 {
+		l = 1
+	}
+	if l > 30 {
+		l = 30
+	}
+	leafLevel = l - 1
+	slots := uint64(z) * (1<<uint(l) - 1)
+	valid = uint64(math.Round(utilization * float64(slots)))
+	if valid < 1 {
+		valid = 1
+	}
+	if valid > slots {
+		valid = slots
+	}
+	return leafLevel, valid
+}

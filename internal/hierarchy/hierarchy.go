@@ -1,0 +1,398 @@
+// Package hierarchy implements the hierarchical Path ORAM of Section 2.3:
+// the data ORAM's position map is stored in a second, smaller ORAM, whose
+// position map is stored in a third, and so on until the final map fits in
+// on-chip storage. Looking up the data ORAM therefore walks the chain from
+// the smallest ORAM (ORAM_H) down to the data ORAM (ORAM_1), exactly the
+// access order of the paper — realized naturally here by recursion through
+// ORAM-backed position maps.
+//
+// Background eviction is coordinated across the chain (Section 3.1.1): if
+// any stash exceeds its threshold, one dummy request is issued to every
+// ORAM in normal access order until all stashes drain.
+package hierarchy
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+)
+
+// labelBytes is the byte-aligned width of a leaf label inside position-map
+// ORAM blocks (the analytical model uses the paper's bit-exact L-bit
+// labels; see internal/analysis).
+const labelBytes = 4
+
+// StoreFactory builds the PathStore for one level of the hierarchy.
+// level 0 is the data ORAM.
+type StoreFactory func(level int, leafLevel, z, blockBytes int) (core.PathStore, error)
+
+// MemStoreFactory is the default factory: plain in-memory stores.
+func MemStoreFactory(_ int, leafLevel, z, blockBytes int) (core.PathStore, error) {
+	return core.NewMemStore(leafLevel, z, blockBytes)
+}
+
+// Config describes a hierarchical ORAM.
+type Config struct {
+	// Blocks is the number of addressable data blocks.
+	Blocks uint64
+	// DataBlockBytes is the data ORAM's block size (0 = metadata-only data
+	// ORAM; position-map ORAMs always carry payloads).
+	DataBlockBytes int
+	// DataZ and PosZ are the bucket capacities for the data ORAM and the
+	// position-map ORAMs.
+	DataZ, PosZ int
+	// DataUtilization sizes the data ORAM tree (default 0.5, the paper's
+	// sweet spot for Z=3; Section 4.1.3).
+	DataUtilization float64
+	// DataLeafLevel overrides the derived data-ORAM leaf level when > 0.
+	DataLeafLevel int
+	// PosBlockBytes is the position-map ORAM block size (Section 3.3.3;
+	// the paper's DZ3Pb32 uses 32 bytes). Must hold at least one 4-byte
+	// label.
+	PosBlockBytes int
+	// OnChipPosMapMax bounds the final on-chip position map, in bytes
+	// (default 200 KB as in Section 4.1.5; counted at 4 bytes per entry).
+	OnChipPosMapMax uint64
+	// SuperBlock enables static super blocks on the data ORAM.
+	SuperBlock int
+	// StashCapacity is C per ORAM (default 200, Section 4.1.2).
+	StashCapacity int
+	// BackgroundEviction enables coordinated dummy accesses.
+	BackgroundEviction bool
+	// MaxDummyRun bounds consecutive dummy rounds (livelock guard).
+	MaxDummyRun int
+	// NewStore builds each level's bucket store (default MemStoreFactory).
+	NewStore StoreFactory
+	// Leaves supplies leaf randomness for every level (required).
+	Leaves core.LeafSource
+	// OnPathAccess observes every path access in the whole hierarchy:
+	// level 0 is the data ORAM.
+	OnPathAccess func(level int, leaf uint64, kind core.AccessKind)
+}
+
+// LevelInfo describes one sized level for reporting.
+type LevelInfo struct {
+	LeafLevel  int
+	Z          int
+	BlockBytes int
+	Blocks     uint64 // valid blocks stored at this level
+}
+
+// ORAM is a hierarchical Path ORAM.
+type ORAM struct {
+	cfg    Config
+	levels []*core.ORAM // [0] = data ORAM, last = smallest position-map ORAM
+	infos  []LevelInfo
+	onChip *core.OnChipPositionMap
+
+	dummyRounds uint64
+	maxDummyRun int
+}
+
+// New sizes and assembles the chain.
+func New(cfg Config) (*ORAM, error) {
+	if cfg.Blocks == 0 {
+		return nil, fmt.Errorf("hierarchy: Blocks must be >= 1")
+	}
+	if cfg.Leaves == nil {
+		return nil, fmt.Errorf("hierarchy: leaf source is required")
+	}
+	if cfg.DataZ < 1 || cfg.PosZ < 1 {
+		return nil, fmt.Errorf("hierarchy: Z values must be >= 1")
+	}
+	if cfg.PosBlockBytes < labelBytes {
+		return nil, fmt.Errorf("hierarchy: position-map blocks of %dB cannot hold a %d-byte label",
+			cfg.PosBlockBytes, labelBytes)
+	}
+	if cfg.DataUtilization <= 0 || cfg.DataUtilization > 1 {
+		cfg.DataUtilization = 0.5
+	}
+	if cfg.OnChipPosMapMax == 0 {
+		cfg.OnChipPosMapMax = 200 << 10
+	}
+	if cfg.StashCapacity == 0 {
+		cfg.StashCapacity = 200
+	}
+	if cfg.NewStore == nil {
+		cfg.NewStore = MemStoreFactory
+	}
+
+	infos, err := planLevels(cfg)
+	if err != nil {
+		return nil, err
+	}
+	h := &ORAM{cfg: cfg, infos: infos, maxDummyRun: cfg.MaxDummyRun}
+	if h.maxDummyRun <= 0 {
+		h.maxDummyRun = core.DefaultMaxDummyRun
+	}
+
+	// Instantiate from the smallest ORAM backwards: each level's position
+	// map needs the next level to exist first.
+	hn := len(infos)
+	h.levels = make([]*core.ORAM, hn)
+	var pos core.PositionMap
+	for i := hn - 1; i >= 0; i-- {
+		info := infos[i]
+		groups := info.Blocks
+		superBlock := 1
+		if i == 0 {
+			superBlock = cfg.SuperBlock
+			if superBlock < 1 {
+				superBlock = 1
+			}
+			groups = (info.Blocks + uint64(superBlock) - 1) / uint64(superBlock)
+		}
+		if i == hn-1 {
+			onChip, err := core.NewOnChipPositionMap(groups, 1<<uint(info.LeafLevel), cfg.Leaves)
+			if err != nil {
+				return nil, err
+			}
+			h.onChip = onChip
+			pos = onChip
+		} else {
+			pos = &oramPosMap{
+				backing:        h.levels[i+1],
+				labelsPerBlock: uint64(infos[i+1].BlockBytes / labelBytes),
+				numLeaves:      1 << uint(info.LeafLevel),
+				src:            cfg.Leaves,
+				shadow:         make(map[uint64]uint32),
+			}
+		}
+		store, err := cfg.NewStore(i, info.LeafLevel, info.Z, info.BlockBytes)
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: building store for level %d: %w", i, err)
+		}
+		params := core.Params{
+			LeafLevel:     info.LeafLevel,
+			Z:             info.Z,
+			BlockBytes:    info.BlockBytes,
+			Blocks:        info.Blocks,
+			StashCapacity: cfg.StashCapacity,
+			SuperBlock:    superBlock,
+			// The hierarchy coordinates eviction itself.
+			BackgroundEviction: false,
+		}
+		if i > 0 {
+			// Position-map blocks must read as "unassigned" until written.
+			params.FreshFill = 0xFF
+		}
+		if cfg.OnPathAccess != nil {
+			lvl := i
+			params.OnPathAccess = func(leaf uint64, kind core.AccessKind) {
+				cfg.OnPathAccess(lvl, leaf, kind)
+			}
+		}
+		if params.StashCapacity-params.Z*(params.LeafLevel+1) < 1 {
+			return nil, fmt.Errorf("hierarchy: stash capacity %d too small for level %d (Z(L+1)=%d)",
+				params.StashCapacity, i, params.Z*(params.LeafLevel+1))
+		}
+		o, err := core.New(params, store, pos, cfg.Leaves)
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: level %d: %w", i, err)
+		}
+		h.levels[i] = o
+	}
+	return h, nil
+}
+
+// planLevels sizes the chain: ORAM(h+1) stores k = PosBlockBytes/4 labels
+// per block and needs ceil(entries_h / k) blocks.
+func planLevels(cfg Config) ([]LevelInfo, error) {
+	dataLevel := cfg.DataLeafLevel
+	if dataLevel <= 0 {
+		slots := uint64(float64(cfg.Blocks) / cfg.DataUtilization)
+		dataLevel = analysis.LevelsForSlots(slots, cfg.DataZ)
+		// Never size the tree below its contents.
+		if min := analysis.MinLevelsForBlocks(cfg.Blocks, cfg.DataZ); dataLevel < min {
+			dataLevel = min
+		}
+	}
+	infos := []LevelInfo{{
+		LeafLevel: dataLevel, Z: cfg.DataZ,
+		BlockBytes: cfg.DataBlockBytes, Blocks: cfg.Blocks,
+	}}
+	sb := cfg.SuperBlock
+	if sb < 1 {
+		sb = 1
+	}
+	entries := (cfg.Blocks + uint64(sb) - 1) / uint64(sb) // groups of the data ORAM
+	k := uint64(cfg.PosBlockBytes / labelBytes)
+	for entries*labelBytes > cfg.OnChipPosMapMax {
+		if len(infos) > 16 {
+			return nil, fmt.Errorf("hierarchy: position-map chain did not converge")
+		}
+		n := (entries + k - 1) / k
+		l := analysis.PosMapLevels(n)
+		// Keep utilization at or below ~2/3 so the stash stays healthy
+		// even for small Z (the paper's posmap ORAMs use Z=3, where the
+		// ceil(log2 N)-1 rule already lands in this range).
+		for uint64(cfg.PosZ)*(1<<uint(l+1)-1)*2 < 3*n {
+			l++
+		}
+		infos = append(infos, LevelInfo{
+			LeafLevel: l, Z: cfg.PosZ, BlockBytes: cfg.PosBlockBytes, Blocks: n,
+		})
+		entries = n
+	}
+	return infos, nil
+}
+
+// NumORAMs returns H, the number of ORAMs in the chain.
+func (h *ORAM) NumORAMs() int { return len(h.levels) }
+
+// Layout returns the sized levels (index 0 = data ORAM).
+func (h *ORAM) Layout() []LevelInfo { return append([]LevelInfo(nil), h.infos...) }
+
+// OnChipPosMapBytes returns the functional size of the final on-chip
+// position map at 4 bytes per entry.
+func (h *ORAM) OnChipPosMapBytes() uint64 {
+	return h.onChip.SizeBits(8*labelBytes) / 8
+}
+
+// Level exposes one member ORAM (for stats and tests).
+func (h *ORAM) Level(i int) *core.ORAM { return h.levels[i] }
+
+// Stats returns per-level counters (index 0 = data ORAM).
+func (h *ORAM) Stats() []core.Stats {
+	out := make([]core.Stats, len(h.levels))
+	for i, o := range h.levels {
+		out[i] = o.Stats()
+	}
+	return out
+}
+
+// DummyRounds returns how many coordinated dummy rounds (one dummy access
+// to every ORAM) background eviction has issued.
+func (h *ORAM) DummyRounds() uint64 { return h.dummyRounds }
+
+// ResetStats clears the counters of every level and the dummy-round count
+// (used after a fill phase so steady-state rates are measured).
+func (h *ORAM) ResetStats() {
+	for _, o := range h.levels {
+		o.ResetStats()
+	}
+	h.dummyRounds = 0
+}
+
+// DummyPerReal returns the hierarchy-level DA/RA of Equation 2.
+func (h *ORAM) DummyPerReal() float64 {
+	real := h.levels[0].Stats().RealAccesses
+	if real == 0 {
+		return 0
+	}
+	return float64(h.dummyRounds) / float64(real)
+}
+
+// Access reads or writes a data block through the whole hierarchy: one
+// path access in every ORAM (position-map chain first), then coordinated
+// background eviction.
+func (h *ORAM) Access(addr uint64, op core.Op, data []byte) ([]byte, error) {
+	out, err := h.levels[0].Access(addr, op, data)
+	if err != nil {
+		return nil, err
+	}
+	return out, h.drain()
+}
+
+// Update performs a read-modify-write of a data block.
+func (h *ORAM) Update(addr uint64, fn func(data []byte)) error {
+	if err := h.levels[0].Update(addr, fn); err != nil {
+		return err
+	}
+	return h.drain()
+}
+
+// Load is the exclusive read (Section 3.3.1) through the hierarchy.
+func (h *ORAM) Load(addr uint64) (data []byte, found bool, group []core.Slot, err error) {
+	data, found, group, err = h.levels[0].Load(addr)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	return data, found, group, h.drain()
+}
+
+// Store returns a checked-out block to the data ORAM's stash. It touches
+// no path in any ORAM.
+func (h *ORAM) Store(addr uint64, data []byte) error {
+	if err := h.levels[0].Store(addr, data); err != nil {
+		return err
+	}
+	return h.drain()
+}
+
+// drain coordinates background eviction: while any stash exceeds its
+// threshold, issue one dummy request to each ORAM in normal access order
+// (smallest first, data ORAM last — Section 3.1.1).
+func (h *ORAM) drain() error {
+	if !h.cfg.BackgroundEviction {
+		return nil
+	}
+	run := 0
+	for h.needsEviction() {
+		if run >= h.maxDummyRun {
+			return core.ErrLivelock
+		}
+		for i := len(h.levels) - 1; i >= 0; i-- {
+			if err := h.levels[i].DummyAccess(); err != nil {
+				return err
+			}
+		}
+		h.dummyRounds++
+		run++
+	}
+	return nil
+}
+
+func (h *ORAM) needsEviction() bool {
+	for _, o := range h.levels {
+		if o.NeedsBackgroundEviction() {
+			return true
+		}
+	}
+	return false
+}
+
+// oramPosMap is a core.PositionMap stored inside the next ORAM of the
+// chain: each backing block packs labelsPerBlock little-endian 4-byte leaf
+// labels; 0xFFFFFFFF (the backing ORAM's fresh fill) means unassigned.
+type oramPosMap struct {
+	backing        *core.ORAM
+	labelsPerBlock uint64
+	numLeaves      uint64
+	src            core.LeafSource
+	// shadow caches the label of every group that currently has blocks
+	// checked out, so the exclusive Store path can recover the leaf
+	// without an extra oblivious access. In hardware this is the leaf tag
+	// the secure processor keeps alongside each cache line.
+	shadow map[uint64]uint32
+}
+
+// Access implements core.PositionMap with a single read-modify-write
+// access to the backing ORAM (one path per level, recursively).
+func (m *oramPosMap) Access(group uint64) (old, new uint32, err error) {
+	newLeaf := uint32(m.src.Leaf(m.numLeaves))
+	blk := group / m.labelsPerBlock
+	off := (group % m.labelsPerBlock) * labelBytes
+	err = m.backing.Update(blk, func(data []byte) {
+		old = binary.LittleEndian.Uint32(data[off : off+labelBytes])
+		if old == core.UnassignedLeaf {
+			// Never mapped: the paper initializes every entry to a random
+			// leaf; drawing it lazily is equivalent.
+			old = uint32(m.src.Leaf(m.numLeaves))
+		}
+		binary.LittleEndian.PutUint32(data[off:off+labelBytes], newLeaf)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	m.shadow[group] = newLeaf
+	return old, newLeaf, nil
+}
+
+// Peek implements core.PositionMap from the shadow tags.
+func (m *oramPosMap) Peek(group uint64) (uint32, bool, error) {
+	l, ok := m.shadow[group]
+	return l, ok, nil
+}

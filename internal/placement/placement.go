@@ -1,0 +1,128 @@
+// Package placement maps ORAM tree buckets to physical byte addresses.
+// The naive layout stores buckets as a flat array, which destroys row-
+// buffer locality: two consecutive buckets on a path land in unrelated
+// rows. The subtree layout of Section 3.3.4 (Figure 6) packs each k-level
+// subtree contiguously into one "node" sized to the aggregate row-buffer
+// footprint (row bytes × channels), so a path read touches one row per
+// channel per k levels.
+package placement
+
+import (
+	"fmt"
+
+	"repro/internal/treemath"
+)
+
+// Mapper places buckets in physical memory.
+type Mapper interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// BucketAddr returns the base byte address of a bucket (flat index).
+	BucketAddr(flat uint64) uint64
+	// Size returns the total bytes the layout spans.
+	Size() uint64
+}
+
+// Naive lays buckets out flat in heap order.
+type Naive struct {
+	base        uint64
+	bucketBytes uint64
+	buckets     uint64
+}
+
+// NewNaive builds the flat layout starting at base.
+func NewNaive(tree treemath.Tree, bucketBytes int, base uint64) *Naive {
+	return &Naive{base: base, bucketBytes: uint64(bucketBytes), buckets: tree.NumBuckets()}
+}
+
+// Name implements Mapper.
+func (n *Naive) Name() string { return "naive" }
+
+// BucketAddr implements Mapper.
+func (n *Naive) BucketAddr(flat uint64) uint64 { return n.base + flat*n.bucketBytes }
+
+// Size implements Mapper.
+func (n *Naive) Size() uint64 { return n.buckets * n.bucketBytes }
+
+// Subtree packs each k-level subtree into one node of nodeStride bytes.
+type Subtree struct {
+	tree        treemath.Tree
+	base        uint64
+	bucketBytes uint64
+	k           int    // levels per packed subtree
+	nodeStride  uint64 // bytes per packed subtree (aligned container)
+	groups      int    // ceil(levels / k)
+}
+
+// NewSubtree builds the packed layout. nodeBytes is the target node size
+// (the paper uses rowBytes × channels); k is derived as the largest number
+// of levels whose subtree fits, and the node stride is padded up to
+// nodeBytes so nodes align with row-buffer boundaries.
+func NewSubtree(tree treemath.Tree, bucketBytes int, nodeBytes int, base uint64) (*Subtree, error) {
+	if bucketBytes <= 0 {
+		return nil, fmt.Errorf("placement: bucket size must be positive")
+	}
+	if nodeBytes < bucketBytes {
+		return nil, fmt.Errorf("placement: node size %d smaller than one bucket (%d)", nodeBytes, bucketBytes)
+	}
+	k := 1
+	for (uint64(1)<<uint(k+1)-1)*uint64(bucketBytes) <= uint64(nodeBytes) && k < tree.Levels() {
+		k++
+	}
+	s := &Subtree{
+		tree:        tree,
+		base:        base,
+		bucketBytes: uint64(bucketBytes),
+		k:           k,
+		nodeStride:  uint64(nodeBytes),
+		groups:      (tree.Levels() + k - 1) / k,
+	}
+	// If the whole tree fits in fewer bytes than one node, shrink the
+	// stride to the actual subtree footprint (still bucket-aligned).
+	if minBytes := (uint64(1)<<uint(k) - 1) * uint64(bucketBytes); s.nodeStride < minBytes {
+		return nil, fmt.Errorf("placement: internal stride error")
+	}
+	return s, nil
+}
+
+// K returns the number of tree levels packed per node.
+func (s *Subtree) K() int { return s.k }
+
+// Name implements Mapper.
+func (s *Subtree) Name() string { return "subtree" }
+
+// BucketAddr implements Mapper. A bucket at (level d, position i) belongs
+// to the group g = d/k; its subtree root is at level g·k with position
+// i >> (d mod k); within the subtree it occupies local heap position
+// 2^(d mod k) - 1 + (i & (2^(d mod k) - 1)).
+func (s *Subtree) BucketAddr(flat uint64) uint64 {
+	d := s.tree.LevelOf(flat)
+	i := s.tree.PosOf(flat)
+	g := d / s.k
+	r := uint(d % s.k)
+	rootPos := i >> r
+	// Subtrees are numbered breadth-first over the 2^k-ary tree: groups
+	// above g contribute (2^(g·k) - 1) / (2^k - 1) nodes.
+	nodesAbove := ((uint64(1) << uint(g*s.k)) - 1) / ((uint64(1) << uint(s.k)) - 1)
+	nodeID := nodesAbove + rootPos
+	local := (uint64(1) << r) - 1 + (i & ((uint64(1) << r) - 1))
+	return s.base + nodeID*s.nodeStride + local*s.bucketBytes
+}
+
+// Size implements Mapper.
+func (s *Subtree) Size() uint64 {
+	var nodes uint64
+	for g := 0; g < s.groups; g++ {
+		nodes += uint64(1) << uint(g*s.k)
+	}
+	return nodes * s.nodeStride
+}
+
+// PathAddrs appends the base byte address of every bucket on the path to
+// leaf (root first) to dst.
+func PathAddrs(m Mapper, tree treemath.Tree, leaf uint64, dst []uint64) []uint64 {
+	for d := 0; d <= tree.LeafLevel(); d++ {
+		dst = append(dst, m.BucketAddr(tree.PathBucket(leaf, d)))
+	}
+	return dst
+}

@@ -1,0 +1,196 @@
+// Package stats provides the small statistical helpers the experiment
+// harnesses need: integer histograms with tail probabilities (for the stash
+// occupancy study, Figure 3) and running scalar summaries (for latency and
+// CPL averages).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram counts observations of small non-negative integers. Values
+// larger than the configured maximum are accumulated in an overflow bin so
+// tail probabilities remain correct.
+type Histogram struct {
+	counts   []uint64
+	overflow uint64
+	total    uint64
+	max      int // largest value observed
+}
+
+// NewHistogram returns a histogram tracking values in [0, maxValue]
+// individually; larger observations land in a single overflow bin.
+func NewHistogram(maxValue int) *Histogram {
+	if maxValue < 0 {
+		maxValue = 0
+	}
+	return &Histogram{counts: make([]uint64, maxValue+1)}
+}
+
+// Observe records one occurrence of v. Negative values are clamped to 0.
+func (h *Histogram) Observe(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v > h.max {
+		h.max = v
+	}
+	if v < len(h.counts) {
+		h.counts[v]++
+	} else {
+		h.overflow++
+	}
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Max returns the largest observed value (0 if empty).
+func (h *Histogram) Max() int { return h.max }
+
+// Count returns the number of observations equal to v.
+func (h *Histogram) Count(v int) uint64 {
+	if v < 0 || v >= len(h.counts) {
+		return 0
+	}
+	return h.counts[v]
+}
+
+// TailProb returns P(X >= m): the fraction of observations at or above m.
+// This is the quantity plotted in Figure 3 of the paper (the probability
+// that stash occupancy reaches m, i.e. the failure probability of a stash
+// of capacity m-1... sized C = m).
+func (h *Histogram) TailProb(m int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if m <= 0 {
+		return 1
+	}
+	var tail uint64 = h.overflow
+	for v := m; v < len(h.counts); v++ {
+		tail += h.counts[v]
+	}
+	return float64(tail) / float64(h.total)
+}
+
+// Mean returns the arithmetic mean of the observations (overflow bin
+// observations are excluded from the numerator but counted in the
+// denominator, so Mean is a lower bound if overflow occurred).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// Quantile returns the smallest value q such that P(X <= q) >= p.
+// The overflow bin maps to maxValue+1.
+func (h *Histogram) Quantile(p float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p * float64(h.total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for v, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return v
+		}
+	}
+	return len(h.counts)
+}
+
+// Running accumulates a streaming scalar summary: count, mean, variance
+// (Welford's algorithm), min and max.
+type Running struct {
+	n          uint64
+	mean, m2   float64
+	min, max   float64
+	hasExtrema bool
+}
+
+// Observe adds x to the summary.
+func (r *Running) Observe(x float64) {
+	r.n++
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+	if !r.hasExtrema || x < r.min {
+		r.min = x
+	}
+	if !r.hasExtrema || x > r.max {
+		r.max = x
+	}
+	r.hasExtrema = true
+}
+
+// N returns the number of observations.
+func (r *Running) N() uint64 { return r.n }
+
+// Mean returns the arithmetic mean (0 if empty).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the population variance (0 if fewer than 2 observations).
+func (r *Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// Std returns the population standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Var()) }
+
+// Min returns the smallest observation (0 if empty).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest observation (0 if empty).
+func (r *Running) Max() float64 { return r.max }
+
+// String summarizes the distribution for logs.
+func (r *Running) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g max=%.4g",
+		r.n, r.Mean(), r.Std(), r.min, r.max)
+}
+
+// Median returns the median of a copy of xs (0 if empty). It is a
+// convenience for small result sets in the experiment harnesses.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// GeoMean returns the geometric mean of xs (0 if empty or any x <= 0).
+// Figure 12 style normalized-slowdown averages conventionally use it.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}

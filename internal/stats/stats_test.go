@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(10)
+	for _, v := range []int{0, 1, 1, 2, 5, 10} {
+		h.Observe(v)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("Total=%d want 6", h.Total())
+	}
+	if h.Count(1) != 2 {
+		t.Errorf("Count(1)=%d want 2", h.Count(1))
+	}
+	if h.Max() != 10 {
+		t.Errorf("Max=%d want 10", h.Max())
+	}
+	if got := h.Mean(); math.Abs(got-19.0/6) > 1e-12 {
+		t.Errorf("Mean=%v want %v", got, 19.0/6)
+	}
+}
+
+func TestHistogramTailProb(t *testing.T) {
+	h := NewHistogram(4)
+	for v := 0; v <= 4; v++ {
+		h.Observe(v)
+	}
+	cases := []struct {
+		m    int
+		want float64
+	}{
+		{-1, 1}, {0, 1}, {1, 0.8}, {4, 0.2}, {5, 0},
+	}
+	for _, c := range cases {
+		if got := h.TailProb(c.m); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("TailProb(%d)=%v want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	h := NewHistogram(3)
+	h.Observe(100)
+	h.Observe(2)
+	if got := h.TailProb(4); got != 0.5 {
+		t.Errorf("TailProb(4)=%v want 0.5 (overflowed value counts)", got)
+	}
+	if h.Max() != 100 {
+		t.Errorf("Max=%d want 100", h.Max())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram(3)
+	h.Observe(-5)
+	if h.Count(0) != 1 {
+		t.Errorf("negative observation should clamp to 0")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(100)
+	for v := 1; v <= 100; v++ {
+		h.Observe(v)
+	}
+	if q := h.Quantile(0.5); q != 50 {
+		t.Errorf("Quantile(0.5)=%d want 50", q)
+	}
+	if q := h.Quantile(1.0); q != 100 {
+		t.Errorf("Quantile(1.0)=%d want 100", q)
+	}
+	if q := h.Quantile(0.0); q != 1 {
+		t.Errorf("Quantile(0)=%d want 1", q)
+	}
+}
+
+func TestTailProbMonotone(t *testing.T) {
+	h := NewHistogram(64)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		h.Observe(rng.Intn(80))
+	}
+	f := func(a, b uint8) bool {
+		m1, m2 := int(a%90), int(b%90)
+		if m1 > m2 {
+			m1, m2 = m2, m1
+		}
+		return h.TailProb(m1) >= h.TailProb(m2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunning(t *testing.T) {
+	var r Running
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		r.Observe(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N=%d want 8", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("Mean=%v want 5", r.Mean())
+	}
+	if math.Abs(r.Std()-2) > 1e-12 {
+		t.Errorf("Std=%v want 2", r.Std())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max=%v/%v want 2/9", r.Min(), r.Max())
+	}
+	if r.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Std() != 0 || r.N() != 0 {
+		t.Error("empty Running should report zeros")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("Median odd=%v want 2", m)
+	}
+	if m := Median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("Median even=%v want 2.5", m)
+	}
+	if m := Median(nil); m != 0 {
+		t.Errorf("Median nil=%v want 0", m)
+	}
+	// Median must not mutate its argument.
+	xs := []float64{9, 1, 5}
+	Median(xs)
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Error("Median mutated input")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("GeoMean=%v want 2", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("GeoMean nil=%v want 0", g)
+	}
+	if g := GeoMean([]float64{1, -1}); g != 0 {
+		t.Errorf("GeoMean with nonpositive=%v want 0", g)
+	}
+}

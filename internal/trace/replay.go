@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// This file provides trace recording and replay: a Generator's stream can
+// be serialized compactly and replayed later, so experiments can be
+// repeated bit-identically across machines, or real program traces
+// (converted to the same format) can be substituted for the synthetic
+// models.
+
+// traceMagic guards the serialization format.
+var traceMagic = [4]byte{'P', 'O', 'T', '1'} // Path Oram Trace v1
+
+// Record pulls n instructions from a generator into a slice.
+func Record(g Generator, n int) []Instr {
+	out := make([]Instr, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Write serializes instructions: a 4-byte magic, a varint count, then one
+// varint kind and (for memory ops) a varint address delta per instruction.
+// Address deltas are zig-zag encoded, which keeps streaming and strided
+// traces small.
+func Write(w io.Writer, instrs []Instr) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := put(uint64(len(instrs))); err != nil {
+		return err
+	}
+	var prevAddr uint64
+	for _, in := range instrs {
+		if err := put(uint64(in.Kind)); err != nil {
+			return err
+		}
+		if in.Kind == Load || in.Kind == Store {
+			delta := int64(in.Addr) - int64(prevAddr)
+			if err := put(zigzag(delta)); err != nil {
+				return err
+			}
+			prevAddr = in.Addr
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) ([]Instr, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	const maxTrace = 1 << 30
+	if count > maxTrace {
+		return nil, fmt.Errorf("trace: implausible instruction count %d", count)
+	}
+	out := make([]Instr, 0, count)
+	var prevAddr uint64
+	for i := uint64(0); i < count; i++ {
+		k, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: instruction %d: %w", i, err)
+		}
+		if k > uint64(Store) {
+			return nil, fmt.Errorf("trace: instruction %d: unknown kind %d", i, k)
+		}
+		in := Instr{Kind: Kind(k)}
+		if in.Kind == Load || in.Kind == Store {
+			zz, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: address %d: %w", i, err)
+			}
+			prevAddr = uint64(int64(prevAddr) + unzigzag(zz))
+			in.Addr = prevAddr
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// Replayer replays a recorded trace as a Generator, cycling at the end.
+type Replayer struct {
+	instrs []Instr
+	pos    int
+	// Wrapped counts how many times the trace restarted.
+	Wrapped int
+}
+
+// NewReplayer wraps a recorded instruction slice.
+func NewReplayer(instrs []Instr) (*Replayer, error) {
+	if len(instrs) == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	return &Replayer{instrs: instrs}, nil
+}
+
+// Next implements Generator.
+func (r *Replayer) Next() Instr {
+	in := r.instrs[r.pos]
+	r.pos++
+	if r.pos == len(r.instrs) {
+		r.pos = 0
+		r.Wrapped++
+	}
+	return in
+}
+
+func zigzag(v int64) uint64 {
+	return uint64((v << 1) ^ (v >> 63))
+}
+
+func unzigzag(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	p := ProfileByName("mcf")
+	orig := Record(p.Generator(9), 5000)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("length %d want %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i] != orig[i] {
+			t.Fatalf("instr %d: %+v != %+v", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestReplayerCycles(t *testing.T) {
+	r, err := NewReplayer([]Instr{{Kind: Arith}, {Kind: Load, Addr: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []Instr{r.Next(), r.Next(), r.Next()}
+	if seq[0].Kind != Arith || seq[1].Addr != 64 || seq[2].Kind != Arith {
+		t.Errorf("replay order wrong: %+v", seq)
+	}
+	if r.Wrapped != 1 {
+		t.Errorf("Wrapped=%d want 1", r.Wrapped)
+	}
+	if _, err := NewReplayer(nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Read(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Valid magic, truncated body.
+	if _, err := Read(bytes.NewReader([]byte{'P', 'O', 'T', '1', 200})); err == nil {
+		t.Error("truncated count accepted")
+	}
+	// Unknown instruction kind.
+	var buf bytes.Buffer
+	buf.Write(traceMagic[:])
+	buf.WriteByte(1)  // one instruction
+	buf.WriteByte(99) // kind 99
+	if _, err := Read(&buf); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestTraceEncodingCompact(t *testing.T) {
+	// Streaming traces must encode to ~1-2 bytes per instruction thanks
+	// to delta encoding.
+	p := Profile{Name: "s", MemFrac: 1.0, SeqFrac: 1.0, WorkingSet: 1 << 20}
+	instrs := Record(p.Generator(3), 10000)
+	var buf bytes.Buffer
+	if err := Write(&buf, instrs); err != nil {
+		t.Fatal(err)
+	}
+	perInstr := float64(buf.Len()) / float64(len(instrs))
+	if perInstr > 3 {
+		t.Errorf("%.1f bytes/instruction for a streaming trace, want < 3", perInstr)
+	}
+}
+
+func TestZigZagRoundTrip(t *testing.T) {
+	f := func(v int64) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCPUConsumesReplayedTrace(t *testing.T) {
+	// End-to-end: a recorded trace replays identically through Record.
+	p := ProfileByName("gcc")
+	a := Record(p.Generator(4), 2000)
+	r, err := NewReplayer(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Record(r, 2000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+}

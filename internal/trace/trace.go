@@ -1,0 +1,250 @@
+// Package trace generates synthetic instruction/memory streams that stand
+// in for the paper's SPEC2006-int traces (Section 4.3). The real traces are
+// not redistributable; each profile instead models what drives Figure 12 —
+// the instruction mix, the L2 miss rate, and the spatial locality that
+// super blocks exploit — with explicitly controlled access patterns:
+//
+//   - seq:    streaming over a large array (libquantum-style); adjacent
+//     lines are touched in order, so super blocks halve misses.
+//   - chase:  dependent pointer chasing over a large pool (mcf-style);
+//     each node spans two adjacent lines, giving super blocks
+//     pair locality without streaming.
+//   - hot:    a small working set that caches well (the compute-bound
+//     benchmarks' dominant behaviour).
+//
+// The per-benchmark parameters are calibrated (see trace_test.go and
+// EXPERIMENTS.md) so the simulated L2 MPKI band reproduces the paper's
+// qualitative split: mcf/libquantum/bzip2 memory-bound, hmmer/sjeng/
+// h264ref compute-bound.
+package trace
+
+import "math/rand"
+
+// Kind classifies instructions for the Table 1 latency model.
+type Kind int
+
+// Instruction kinds.
+const (
+	Arith Kind = iota
+	Mult
+	Div
+	FPArith
+	FPMult
+	FPDiv
+	Load
+	Store
+)
+
+// Instr is one instruction of the synthetic stream.
+type Instr struct {
+	Kind Kind
+	Addr uint64 // byte address; meaningful for Load/Store only
+}
+
+// Generator produces an instruction stream.
+type Generator interface {
+	Next() Instr
+}
+
+// Profile parameterizes one synthetic benchmark.
+type Profile struct {
+	Name string
+
+	// MemFrac is the fraction of instructions that access memory;
+	// StoreFrac is the store share of those.
+	MemFrac   float64
+	StoreFrac float64
+
+	// Pattern mix (fractions of memory accesses; the remainder goes to
+	// the hot set).
+	SeqFrac   float64
+	ChaseFrac float64
+	// StackFrac of memory accesses hit a tiny L1-resident region
+	// (stack/locals), keeping baseline CPI realistic for an in-order
+	// core.
+	StackFrac float64
+
+	// Footprints.
+	WorkingSet uint64 // bytes of the large region (seq + chase)
+	HotBytes   uint64 // bytes of the cache-friendly (L2-resident) hot region
+	StackBytes uint64 // bytes of the L1-resident region (default 8 KB)
+
+	// ChaseNodeLines is how many adjacent cache lines one chased node
+	// spans (2 gives super blocks something to prefetch).
+	ChaseNodeLines int
+
+	// Non-memory instruction mix (fractions of non-memory instructions).
+	MultFrac, DivFrac, FPFrac float64
+
+	// LineBytes for node/stream stepping (default 128).
+	LineBytes int
+}
+
+// Generator builds a deterministic stream for the profile.
+func (p Profile) Generator(seed int64) Generator {
+	line := p.LineBytes
+	if line == 0 {
+		line = 128
+	}
+	ws := p.WorkingSet
+	if ws == 0 {
+		ws = 64 << 20
+	}
+	hot := p.HotBytes
+	if hot == 0 {
+		hot = 256 << 10
+	}
+	nodeLines := p.ChaseNodeLines
+	if nodeLines == 0 {
+		nodeLines = 1
+	}
+	stack := p.StackBytes
+	if stack == 0 {
+		stack = 8 << 10
+	}
+	return &generator{
+		p:          p,
+		rng:        rand.New(rand.NewSource(seed)),
+		line:       uint64(line),
+		wsLines:    ws / uint64(line),
+		hotLines:   hot / uint64(line),
+		stackLines: stack / uint64(line),
+		nodeLines:  uint64(nodeLines),
+		hotBase:    1 << 40, // keep regions disjoint
+		stackBase:  1 << 41,
+	}
+}
+
+type generator struct {
+	p          Profile
+	rng        *rand.Rand
+	line       uint64
+	wsLines    uint64
+	hotLines   uint64
+	stackLines uint64
+	nodeLines  uint64
+	hotBase    uint64
+	stackBase  uint64
+
+	seqPos  uint64
+	pending []uint64 // queued follow-up addresses (rest of a chased node)
+}
+
+// Next implements Generator.
+func (g *generator) Next() Instr {
+	if g.rng.Float64() >= g.p.MemFrac {
+		return Instr{Kind: g.nonMemKind()}
+	}
+	kind := Load
+	if g.rng.Float64() < g.p.StoreFrac {
+		kind = Store
+	}
+	return Instr{Kind: kind, Addr: g.nextAddr()}
+}
+
+func (g *generator) nonMemKind() Kind {
+	r := g.rng.Float64()
+	switch {
+	case r < g.p.DivFrac:
+		if g.rng.Float64() < g.p.FPFrac {
+			return FPDiv
+		}
+		return Div
+	case r < g.p.DivFrac+g.p.MultFrac:
+		if g.rng.Float64() < g.p.FPFrac {
+			return FPMult
+		}
+		return Mult
+	default:
+		if g.rng.Float64() < g.p.FPFrac {
+			return FPArith
+		}
+		return Arith
+	}
+}
+
+func (g *generator) nextAddr() uint64 {
+	// Finish a multi-line node first: the follow-up accesses are what
+	// gives pointer-chasing spatial locality.
+	if n := len(g.pending); n > 0 {
+		a := g.pending[n-1]
+		g.pending = g.pending[:n-1]
+		return a
+	}
+	r := g.rng.Float64()
+	switch {
+	case r < g.p.StackFrac:
+		// L1-resident stack/locals traffic.
+		if g.stackLines == 0 {
+			return g.stackBase
+		}
+		return g.stackBase + (g.rng.Uint64()%g.stackLines)*g.line + (g.rng.Uint64()%g.line)&^7
+	case r < g.p.StackFrac+g.p.SeqFrac:
+		// Stream through the working set word by word.
+		g.seqPos += 8
+		if g.seqPos >= g.wsLines*g.line {
+			g.seqPos = 0
+		}
+		return g.seqPos
+	case r < g.p.StackFrac+g.p.SeqFrac+g.p.ChaseFrac:
+		// Jump to a random node and touch each of its lines.
+		nodeCount := g.wsLines / g.nodeLines
+		if nodeCount == 0 {
+			nodeCount = 1
+		}
+		base := (g.rng.Uint64() % nodeCount) * g.nodeLines * g.line
+		for l := g.nodeLines - 1; l >= 1; l-- {
+			g.pending = append(g.pending, base+l*g.line)
+		}
+		return base
+	default:
+		// Hot set: uniform within a cache-friendly region.
+		if g.hotLines == 0 {
+			return g.hotBase
+		}
+		return g.hotBase + (g.rng.Uint64()%g.hotLines)*g.line + (g.rng.Uint64()%g.line)&^7
+	}
+}
+
+// SPEC06 returns the synthetic stand-ins for the SPEC2006-int subset shown
+// in Figure 12, ordered as plotted. The MemFrac/pattern parameters are
+// calibrated against the paper's qualitative behaviour (see package
+// comment); they are not claimed to match real SPEC microarchitectural
+// profiles.
+func SPEC06() []Profile {
+	return []Profile{
+		{Name: "astar", MemFrac: 0.30, StoreFrac: 0.2, SeqFrac: 0.02, ChaseFrac: 0.012, StackFrac: 0.5,
+			WorkingSet: 256 << 20, HotBytes: 512 << 10, ChaseNodeLines: 2, MultFrac: 0.05},
+		{Name: "bzip2", MemFrac: 0.32, StoreFrac: 0.3, SeqFrac: 0.28, ChaseFrac: 0.008, StackFrac: 0.4,
+			WorkingSet: 128 << 20, HotBytes: 640 << 10, ChaseNodeLines: 1, MultFrac: 0.04},
+		{Name: "gcc", MemFrac: 0.33, StoreFrac: 0.3, SeqFrac: 0.05, ChaseFrac: 0.006, StackFrac: 0.55,
+			WorkingSet: 128 << 20, HotBytes: 512 << 10, ChaseNodeLines: 2, MultFrac: 0.03},
+		{Name: "gobmk", MemFrac: 0.28, StoreFrac: 0.25, SeqFrac: 0.01, ChaseFrac: 0.003, StackFrac: 0.6,
+			WorkingSet: 64 << 20, HotBytes: 512 << 10, ChaseNodeLines: 1, MultFrac: 0.06},
+		{Name: "h264ref", MemFrac: 0.35, StoreFrac: 0.25, SeqFrac: 0.04, ChaseFrac: 0.001, StackFrac: 0.65,
+			WorkingSet: 64 << 20, HotBytes: 640 << 10, ChaseNodeLines: 1, MultFrac: 0.10},
+		{Name: "hmmer", MemFrac: 0.40, StoreFrac: 0.3, SeqFrac: 0.004, ChaseFrac: 0.0, StackFrac: 0.7,
+			WorkingSet: 32 << 20, HotBytes: 512 << 10, ChaseNodeLines: 1, MultFrac: 0.12},
+		{Name: "libquantum", MemFrac: 0.28, StoreFrac: 0.25, SeqFrac: 0.55, ChaseFrac: 0.0, StackFrac: 0.25,
+			WorkingSet: 512 << 20, HotBytes: 128 << 10, ChaseNodeLines: 1, MultFrac: 0.08},
+		{Name: "mcf", MemFrac: 0.35, StoreFrac: 0.2, SeqFrac: 0.03, ChaseFrac: 0.035, StackFrac: 0.35,
+			WorkingSet: 1 << 30, HotBytes: 256 << 10, ChaseNodeLines: 2, MultFrac: 0.03},
+		{Name: "omnetpp", MemFrac: 0.33, StoreFrac: 0.3, SeqFrac: 0.02, ChaseFrac: 0.015, StackFrac: 0.45,
+			WorkingSet: 256 << 20, HotBytes: 512 << 10, ChaseNodeLines: 2, MultFrac: 0.04},
+		{Name: "perlbench", MemFrac: 0.35, StoreFrac: 0.35, SeqFrac: 0.02, ChaseFrac: 0.002, StackFrac: 0.6,
+			WorkingSet: 64 << 20, HotBytes: 640 << 10, ChaseNodeLines: 1, MultFrac: 0.04},
+		{Name: "sjeng", MemFrac: 0.27, StoreFrac: 0.25, SeqFrac: 0.01, ChaseFrac: 0.002, StackFrac: 0.6,
+			WorkingSet: 64 << 20, HotBytes: 512 << 10, ChaseNodeLines: 1, MultFrac: 0.07},
+	}
+}
+
+// ProfileByName finds a SPEC06 profile (nil if unknown).
+func ProfileByName(name string) *Profile {
+	for _, p := range SPEC06() {
+		if p.Name == name {
+			q := p
+			return &q
+		}
+	}
+	return nil
+}

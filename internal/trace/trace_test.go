@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestDeterministic(t *testing.T) {
+	p := SPEC06()[0]
+	a, b := p.Generator(42), p.Generator(42)
+	for i := 0; i < 5000; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("step %d: %+v != %+v", i, x, y)
+		}
+	}
+}
+
+func TestMemFraction(t *testing.T) {
+	for _, p := range SPEC06() {
+		g := p.Generator(7)
+		const n = 200000
+		mem := 0
+		for i := 0; i < n; i++ {
+			in := g.Next()
+			if in.Kind == Load || in.Kind == Store {
+				mem++
+			}
+		}
+		got := float64(mem) / n
+		// Multi-line chase nodes add pending accesses beyond MemFrac, so
+		// allow generous slack upward.
+		if got < p.MemFrac*0.85 || got > p.MemFrac*1.3+0.05 {
+			t.Errorf("%s: mem fraction %.3f want ~%.3f", p.Name, got, p.MemFrac)
+		}
+	}
+}
+
+func TestStoreShare(t *testing.T) {
+	p := Profile{Name: "x", MemFrac: 0.5, StoreFrac: 0.4, WorkingSet: 1 << 20}
+	g := p.Generator(3)
+	loads, stores := 0, 0
+	for i := 0; i < 100000; i++ {
+		switch g.Next().Kind {
+		case Load:
+			loads++
+		case Store:
+			stores++
+		}
+	}
+	share := float64(stores) / float64(loads+stores)
+	if share < 0.35 || share > 0.45 {
+		t.Errorf("store share %.3f want ~0.4", share)
+	}
+}
+
+func TestAddressesWithinRegions(t *testing.T) {
+	p := Profile{
+		Name: "y", MemFrac: 1.0, SeqFrac: 0.4, ChaseFrac: 0.4,
+		WorkingSet: 1 << 20, HotBytes: 64 << 10, ChaseNodeLines: 2,
+	}
+	g := p.Generator(5)
+	const hotBase = uint64(1) << 40
+	for i := 0; i < 100000; i++ {
+		in := g.Next()
+		if in.Kind != Load && in.Kind != Store {
+			continue
+		}
+		if in.Addr >= hotBase {
+			if in.Addr >= hotBase+(64<<10) {
+				t.Fatalf("hot address %#x outside region", in.Addr)
+			}
+		} else if in.Addr >= 1<<20 {
+			t.Fatalf("ws address %#x outside region", in.Addr)
+		}
+	}
+}
+
+func TestStackRegionIsTiny(t *testing.T) {
+	p := Profile{Name: "st", MemFrac: 1.0, StackFrac: 1.0, StackBytes: 4 << 10}
+	g := p.Generator(17)
+	const stackBase = uint64(1) << 41
+	for i := 0; i < 20000; i++ {
+		a := g.Next().Addr
+		if a < stackBase || a >= stackBase+(4<<10) {
+			t.Fatalf("stack address %#x outside its 4KB region", a)
+		}
+	}
+}
+
+func TestChaseNodeSpatialLocality(t *testing.T) {
+	// A 2-line chase node must touch both of its adjacent lines.
+	p := Profile{Name: "z", MemFrac: 1.0, ChaseFrac: 1.0,
+		WorkingSet: 1 << 24, ChaseNodeLines: 2, LineBytes: 128}
+	g := p.Generator(9)
+	pairHits := 0
+	var prevLine uint64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		in := g.Next()
+		line := in.Addr / 128
+		if i > 0 && line == prevLine^1 {
+			pairHits++
+		}
+		prevLine = line
+	}
+	if pairHits < n/3 {
+		t.Errorf("only %d/%d consecutive pair accesses; chase nodes lack locality", pairHits, n)
+	}
+}
+
+func TestSequentialPatternAdvances(t *testing.T) {
+	p := Profile{Name: "s", MemFrac: 1.0, SeqFrac: 1.0, WorkingSet: 1 << 16}
+	g := p.Generator(11)
+	var prev uint64
+	wrapped := false
+	for i := 0; i < 20000; i++ {
+		a := g.Next().Addr
+		if i > 0 && a != prev+8 {
+			if a == 0 {
+				wrapped = true
+			} else {
+				t.Fatalf("sequential stream jumped from %d to %d", prev, a)
+			}
+		}
+		prev = a
+	}
+	if !wrapped {
+		t.Error("stream never wrapped a 64KB working set in 20k accesses")
+	}
+}
+
+func TestInstructionMixKinds(t *testing.T) {
+	p := Profile{Name: "m", MemFrac: 0.0, MultFrac: 0.3, DivFrac: 0.1, FPFrac: 0.5}
+	g := p.Generator(13)
+	counts := map[Kind]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Kind]++
+	}
+	if counts[Load]+counts[Store] != 0 {
+		t.Error("MemFrac=0 produced memory ops")
+	}
+	divs := counts[Div] + counts[FPDiv]
+	if float64(divs)/n < 0.07 || float64(divs)/n > 0.13 {
+		t.Errorf("div fraction %.3f want ~0.1", float64(divs)/n)
+	}
+	if counts[FPArith] == 0 || counts[FPMult] == 0 {
+		t.Error("FP kinds missing")
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	if p := ProfileByName("mcf"); p == nil || p.Name != "mcf" {
+		t.Error("mcf lookup failed")
+	}
+	if ProfileByName("nope") != nil {
+		t.Error("unknown profile found")
+	}
+	// Mutating the returned profile must not affect the table.
+	p := ProfileByName("mcf")
+	p.MemFrac = 0
+	if ProfileByName("mcf").MemFrac == 0 {
+		t.Error("ProfileByName returned shared state")
+	}
+}
+
+func TestSPEC06Coverage(t *testing.T) {
+	ps := SPEC06()
+	if len(ps) < 9 {
+		t.Fatalf("only %d profiles", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %s", p.Name)
+		}
+		seen[p.Name] = true
+		if p.MemFrac <= 0 || p.MemFrac >= 1 {
+			t.Errorf("%s: MemFrac %v out of range", p.Name, p.MemFrac)
+		}
+		if p.SeqFrac+p.ChaseFrac+p.StackFrac > 1 {
+			t.Errorf("%s: pattern fractions exceed 1", p.Name)
+		}
+	}
+	for _, name := range []string{"mcf", "libquantum", "bzip2", "hmmer", "sjeng"} {
+		if !seen[name] {
+			t.Errorf("missing paper benchmark %s", name)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package treemath provides index arithmetic for the complete binary trees
+// used throughout the Path ORAM implementation: bucket numbering, path
+// enumeration and the common-path-length (CPL) metric from the paper.
+//
+// Terminology follows Ren et al. (ISCA 2013), Section 2.1: the tree has
+// L+1 levels, the root is level 0 and the leaves are level L. Leaves are
+// labeled 0..2^L-1 (the paper numbers them 1..2^L; we use 0-based labels
+// internally). Buckets are addressed either by (level, position-in-level)
+// or by a flat index in heap order: flat = 2^level - 1 + position.
+package treemath
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxLeafLevel bounds L so that leaf labels and flat bucket indices fit
+// comfortably in uint64 and position-map labels fit in uint32 with room for
+// a sentinel.
+const MaxLeafLevel = 30
+
+// Tree describes a complete binary tree with leaf level L (L+1 levels in
+// total). The zero value is a degenerate single-bucket tree (L = 0).
+type Tree struct {
+	leafLevel int
+}
+
+// New returns a Tree with the given leaf level L. It panics if L is
+// negative or exceeds MaxLeafLevel; configuration validation belongs to the
+// callers, and an invalid level here is always a programming error.
+func New(leafLevel int) Tree {
+	if leafLevel < 0 || leafLevel > MaxLeafLevel {
+		panic(fmt.Sprintf("treemath: leaf level %d out of range [0,%d]", leafLevel, MaxLeafLevel))
+	}
+	return Tree{leafLevel: leafLevel}
+}
+
+// LeafLevel returns L, the level index of the leaves.
+func (t Tree) LeafLevel() int { return t.leafLevel }
+
+// Levels returns the number of levels, L+1.
+func (t Tree) Levels() int { return t.leafLevel + 1 }
+
+// NumLeaves returns 2^L.
+func (t Tree) NumLeaves() uint64 { return 1 << uint(t.leafLevel) }
+
+// NumBuckets returns the total number of buckets, 2^(L+1) - 1.
+func (t Tree) NumBuckets() uint64 { return 1<<uint(t.leafLevel+1) - 1 }
+
+// FlatIndex converts (level, position) to the flat heap-order bucket index.
+func (t Tree) FlatIndex(level int, pos uint64) uint64 {
+	return 1<<uint(level) - 1 + pos
+}
+
+// LevelOf returns the level of the bucket with the given flat index.
+func (t Tree) LevelOf(flat uint64) int {
+	return bits.Len64(flat+1) - 1
+}
+
+// PosOf returns the position within its level of the bucket with the given
+// flat index.
+func (t Tree) PosOf(flat uint64) uint64 {
+	level := t.LevelOf(flat)
+	return flat + 1 - 1<<uint(level)
+}
+
+// PathBucket returns the flat index of the bucket on the path to leaf at the
+// given level. At level d the path to leaf l passes through position
+// l >> (L - d).
+func (t Tree) PathBucket(leaf uint64, level int) uint64 {
+	pos := leaf >> uint(t.leafLevel-level)
+	return t.FlatIndex(level, pos)
+}
+
+// AppendPath appends the flat indices of the buckets on the path from the
+// root to the given leaf (in root-to-leaf order) to dst and returns the
+// extended slice. The path always has exactly L+1 buckets.
+func (t Tree) AppendPath(leaf uint64, dst []uint64) []uint64 {
+	for d := 0; d <= t.leafLevel; d++ {
+		dst = append(dst, t.PathBucket(leaf, d))
+	}
+	return dst
+}
+
+// Parent returns the flat index of the parent bucket. The root (index 0) is
+// its own parent.
+func (t Tree) Parent(flat uint64) uint64 {
+	if flat == 0 {
+		return 0
+	}
+	return (flat - 1) / 2
+}
+
+// LeftChild returns the flat index of the left child of the given bucket.
+func (t Tree) LeftChild(flat uint64) uint64 { return 2*flat + 1 }
+
+// RightChild returns the flat index of the right child of the given bucket.
+func (t Tree) RightChild(flat uint64) uint64 { return 2*flat + 2 }
+
+// Sibling returns the flat index of the other child of flat's parent. The
+// root is returned unchanged.
+func (t Tree) Sibling(flat uint64) uint64 {
+	if flat == 0 {
+		return 0
+	}
+	if flat%2 == 1 { // left child
+		return flat + 1
+	}
+	return flat - 1
+}
+
+// IsLeafBucket reports whether the flat index denotes a leaf-level bucket.
+func (t Tree) IsLeafBucket(flat uint64) bool {
+	return t.LevelOf(flat) == t.leafLevel
+}
+
+// CommonPathLength returns CPL(a, b): the number of buckets shared by the
+// paths to leaves a and b. It is between 1 (only the root) and L+1
+// (identical leaves), matching Section 3.1.3 of the paper.
+func (t Tree) CommonPathLength(a, b uint64) int {
+	diff := a ^ b
+	if diff == 0 {
+		return t.leafLevel + 1
+	}
+	// The paths diverge below the level of the highest differing bit.
+	return t.leafLevel + 1 - bits.Len64(diff)
+}
+
+// DeepestLevel returns the deepest level at which a block mapped to
+// blockLeaf may be placed when evicting along the path to pathLeaf.
+// It equals CommonPathLength - 1 (levels are 0-based).
+func (t Tree) DeepestLevel(blockLeaf, pathLeaf uint64) int {
+	return t.CommonPathLength(blockLeaf, pathLeaf) - 1
+}
+
+// ExpectedCPL returns E[CPL(p, p')] = 2 - 1/2^L for two uniformly random
+// leaves, the reference value used by the Figure 4 attack analysis.
+func (t Tree) ExpectedCPL() float64 {
+	return 2 - 1/float64(uint64(1)<<uint(t.leafLevel))
+}
+
+// ValidLeaf reports whether the label is a valid leaf of this tree.
+func (t Tree) ValidLeaf(leaf uint64) bool { return leaf < t.NumLeaves() }

@@ -1,0 +1,205 @@
+package treemath
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOutOfRange(t *testing.T) {
+	for _, l := range []int{-1, MaxLeafLevel + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", l)
+				}
+			}()
+			New(l)
+		}()
+	}
+}
+
+func TestCounts(t *testing.T) {
+	cases := []struct {
+		L       int
+		leaves  uint64
+		buckets uint64
+	}{
+		{0, 1, 1},
+		{1, 2, 3},
+		{3, 8, 15},
+		{10, 1024, 2047},
+	}
+	for _, c := range cases {
+		tr := New(c.L)
+		if got := tr.NumLeaves(); got != c.leaves {
+			t.Errorf("L=%d NumLeaves=%d want %d", c.L, got, c.leaves)
+		}
+		if got := tr.NumBuckets(); got != c.buckets {
+			t.Errorf("L=%d NumBuckets=%d want %d", c.L, got, c.buckets)
+		}
+		if got := tr.Levels(); got != c.L+1 {
+			t.Errorf("L=%d Levels=%d want %d", c.L, got, c.L+1)
+		}
+	}
+}
+
+func TestFlatIndexRoundTrip(t *testing.T) {
+	tr := New(6)
+	var flat uint64
+	for level := 0; level <= 6; level++ {
+		for pos := uint64(0); pos < 1<<uint(level); pos++ {
+			got := tr.FlatIndex(level, pos)
+			if got != flat {
+				t.Fatalf("FlatIndex(%d,%d)=%d want %d", level, pos, got, flat)
+			}
+			if l := tr.LevelOf(flat); l != level {
+				t.Fatalf("LevelOf(%d)=%d want %d", flat, l, level)
+			}
+			if p := tr.PosOf(flat); p != pos {
+				t.Fatalf("PosOf(%d)=%d want %d", flat, p, pos)
+			}
+			flat++
+		}
+	}
+	if flat != tr.NumBuckets() {
+		t.Fatalf("enumerated %d buckets want %d", flat, tr.NumBuckets())
+	}
+}
+
+func TestPathStructure(t *testing.T) {
+	tr := New(3) // paper Figure 1 geometry: L=3, 8 leaves
+	path := tr.AppendPath(5, nil)
+	if len(path) != 4 {
+		t.Fatalf("path length %d want 4", len(path))
+	}
+	if path[0] != 0 {
+		t.Errorf("path[0]=%d want root 0", path[0])
+	}
+	// Each successive bucket must be a child of the previous one.
+	for i := 1; i < len(path); i++ {
+		if tr.Parent(path[i]) != path[i-1] {
+			t.Errorf("path[%d]=%d is not a child of %d", i, path[i], path[i-1])
+		}
+	}
+	// The last bucket is the leaf bucket for label 5.
+	if !tr.IsLeafBucket(path[3]) {
+		t.Errorf("path end %d is not a leaf bucket", path[3])
+	}
+	if tr.PosOf(path[3]) != 5 {
+		t.Errorf("leaf bucket position %d want 5", tr.PosOf(path[3]))
+	}
+}
+
+func TestParentChildSibling(t *testing.T) {
+	tr := New(4)
+	if tr.Parent(0) != 0 {
+		t.Errorf("root parent should be root")
+	}
+	if tr.Sibling(0) != 0 {
+		t.Errorf("root sibling should be root")
+	}
+	for flat := uint64(0); flat < tr.NumBuckets()/2; flat++ {
+		l, r := tr.LeftChild(flat), tr.RightChild(flat)
+		if tr.Parent(l) != flat || tr.Parent(r) != flat {
+			t.Fatalf("parent(children of %d) mismatch", flat)
+		}
+		if tr.Sibling(l) != r || tr.Sibling(r) != l {
+			t.Fatalf("sibling mismatch at %d", flat)
+		}
+		if tr.LevelOf(l) != tr.LevelOf(flat)+1 {
+			t.Fatalf("child level mismatch at %d", flat)
+		}
+	}
+}
+
+func TestCommonPathLengthExamples(t *testing.T) {
+	// Paper Section 3.1.3 uses Figure 1 (L=3) examples with 1-based leaves:
+	// CPL(1,2)=3 and CPL(3,8)=1. Our leaves are 0-based: (0,1) and (2,7).
+	tr := New(3)
+	if got := tr.CommonPathLength(0, 1); got != 3 {
+		t.Errorf("CPL(0,1)=%d want 3", got)
+	}
+	if got := tr.CommonPathLength(2, 7); got != 1 {
+		t.Errorf("CPL(2,7)=%d want 1", got)
+	}
+	if got := tr.CommonPathLength(6, 6); got != 4 {
+		t.Errorf("CPL(6,6)=%d want L+1=4", got)
+	}
+}
+
+func TestCommonPathLengthMatchesPathIntersection(t *testing.T) {
+	tr := New(7)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a := rng.Uint64() % tr.NumLeaves()
+		b := rng.Uint64() % tr.NumLeaves()
+		pa := tr.AppendPath(a, nil)
+		pb := tr.AppendPath(b, nil)
+		shared := 0
+		for j := range pa {
+			if pa[j] == pb[j] {
+				shared++
+			}
+		}
+		if got := tr.CommonPathLength(a, b); got != shared {
+			t.Fatalf("CPL(%d,%d)=%d want %d", a, b, got, shared)
+		}
+	}
+}
+
+func TestCPLDistribution(t *testing.T) {
+	// P(CPL = l) = 2^-l for 1 <= l <= L, and 2^-L for l = L+1 (paper 3.1.3).
+	// Check the empirical mean against E[CPL] = 2 - 2^-L.
+	tr := New(5)
+	rng := rand.New(rand.NewSource(7))
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(tr.CommonPathLength(rng.Uint64()%32, rng.Uint64()%32))
+	}
+	mean := sum / n
+	want := tr.ExpectedCPL()
+	if mean < want-0.02 || mean > want+0.02 {
+		t.Errorf("empirical mean CPL %.4f want %.4f +- 0.02", mean, want)
+	}
+}
+
+func TestDeepestLevelProperty(t *testing.T) {
+	tr := New(9)
+	// The bucket at DeepestLevel must lie on both paths; one level deeper
+	// must not (unless the leaves are equal).
+	f := func(a, b uint16) bool {
+		la := uint64(a) % tr.NumLeaves()
+		lb := uint64(b) % tr.NumLeaves()
+		d := tr.DeepestLevel(la, lb)
+		if tr.PathBucket(la, d) != tr.PathBucket(lb, d) {
+			return false
+		}
+		if la != lb && d < tr.LeafLevel() {
+			if tr.PathBucket(la, d+1) == tr.PathBucket(lb, d+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidLeaf(t *testing.T) {
+	tr := New(4)
+	if !tr.ValidLeaf(0) || !tr.ValidLeaf(15) {
+		t.Error("leaves 0 and 15 should be valid for L=4")
+	}
+	if tr.ValidLeaf(16) {
+		t.Error("leaf 16 should be invalid for L=4")
+	}
+}
+
+func TestExpectedCPL(t *testing.T) {
+	if got := New(5).ExpectedCPL(); got != 2-1.0/32 {
+		t.Errorf("ExpectedCPL(L=5)=%v want %v", got, 2-1.0/32)
+	}
+}

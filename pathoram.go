@@ -1,0 +1,288 @@
+// Package pathoram is a Go implementation of Path ORAM optimized for
+// secure processors, reproducing Ren, Yu, Fletcher, van Dijk and Devadas,
+// "Design Space Exploration and Optimization of Path Oblivious RAM in
+// Secure Processors" (ISCA 2013).
+//
+// An ORAM stores fixed-size blocks in an untrusted external memory such
+// that the sequence of memory locations touched is computationally
+// independent of the program's access pattern. This package provides:
+//
+//   - the single Path ORAM with the paper's optimizations: provably secure
+//     background eviction (Section 3.1), static super blocks (Section 3.2)
+//     and the exclusive Load/Store interface for cache-attached use
+//     (Section 3.3.1);
+//   - randomized bucket encryption: the counter-based scheme of Section
+//     2.2.2 (default) or the strawman of Section 2.2.1;
+//   - integrity verification via the mirrored authentication tree of
+//     Section 5 (tamper and replay detection with no initialization pass);
+//   - the hierarchical construction of Section 2.3, which stores the
+//     position map in recursively smaller ORAMs (see NewHierarchy).
+//
+// The experiment harnesses that regenerate the paper's figures and tables
+// live under internal/exp and the cmd/ tools; see DESIGN.md and
+// EXPERIMENTS.md.
+package pathoram
+
+import (
+	crand "crypto/rand"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/encrypt"
+	"repro/internal/integrity"
+	"repro/internal/treemath"
+)
+
+// Encryption selects the randomized bucket-encryption scheme.
+type Encryption int
+
+const (
+	// EncryptCounter is the counter-based scheme (Section 2.2.2):
+	// 8 bytes of overhead per bucket. The default.
+	EncryptCounter Encryption = iota
+	// EncryptStrawman is the per-block random-key scheme (Section 2.2.1):
+	// 16 bytes of overhead per block.
+	EncryptStrawman
+	// EncryptNone stores buckets in the clear. Only meaningful for
+	// simulation and benchmarking: a real deployment must encrypt.
+	EncryptNone
+)
+
+// Stats re-exports the protocol counters.
+type Stats = core.Stats
+
+// Block is a prefetched super-block member returned by Load.
+type Block struct {
+	Addr uint64
+	Data []byte
+}
+
+// Config describes a single Path ORAM.
+type Config struct {
+	// Blocks is the number of addressable blocks (addresses 0..Blocks-1).
+	Blocks uint64
+	// BlockSize is the block payload in bytes. Zero selects metadata-only
+	// mode (no payloads; useful for protocol simulation), which forces
+	// EncryptNone.
+	BlockSize int
+	// Z is the bucket capacity (default 3, the paper's sweet spot for
+	// large ORAMs; small ORAMs may prefer 2 — see Figure 9).
+	Z int
+	// Utilization sizes the tree: Blocks / (Z * bucket count) (default
+	// 0.5, Section 4.1.3). Ignored when LeafLevel is set.
+	Utilization float64
+	// LeafLevel overrides the derived tree depth when > 0.
+	LeafLevel int
+	// StashCapacity is C in blocks (default 200, Section 4.1.2). The
+	// background eviction of Section 3.1 keeps occupancy at or below
+	// C - Z(L+1) between accesses, so the stash cannot overflow.
+	StashCapacity int
+	// SuperBlockSize statically merges groups of adjacent blocks
+	// (Section 3.2). 0 or 1 disables merging.
+	SuperBlockSize int
+	// Encryption selects the bucket encryption (default counter-based).
+	Encryption Encryption
+	// Key is the 16-byte processor secret key; a fresh random key is
+	// drawn when nil (the paper draws a new key per program run to
+	// defeat replay of old ciphertexts).
+	Key []byte
+	// Integrity enables the Section 5 authentication tree: every path
+	// read is verified for authenticity and freshness.
+	Integrity bool
+	// DisableBackgroundEviction turns off automatic dummy accesses
+	// (simulation only: the stash can then overflow, which is Path ORAM
+	// failure).
+	DisableBackgroundEviction bool
+	// Rand, when set, makes all randomness (leaf selection, per-block
+	// keys) deterministic for reproducible simulation. Production use
+	// must leave it nil: leaves then come from crypto/rand.
+	Rand *rand.Rand
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Blocks == 0 {
+		return fmt.Errorf("pathoram: Blocks must be >= 1")
+	}
+	if c.Z == 0 {
+		c.Z = 3
+	}
+	if c.Utilization == 0 {
+		c.Utilization = 0.5
+	}
+	if c.Utilization < 0 || c.Utilization > 1 {
+		return fmt.Errorf("pathoram: utilization %v out of (0,1]", c.Utilization)
+	}
+	if c.StashCapacity == 0 {
+		c.StashCapacity = 200
+	}
+	if c.SuperBlockSize == 0 {
+		c.SuperBlockSize = 1
+	}
+	if c.LeafLevel == 0 {
+		slots := uint64(float64(c.Blocks) / c.Utilization)
+		l := 0
+		for uint64(c.Z)*(1<<uint(l+1)-1) < slots && l < treemath.MaxLeafLevel {
+			l++
+		}
+		for uint64(c.Z)*(1<<uint(l+1)-1) < c.Blocks && l < treemath.MaxLeafLevel {
+			l++
+		}
+		c.LeafLevel = l
+	}
+	if c.BlockSize == 0 && c.Encryption != EncryptNone {
+		c.Encryption = EncryptNone
+	}
+	if c.Key == nil {
+		c.Key = make([]byte, encrypt.KeySize)
+		if _, err := crand.Read(c.Key); err != nil {
+			return fmt.Errorf("pathoram: drawing key: %w", err)
+		}
+	}
+	return nil
+}
+
+func (c *Config) leafSource() core.LeafSource {
+	if c.Rand != nil {
+		return core.NewMathLeafSource(c.Rand)
+	}
+	return core.NewCryptoLeafSource()
+}
+
+// buildScheme constructs the encryption scheme for one tree.
+func (c *Config) buildScheme(numBuckets uint64) (encrypt.Scheme, error) {
+	switch c.Encryption {
+	case EncryptCounter:
+		return encrypt.NewCounterScheme(c.Key, numBuckets)
+	case EncryptStrawman:
+		if c.Rand != nil {
+			return encrypt.NewStrawmanScheme(c.Key, c.Rand)
+		}
+		return encrypt.NewStrawmanScheme(c.Key, crand.Reader)
+	default:
+		return nil, fmt.Errorf("pathoram: scheme %d has no cipher", c.Encryption)
+	}
+}
+
+// ORAM is a single Path ORAM with a private, oblivious block interface.
+type ORAM struct {
+	cfg   Config
+	inner *core.ORAM
+	auth  *integrity.Tree
+	store interface{ MemoryBytes() uint64 }
+}
+
+// New builds an ORAM from the configuration.
+func New(cfg Config) (*ORAM, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	if cfg.Integrity && cfg.Encryption == EncryptNone {
+		return nil, fmt.Errorf("pathoram: integrity verification requires encryption (hashes cover ciphertexts)")
+	}
+	tree := treemath.New(cfg.LeafLevel)
+	var store core.PathStore
+	var auth *integrity.Tree
+	var footprint interface{ MemoryBytes() uint64 }
+	if cfg.Encryption == EncryptNone {
+		ms, err := core.NewMemStore(cfg.LeafLevel, cfg.Z, cfg.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		store = ms
+	} else {
+		scheme, err := cfg.buildScheme(tree.NumBuckets())
+		if err != nil {
+			return nil, err
+		}
+		scfg := encrypt.StoreConfig{
+			LeafLevel: cfg.LeafLevel, Z: cfg.Z, BlockBytes: cfg.BlockSize,
+			Scheme: scheme,
+		}
+		if cfg.Integrity {
+			auth = encrypt.NewAuthTree(cfg.LeafLevel, cfg.Z, cfg.BlockSize, scheme)
+			scfg.Auth = auth
+		}
+		es, err := encrypt.NewStore(scfg)
+		if err != nil {
+			return nil, err
+		}
+		store = es
+		footprint = es
+	}
+	src := cfg.leafSource()
+	params := core.Params{
+		LeafLevel:          cfg.LeafLevel,
+		Z:                  cfg.Z,
+		BlockBytes:         cfg.BlockSize,
+		Blocks:             cfg.Blocks,
+		StashCapacity:      cfg.StashCapacity,
+		SuperBlock:         cfg.SuperBlockSize,
+		BackgroundEviction: !cfg.DisableBackgroundEviction && cfg.StashCapacity > 0,
+	}
+	pos, err := core.NewOnChipPositionMap(params.Groups(), tree.NumLeaves(), src)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.New(params, store, pos, src)
+	if err != nil {
+		return nil, err
+	}
+	return &ORAM{cfg: cfg, inner: inner, auth: auth, store: footprint}, nil
+}
+
+// Read returns a copy of the block at addr (zero-filled if never written).
+// One oblivious path access.
+func (o *ORAM) Read(addr uint64) ([]byte, error) {
+	return o.inner.Access(addr, core.OpRead, nil)
+}
+
+// Write replaces the block at addr. One oblivious path access.
+func (o *ORAM) Write(addr uint64, data []byte) error {
+	_, err := o.inner.Access(addr, core.OpWrite, data)
+	return err
+}
+
+// Update applies fn to the block's content in place, in a single oblivious
+// read-modify-write access.
+func (o *ORAM) Update(addr uint64, fn func(data []byte)) error {
+	return o.inner.Update(addr, fn)
+}
+
+// Load removes the block (and, with super blocks, its resident group
+// members) from the ORAM and hands them to the caller — the exclusive-ORAM
+// read of Section 3.3.1. found is false if addr was never written.
+func (o *ORAM) Load(addr uint64) (data []byte, found bool, group []Block, err error) {
+	data, found, slots, err := o.inner.Load(addr)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	for _, s := range slots {
+		group = append(group, Block{Addr: s.Addr, Data: s.Data})
+	}
+	return data, found, group, nil
+}
+
+// Store returns a previously loaded block. It inserts straight into the
+// stash — no path access (Section 3.3.1).
+func (o *ORAM) Store(addr uint64, data []byte) error {
+	return o.inner.Store(addr, data)
+}
+
+// Stats returns the protocol counters.
+func (o *ORAM) Stats() Stats { return o.inner.Stats() }
+
+// StashSize returns the current stash occupancy in blocks.
+func (o *ORAM) StashSize() int { return o.inner.StashSize() }
+
+// LeafLevel returns L; the tree has L+1 levels.
+func (o *ORAM) LeafLevel() int { return o.cfg.LeafLevel }
+
+// ExternalMemoryBytes returns the external storage footprint (0 for plain
+// in-memory stores).
+func (o *ORAM) ExternalMemoryBytes() uint64 {
+	if o.store == nil {
+		return 0
+	}
+	return o.store.MemoryBytes()
+}
