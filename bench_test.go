@@ -8,7 +8,9 @@ package pathoram
 // cmd/oram-experiments prints the full paper-style tables.
 
 import (
+	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -140,6 +142,127 @@ func BenchmarkDRAMPathReadSubtreeVsNaive(b *testing.B) {
 				}
 			}
 			b.ReportMetric(lastCycles, "DRAMcycles/access")
+		})
+	}
+}
+
+// ---------- sharded serving-layer benchmarks ----------
+
+// newBenchSharded builds and pre-fills a sharded ORAM over the whole
+// logical address space so the benchmarks measure steady state.
+func newBenchSharded(b *testing.B, cfg ShardedConfig) *Sharded {
+	b.Helper()
+	s, err := NewSharded(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, cfg.BlockSize)
+	const chunk = 1024
+	for lo := uint64(0); lo < cfg.Blocks; lo += chunk {
+		hi := lo + chunk
+		if hi > cfg.Blocks {
+			hi = cfg.Blocks
+		}
+		addrs := make([]uint64, 0, chunk)
+		data := make([][]byte, 0, chunk)
+		for a := lo; a < hi; a++ {
+			addrs = append(addrs, a)
+			data = append(data, buf)
+		}
+		if err := s.WriteBatch(addrs, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// BenchmarkShardedThroughput measures single-op read throughput versus
+// shard count under concurrent clients (GOMAXPROCS goroutines via
+// RunParallel). ops/s vs shards=1 is the sharding speedup.
+func BenchmarkShardedThroughput(b *testing.B) {
+	const blocks = 1 << 14
+	const blockSize = 64
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := newBenchSharded(b, ShardedConfig{
+				Shards: shards,
+				Config: Config{Blocks: blocks, BlockSize: blockSize, Encryption: EncryptNone},
+			})
+			defer s.Close()
+			var seed atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(100 + seed.Add(1)))
+				for pb.Next() {
+					if _, err := s.Read(rng.Uint64() % blocks); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
+}
+
+// BenchmarkShardedThroughputEncrypted is the same sweep with the
+// counter-based encryption on: per-shard AES work parallelizes across
+// workers, so sharding gains are larger than in the plaintext sweep.
+func BenchmarkShardedThroughputEncrypted(b *testing.B) {
+	const blocks = 1 << 13
+	const blockSize = 64
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := newBenchSharded(b, ShardedConfig{
+				Shards: shards,
+				Config: Config{Blocks: blocks, BlockSize: blockSize, Encryption: EncryptCounter},
+			})
+			defer s.Close()
+			var seed atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(200 + seed.Add(1)))
+				for pb.Next() {
+					if _, err := s.Read(rng.Uint64() % blocks); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
+}
+
+// BenchmarkShardedBatch measures batched submission from a single client:
+// even one caller gets cross-shard parallelism because the batch fans out
+// to all workers.
+func BenchmarkShardedBatch(b *testing.B) {
+	const blocks = 1 << 14
+	const blockSize = 64
+	const batch = 64
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := newBenchSharded(b, ShardedConfig{
+				Shards: shards,
+				Config: Config{Blocks: blocks, BlockSize: blockSize, Encryption: EncryptNone},
+			})
+			defer s.Close()
+			rng := rand.New(rand.NewSource(300))
+			addrs := make([]uint64, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range addrs {
+					addrs[j] = rng.Uint64() % blocks
+				}
+				if _, err := s.ReadBatch(addrs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "ops/s")
 		})
 	}
 }

@@ -1,0 +1,294 @@
+// Command oram-serve measures the sharded serving layer: closed-loop
+// throughput versus shard count under concurrent client load, with
+// single-op and batched submission modes. The speedup column against the
+// first shard count in the sweep is the headline sharding gain.
+//
+// Example:
+//
+//	oram-serve -blocks 16384 -blocksize 64 -shards 1,2,4,8 -clients 8 -ops 40000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	pathoram "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oram-serve: ")
+	var (
+		blocks    = flag.Uint64("blocks", 1<<14, "total logical blocks")
+		blockSize = flag.Int("blocksize", 64, "block payload bytes")
+		shardsCSV = flag.String("shards", "1,2,4,8", "comma-separated shard counts to sweep")
+		clients   = flag.Int("clients", 8, "concurrent closed-loop clients")
+		ops       = flag.Int("ops", 40000, "total operations per configuration")
+		batch     = flag.Int("batch", 0, "ops per batched submission (0 = single ops)")
+		writeFrac = flag.Float64("writefrac", 0.5, "fraction of operations that are writes")
+		encrypt   = flag.String("encrypt", "counter", "bucket encryption: none|counter|strawman")
+		integrity = flag.Bool("integrity", false, "enable the authentication tree")
+		partition = flag.String("partition", "stripe", "address partition: stripe|range")
+		queue     = flag.Int("queue", 128, "per-shard request queue depth")
+		seed      = flag.Int64("seed", 0, "deterministic ORAM randomness when != 0")
+	)
+	flag.Parse()
+
+	var enc pathoram.Encryption
+	switch *encrypt {
+	case "none":
+		enc = pathoram.EncryptNone
+	case "counter":
+		enc = pathoram.EncryptCounter
+	case "strawman":
+		enc = pathoram.EncryptStrawman
+	default:
+		log.Fatalf("unknown -encrypt %q", *encrypt)
+	}
+	var part pathoram.Partition
+	switch *partition {
+	case "stripe":
+		part = pathoram.PartitionStripe
+	case "range":
+		part = pathoram.PartitionRange
+	default:
+		log.Fatalf("unknown -partition %q", *partition)
+	}
+	shardCounts, err := parseInts(*shardsCSV)
+	if err != nil {
+		log.Fatalf("parsing -shards: %v", err)
+	}
+
+	fmt.Printf("oram-serve: %d blocks x %dB, %s encryption, integrity=%v, partition=%s\n",
+		*blocks, *blockSize, *encrypt, *integrity, *partition)
+	fmt.Printf("load: %d clients, %d ops/config, batch=%d, writefrac=%.2f, GOMAXPROCS=%d\n\n",
+		*clients, *ops, *batch, *writeFrac, runtime.GOMAXPROCS(0))
+
+	w := newTable(os.Stdout)
+	w.row("shards", "wall", "ops/s", "speedup", "dummy/real", "stash-peak", "imbalance")
+	var baseline float64
+	for _, n := range shardCounts {
+		res, err := runConfig(config{
+			blocks: *blocks, blockSize: *blockSize, shards: n, partition: part,
+			encryption: enc, integrity: *integrity, queue: *queue, seed: *seed,
+			clients: *clients, ops: *ops, batch: *batch, writeFrac: *writeFrac,
+		})
+		if err != nil {
+			log.Fatalf("shards=%d: %v", n, err)
+		}
+		if baseline == 0 {
+			baseline = res.opsPerSec
+		}
+		w.row(
+			strconv.Itoa(n),
+			res.wall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", res.opsPerSec),
+			fmt.Sprintf("%.2fx", res.opsPerSec/baseline),
+			fmt.Sprintf("%.3f", res.dummyPerReal),
+			strconv.Itoa(res.stashPeak),
+			fmt.Sprintf("%.2f", res.imbalance),
+		)
+	}
+	w.flush()
+	fmt.Println("\nimbalance = busiest shard's executed requests / mean (1.00 is perfectly even)")
+}
+
+type config struct {
+	blocks     uint64
+	blockSize  int
+	shards     int
+	partition  pathoram.Partition
+	encryption pathoram.Encryption
+	integrity  bool
+	queue      int
+	seed       int64
+	clients    int
+	ops        int
+	batch      int
+	writeFrac  float64
+}
+
+type result struct {
+	wall         time.Duration
+	opsPerSec    float64
+	dummyPerReal float64
+	stashPeak    int
+	imbalance    float64
+}
+
+func runConfig(c config) (result, error) {
+	cfg := pathoram.ShardedConfig{
+		Shards:     c.shards,
+		Partition:  c.partition,
+		QueueDepth: c.queue,
+		Config: pathoram.Config{
+			Blocks: c.blocks, BlockSize: c.blockSize,
+			Encryption: c.encryption, Integrity: c.integrity,
+		},
+	}
+	if c.seed != 0 {
+		cfg.Rand = rand.New(rand.NewSource(c.seed))
+	}
+	s, err := pathoram.NewSharded(cfg)
+	if err != nil {
+		return result{}, err
+	}
+	defer s.Close()
+
+	// Pre-fill so the measurement sees steady state, then reset clocks.
+	buf := make([]byte, c.blockSize)
+	const chunk = 2048
+	for lo := uint64(0); lo < c.blocks; lo += chunk {
+		hi := min(lo+chunk, c.blocks)
+		addrs := make([]uint64, 0, chunk)
+		data := make([][]byte, 0, chunk)
+		for a := lo; a < hi; a++ {
+			addrs = append(addrs, a)
+			data = append(data, buf)
+		}
+		if err := s.WriteBatch(addrs, data); err != nil {
+			return result{}, err
+		}
+	}
+	// Exclude the pre-fill from every reported metric: reset the protocol
+	// counters and snapshot the cumulative scheduler counters.
+	s.ResetStats()
+	preSched := s.SchedulerStats()
+
+	perClient := c.ops / c.clients
+	if c.batch > 0 {
+		// Clients round up to whole batches; account for what actually runs.
+		perClient = (perClient + c.batch - 1) / c.batch * c.batch
+	}
+	if perClient == 0 {
+		return result{}, fmt.Errorf("-ops %d spread over %d clients leaves no work per client", c.ops, c.clients)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, c.clients)
+	start := time.Now()
+	for cl := 0; cl < c.clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(cl) + 1))
+			payload := make([]byte, c.blockSize)
+			if c.batch > 0 {
+				addrs := make([]uint64, c.batch)
+				for done := 0; done < perClient; done += c.batch {
+					for j := range addrs {
+						addrs[j] = rng.Uint64() % c.blocks
+					}
+					if rng.Float64() < c.writeFrac {
+						data := make([][]byte, c.batch)
+						for j := range data {
+							data[j] = payload
+						}
+						if err := s.WriteBatch(addrs, data); err != nil {
+							errs <- err
+							return
+						}
+					} else if _, err := s.ReadBatch(addrs); err != nil {
+						errs <- err
+						return
+					}
+				}
+				return
+			}
+			for i := 0; i < perClient; i++ {
+				addr := rng.Uint64() % c.blocks
+				var opErr error
+				if rng.Float64() < c.writeFrac {
+					opErr = s.Write(addr, payload)
+				} else {
+					_, opErr = s.Read(addr)
+				}
+				if opErr != nil {
+					errs <- opErr
+					return
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	select {
+	case err := <-errs:
+		return result{}, err
+	default:
+	}
+
+	st := s.Stats()
+	sched := s.SchedulerStats()
+	var total, max uint64
+	for i, n := range sched.ExecutedPerShard {
+		n -= preSched.ExecutedPerShard[i]
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	mean := float64(total) / float64(len(sched.ExecutedPerShard))
+	return result{
+		wall:         wall,
+		opsPerSec:    float64(c.clients*perClient) / wall.Seconds(),
+		dummyPerReal: st.DummyPerReal(),
+		stashPeak:    st.StashPeak,
+		imbalance:    float64(max) / mean,
+	}, nil
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("shard count %d must be >= 1", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty sweep")
+	}
+	return out, nil
+}
+
+// table is a minimal right-aligned column printer.
+type table struct {
+	out  *os.File
+	rows [][]string
+}
+
+func newTable(out *os.File) *table { return &table{out: out} }
+
+func (t *table) row(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) flush() {
+	if len(t.rows) == 0 {
+		return
+	}
+	widths := make([]int, len(t.rows[0]))
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			fmt.Fprintf(t.out, "%*s  ", widths[i], c)
+		}
+		fmt.Fprintln(t.out)
+	}
+}

@@ -1,7 +1,6 @@
 package pathoram
 
 import (
-	"crypto/aes"
 	crand "crypto/rand"
 	"fmt"
 	"math/rand"
@@ -137,19 +136,11 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 	return &Hierarchy{inner: inner, cfg: cfg}, nil
 }
 
-// deriveKey expands the master key into an independent per-level key with
-// one AES block: K_level = AES_K(level). Distinct levels therefore never
+// deriveKey expands the master key into an independent per-level key
+// (deriveSubKey in the hierarchy domain). Distinct levels therefore never
 // share one-time pads even though bucket IDs repeat across trees.
 func deriveKey(master []byte, level int) ([]byte, error) {
-	blk, err := aes.NewCipher(master)
-	if err != nil {
-		return nil, err
-	}
-	var in, out [16]byte
-	in[0] = byte(level)
-	in[1] = byte(level >> 8)
-	blk.Encrypt(out[:], in[:])
-	return out[:], nil
+	return deriveSubKey(master, domainHierarchy, uint64(level))
 }
 
 // Read returns a copy of the data block at addr. One path access in every

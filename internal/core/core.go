@@ -177,6 +177,26 @@ type Stats struct {
 	MaxDummyRun int
 }
 
+// Merge returns the combination of s and other: additive counters are
+// summed, high-water marks take the maximum. The sharded serving layer
+// uses it to aggregate per-shard counters into one view; note StashPeak
+// then reports the worst single shard, not a sum — per-shard stashes are
+// independent on-chip structures.
+func (s Stats) Merge(other Stats) Stats {
+	s.RealAccesses += other.RealAccesses
+	s.DummyAccesses += other.DummyAccesses
+	s.EvictionAccesses += other.EvictionAccesses
+	s.Stores += other.Stores
+	s.BlocksInORAM += other.BlocksInORAM
+	if other.StashPeak > s.StashPeak {
+		s.StashPeak = other.StashPeak
+	}
+	if other.MaxDummyRun > s.MaxDummyRun {
+		s.MaxDummyRun = other.MaxDummyRun
+	}
+	return s
+}
+
 // DummyPerReal returns DA/RA (0 when no real accesses happened).
 func (s Stats) DummyPerReal() float64 {
 	if s.RealAccesses == 0 {
@@ -249,7 +269,9 @@ func (o *ORAM) Tree() treemath.Tree { return o.tree }
 func (o *ORAM) Stats() Stats { return o.stats }
 
 // ResetStats clears the activity counters (peak occupancy included).
-func (o *ORAM) ResetStats() { o.stats = Stats{} }
+// BlocksInORAM is a live occupancy gauge, not a counter — it survives the
+// reset, or the next Load of a resident block would underflow it.
+func (o *ORAM) ResetStats() { o.stats = Stats{BlocksInORAM: o.stats.BlocksInORAM} }
 
 // StashSize returns the current stash occupancy in blocks.
 func (o *ORAM) StashSize() int { return o.stash.len() }

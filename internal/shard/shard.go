@@ -1,0 +1,343 @@
+// Package shard implements the concurrency layer of the sharded ORAM
+// serving stack: a pool of worker goroutines, one per shard, each owning a
+// single-threaded ORAM engine exclusively and draining a buffered request
+// queue.
+//
+// The Path ORAM protocol in internal/core is deliberately single-threaded
+// and lock-free: an access mutates the stash, the position map, the bucket
+// counters and the authentication tree together, so fine-grained locking
+// inside one tree buys nothing but contention. Parallelism instead comes
+// from running N independent trees (Stefanov et al. observe that disjoint
+// trees are accessed independently without weakening obliviousness; Palermo
+// builds its throughput on the same structure). The pool enforces the
+// one-goroutine-per-tree ownership discipline: engines are handed over at
+// construction and are only ever touched from their worker goroutine, which
+// is what lets the whole stack stay mutex-free on the hot path.
+//
+// Requests are submitted either singly (Do: enqueue and wait) or as a batch
+// (DoBatch: fan out across shards, join, preserve input order). Close
+// drains every request already accepted before the workers exit, so no
+// caller is ever left waiting on an abandoned request.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine is one single-threaded ORAM instance. The pool takes exclusive
+// ownership: after NewPool returns, an engine must only be used by its
+// worker goroutine (or through Inspect requests, which run on the worker).
+type Engine interface {
+	// Read returns a copy of the block at addr.
+	Read(addr uint64) ([]byte, error)
+	// Write replaces the block at addr.
+	Write(addr uint64, data []byte) error
+	// Update applies fn to the block in one read-modify-write access.
+	Update(addr uint64, fn func(data []byte)) error
+}
+
+// Op selects what a Request does on its shard's engine.
+type Op int
+
+const (
+	// OpRead reads Addr; the result lands in Request.Out.
+	OpRead Op = iota
+	// OpWrite writes Data to Addr.
+	OpWrite
+	// OpUpdate applies Fn to Addr in a single oblivious access.
+	OpUpdate
+	// OpInspect runs Run on the worker goroutine with exclusive access to
+	// the engine and nothing else in flight on that shard. Used to take
+	// consistent stats snapshots without stopping the world.
+	OpInspect
+)
+
+// ErrClosed is returned for requests submitted after Close.
+var ErrClosed = errors.New("shard: pool is closed")
+
+// Request is one operation bound for a shard worker. The Op-specific input
+// fields must be set before submission; Out and Err are written by the
+// worker and must only be read after Do/DoBatch returns.
+type Request struct {
+	Op   Op
+	Addr uint64            // engine-local address (OpRead/OpWrite/OpUpdate)
+	Data []byte            // OpWrite payload
+	Fn   func(data []byte) // OpUpdate mutator
+	Run  func()            // OpInspect body
+
+	Out []byte // OpRead result
+	Err error  // operation outcome
+
+	wg *sync.WaitGroup
+}
+
+// Stats are the scheduler's own counters (the ORAM protocol counters live
+// in the engines).
+type Stats struct {
+	// SingleOps counts requests submitted through Do.
+	SingleOps uint64
+	// Batches counts DoBatch calls; BatchedOps counts the requests they
+	// carried.
+	Batches    uint64
+	BatchedOps uint64
+	// ExecutedPerShard counts requests completed by each worker.
+	ExecutedPerShard []uint64
+}
+
+// paddedCounter is an atomic counter padded to its own cache line so
+// per-shard counters don't false-share under concurrent load.
+type paddedCounter struct {
+	atomic.Uint64
+	_ [56]byte
+}
+
+// Pool owns N engines and runs one worker goroutine per engine.
+type Pool struct {
+	engines []Engine
+	queues  []chan *Request
+	workers sync.WaitGroup
+
+	// mu guards closed against concurrent Close: submitters hold the read
+	// lock across the channel send, so Close (write lock) cannot close a
+	// channel out from under an in-flight send.
+	mu     sync.RWMutex
+	closed bool
+
+	// inspectMu serializes post-Close direct inspections: once the workers
+	// have exited, concurrent Inspect/InspectAll callers would otherwise
+	// touch the engines from their own goroutines simultaneously.
+	inspectMu sync.Mutex
+
+	singleOps  atomic.Uint64
+	batches    atomic.Uint64
+	batchedOps atomic.Uint64
+	executed   []paddedCounter
+}
+
+// NewPool starts one worker per engine. queueDepth is the per-shard buffer
+// (default 128 when <= 0): deep enough to absorb bursts, shallow enough to
+// bound the work Close must drain.
+func NewPool(engines []Engine, queueDepth int) (*Pool, error) {
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("shard: pool needs at least one engine")
+	}
+	for i, e := range engines {
+		if e == nil {
+			return nil, fmt.Errorf("shard: engine %d is nil", i)
+		}
+	}
+	if queueDepth <= 0 {
+		queueDepth = 128
+	}
+	p := &Pool{
+		engines:  engines,
+		queues:   make([]chan *Request, len(engines)),
+		executed: make([]paddedCounter, len(engines)),
+	}
+	for i := range engines {
+		p.queues[i] = make(chan *Request, queueDepth)
+		p.workers.Add(1)
+		go p.run(i)
+	}
+	return p, nil
+}
+
+// NumShards returns the number of engines.
+func (p *Pool) NumShards() int { return len(p.engines) }
+
+// run is the worker loop: serially apply every request routed to shard i.
+// Ranging over the queue makes Close-time draining automatic — the loop
+// only exits once the closed channel is empty.
+func (p *Pool) run(i int) {
+	defer p.workers.Done()
+	e := p.engines[i]
+	for req := range p.queues[i] {
+		switch req.Op {
+		case OpRead:
+			req.Out, req.Err = e.Read(req.Addr)
+		case OpWrite:
+			req.Err = e.Write(req.Addr, req.Data)
+		case OpUpdate:
+			req.Err = e.Update(req.Addr, req.Fn)
+		case OpInspect:
+			if req.Run != nil {
+				req.Run()
+			}
+		default:
+			req.Err = fmt.Errorf("shard: unknown op %d", req.Op)
+		}
+		if req.Op != OpInspect {
+			// Inspections are internal monitoring, not load: keeping them
+			// out of the counters means ExecutedPerShard measures ORAM
+			// traffic even when Stats() is polled frequently.
+			p.executed[i].Add(1)
+		}
+		req.wg.Done()
+	}
+}
+
+// submit enqueues req on shard s. req.wg must be armed by the caller.
+func (p *Pool) submit(s int, req *Request) error {
+	if s < 0 || s >= len(p.queues) {
+		return fmt.Errorf("shard: shard %d out of range [0,%d)", s, len(p.queues))
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	// Blocking on a full queue while holding the read lock is safe: the
+	// worker keeps draining, and Close merely waits until the send lands.
+	p.queues[s] <- req
+	return nil
+}
+
+// Do submits req to shard s and waits for the worker to complete it.
+// The returned error is the request's own Err (nil on success), or
+// ErrClosed if the pool no longer accepts work.
+func (p *Pool) Do(s int, req *Request) error {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	req.wg = &wg
+	if err := p.submit(s, req); err != nil {
+		req.Err = err
+		return err
+	}
+	wg.Wait()
+	if req.Op != OpInspect {
+		p.singleOps.Add(1)
+	}
+	return req.Err
+}
+
+// DoBatch submits reqs[i] to shards[i] for all i, then waits for every
+// request to finish. Results stay in input order because each request
+// carries its own result slot. Per-request outcomes are in reqs[i].Err;
+// the returned error is the first non-nil one (submission errors
+// included), so callers with homogeneous batches can check one value.
+func (p *Pool) DoBatch(shards []int, reqs []*Request) error {
+	if len(shards) != len(reqs) {
+		return fmt.Errorf("shard: %d shard routes for %d requests", len(shards), len(reqs))
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(reqs))
+	enqueued := 0
+	for i, r := range reqs {
+		r.wg = &wg
+		if err := p.submit(shards[i], r); err != nil {
+			// Nothing from i on was enqueued: fail the remainder locally
+			// and release their waits so the join below still fires.
+			for j := i; j < len(reqs); j++ {
+				reqs[j].Err = err
+				wg.Done()
+			}
+			break
+		}
+		enqueued++
+	}
+	wg.Wait()
+	// Count only work that reached a worker, so BatchedOps stays
+	// reconcilable with ExecutedPerShard even when submission fails.
+	if enqueued > 0 {
+		p.batches.Add(1)
+		p.batchedOps.Add(uint64(enqueued))
+	}
+	for _, r := range reqs {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}
+
+// Inspect runs fn on shard s's worker goroutine, serialized with that
+// shard's request stream, giving fn exclusive access to the engine. If the
+// pool is closed it waits for the workers to exit and then runs fn
+// directly — the engine is quiescent either way.
+func (p *Pool) Inspect(s int, fn func()) error {
+	req := &Request{Op: OpInspect, Run: fn}
+	err := p.Do(s, req)
+	if errors.Is(err, ErrClosed) {
+		if s < 0 || s >= len(p.engines) {
+			return fmt.Errorf("shard: shard %d out of range [0,%d)", s, len(p.engines))
+		}
+		// closed was observed, so Close already closed the queues; the
+		// workers exit once drained. Wait, then run fn with the post-close
+		// inspection lock so concurrent inspectors stay serialized.
+		p.workers.Wait()
+		p.inspectMu.Lock()
+		fn()
+		p.inspectMu.Unlock()
+		return nil
+	}
+	return err
+}
+
+// InspectAll runs fns[i] on shard i's worker for every shard, fanned out
+// concurrently (one queue wait in parallel per shard, not summed) while
+// still serializing each fn with its shard's request stream. Shards whose
+// submission raced with Close are handled like Inspect: wait for the
+// drain, then run directly on the quiescent engine.
+func (p *Pool) InspectAll(fns []func()) error {
+	if len(fns) != len(p.engines) {
+		return fmt.Errorf("shard: %d inspectors for %d shards", len(fns), len(p.engines))
+	}
+	var wg sync.WaitGroup
+	backing := make([]Request, len(fns))
+	var direct []int
+	for i, fn := range fns {
+		backing[i] = Request{Op: OpInspect, Run: fn, wg: &wg}
+		wg.Add(1)
+		if err := p.submit(i, &backing[i]); err != nil {
+			wg.Done()
+			if errors.Is(err, ErrClosed) {
+				direct = append(direct, i)
+				continue
+			}
+			return err
+		}
+	}
+	wg.Wait()
+	if len(direct) > 0 {
+		p.workers.Wait()
+		p.inspectMu.Lock()
+		for _, i := range direct {
+			fns[i]()
+		}
+		p.inspectMu.Unlock()
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the scheduler counters.
+func (p *Pool) Stats() Stats {
+	s := Stats{
+		SingleOps:        p.singleOps.Load(),
+		Batches:          p.batches.Load(),
+		BatchedOps:       p.batchedOps.Load(),
+		ExecutedPerShard: make([]uint64, len(p.executed)),
+	}
+	for i := range p.executed {
+		s.ExecutedPerShard[i] = p.executed[i].Load()
+	}
+	return s
+}
+
+// Close stops accepting requests, waits for every already-accepted request
+// to complete, and stops the workers. Safe to call more than once; later
+// calls wait for the drain and return nil.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		for _, q := range p.queues {
+			close(q)
+		}
+	}
+	p.mu.Unlock()
+	p.workers.Wait()
+	return nil
+}

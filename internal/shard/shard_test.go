@@ -1,0 +1,434 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeEngine is a deliberately non-thread-safe map engine: if the pool ever
+// touched it from two goroutines, the race detector would fire.
+type fakeEngine struct {
+	blocks   map[uint64][]byte
+	ops      []uint64 // addresses in execution order
+	delay    time.Duration
+	failAddr uint64 // Read/Write of this address fails
+	hasFail  bool
+}
+
+var errFake = errors.New("fake engine failure")
+
+func newFakeEngine() *fakeEngine {
+	return &fakeEngine{blocks: make(map[uint64][]byte)}
+}
+
+func (e *fakeEngine) Read(addr uint64) ([]byte, error) {
+	if e.delay > 0 {
+		time.Sleep(e.delay)
+	}
+	e.ops = append(e.ops, addr)
+	if e.hasFail && addr == e.failAddr {
+		return nil, errFake
+	}
+	return append([]byte(nil), e.blocks[addr]...), nil
+}
+
+func (e *fakeEngine) Write(addr uint64, data []byte) error {
+	if e.delay > 0 {
+		time.Sleep(e.delay)
+	}
+	e.ops = append(e.ops, addr)
+	if e.hasFail && addr == e.failAddr {
+		return errFake
+	}
+	e.blocks[addr] = append([]byte(nil), data...)
+	return nil
+}
+
+func (e *fakeEngine) Update(addr uint64, fn func([]byte)) error {
+	if e.delay > 0 {
+		time.Sleep(e.delay)
+	}
+	e.ops = append(e.ops, addr)
+	d := e.blocks[addr]
+	fn(d)
+	e.blocks[addr] = d
+	return nil
+}
+
+func newTestPool(t *testing.T, n, depth int) (*Pool, []*fakeEngine) {
+	t.Helper()
+	fakes := make([]*fakeEngine, n)
+	engines := make([]Engine, n)
+	for i := range fakes {
+		fakes[i] = newFakeEngine()
+		engines[i] = fakes[i]
+	}
+	p, err := NewPool(engines, depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, fakes
+}
+
+func val(i uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], i)
+	return b[:]
+}
+
+func TestPoolValidation(t *testing.T) {
+	if _, err := NewPool(nil, 0); err == nil {
+		t.Error("empty engine list accepted")
+	}
+	if _, err := NewPool([]Engine{nil}, 0); err == nil {
+		t.Error("nil engine accepted")
+	}
+	p, _ := newTestPool(t, 2, 0)
+	defer p.Close()
+	if err := p.Do(5, &Request{Op: OpRead}); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+	if err := p.DoBatch([]int{0, 1}, []*Request{{Op: OpRead}}); err == nil {
+		t.Error("mismatched batch lengths accepted")
+	}
+}
+
+func TestDoRoundTrip(t *testing.T) {
+	p, _ := newTestPool(t, 3, 4)
+	defer p.Close()
+	for i := uint64(0); i < 30; i++ {
+		s := int(i % 3)
+		if err := p.Do(s, &Request{Op: OpWrite, Addr: i, Data: val(i)}); err != nil {
+			t.Fatal(err)
+		}
+		req := &Request{Op: OpRead, Addr: i}
+		if err := p.Do(s, req); err != nil {
+			t.Fatal(err)
+		}
+		if got := binary.LittleEndian.Uint64(req.Out); got != i {
+			t.Fatalf("read back %d, want %d", got, i)
+		}
+	}
+	st := p.Stats()
+	if st.SingleOps != 60 {
+		t.Errorf("SingleOps = %d, want 60", st.SingleOps)
+	}
+	var executed uint64
+	for _, n := range st.ExecutedPerShard {
+		executed += n
+	}
+	if executed != 60 {
+		t.Errorf("executed = %d, want 60", executed)
+	}
+}
+
+func TestPerShardFIFO(t *testing.T) {
+	p, fakes := newTestPool(t, 1, 64)
+	reqs := make([]*Request, 50)
+	shards := make([]int, 50)
+	for i := range reqs {
+		reqs[i] = &Request{Op: OpWrite, Addr: uint64(i), Data: val(uint64(i))}
+	}
+	if err := p.DoBatch(shards, reqs); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range fakes[0].ops {
+		if a != uint64(i) {
+			t.Fatalf("shard executed addr %d at position %d; queue is not FIFO", a, i)
+		}
+	}
+}
+
+func TestDoBatchOrderAndErrors(t *testing.T) {
+	p, fakes := newTestPool(t, 4, 8)
+	defer p.Close()
+
+	n := 40
+	reqs := make([]*Request, n)
+	shards := make([]int, n)
+	for i := 0; i < n; i++ {
+		shards[i] = i % 4
+		reqs[i] = &Request{Op: OpWrite, Addr: uint64(i), Data: val(uint64(i))}
+	}
+	if err := p.DoBatch(shards, reqs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read everything back in one batch; shard 2 now fails on addr 6
+	// (global index 6 routes to shard 6%4 == 2).
+	fakes[2].hasFail = true
+	fakes[2].failAddr = 6
+	rr := make([]*Request, n)
+	for i := 0; i < n; i++ {
+		rr[i] = &Request{Op: OpRead, Addr: uint64(i)}
+	}
+	err := p.DoBatch(shards, rr)
+	var failures int
+	for i, r := range rr {
+		if shards[i] == 2 && r.Addr == 6 {
+			if !errors.Is(r.Err, errFake) {
+				t.Errorf("request %d: err = %v, want fake failure", i, r.Err)
+			}
+			failures++
+			continue
+		}
+		if r.Err != nil {
+			t.Errorf("request %d: unexpected error %v", i, r.Err)
+			continue
+		}
+		if got := binary.LittleEndian.Uint64(r.Out); got != uint64(i) {
+			t.Errorf("request %d: out of order result %d", i, got)
+		}
+	}
+	if failures == 0 {
+		t.Fatal("test never exercised the failing address")
+	}
+	if !errors.Is(err, errFake) {
+		t.Errorf("batch error = %v, want the per-request failure surfaced", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	p, _ := newTestPool(t, 4, 16)
+	defer p.Close()
+	const clients = 8
+	const opsPer = 200
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Each client owns a disjoint address slice per shard.
+			for i := 0; i < opsPer; i++ {
+				addr := uint64(c*opsPer + i)
+				s := int(addr % 4)
+				if err := p.Do(s, &Request{Op: OpWrite, Addr: addr, Data: val(addr)}); err != nil {
+					t.Errorf("client %d write: %v", c, err)
+					return
+				}
+				req := &Request{Op: OpRead, Addr: addr}
+				if err := p.Do(s, req); err != nil {
+					t.Errorf("client %d read: %v", c, err)
+					return
+				}
+				if got := binary.LittleEndian.Uint64(req.Out); got != addr {
+					t.Errorf("client %d: read %d want %d", c, got, addr)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func TestCloseDrainsAcceptedRequests(t *testing.T) {
+	p, fakes := newTestPool(t, 2, 64)
+	for _, f := range fakes {
+		f.delay = 100 * time.Microsecond
+	}
+	var accepted, closedErrs atomic.Uint64
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				addr := uint64(c*100 + i)
+				err := p.Do(int(addr%2), &Request{Op: OpWrite, Addr: addr, Data: val(addr)})
+				switch {
+				case err == nil:
+					accepted.Add(1)
+				case errors.Is(err, ErrClosed):
+					closedErrs.Add(1)
+				default:
+					t.Errorf("unexpected error: %v", err)
+				}
+			}
+		}(c)
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	// Every accepted request must have executed: Close drains, never drops.
+	executed := uint64(len(fakes[0].ops) + len(fakes[1].ops))
+	if executed != accepted.Load() {
+		t.Errorf("accepted %d requests but executed %d", accepted.Load(), executed)
+	}
+	if accepted.Load() == 0 {
+		t.Error("test closed before any request was accepted")
+	}
+	// Second close is a harmless no-op.
+	if err := p.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := p.Do(0, &Request{Op: OpRead}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Do after Close = %v, want ErrClosed", err)
+	}
+	before := p.Stats()
+	if err := p.DoBatch([]int{0}, []*Request{{Op: OpRead}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("DoBatch after Close = %v, want ErrClosed", err)
+	}
+	after := p.Stats()
+	if after.Batches != before.Batches || after.BatchedOps != before.BatchedOps {
+		t.Errorf("fully-rejected batch moved counters: %+v -> %+v", before, after)
+	}
+}
+
+func TestInspectSerializesWithRequests(t *testing.T) {
+	p, fakes := newTestPool(t, 1, 32)
+	var before int
+	if err := p.Inspect(0, func() { before = len(fakes[0].ops) }); err != nil {
+		t.Fatal(err)
+	}
+	if before != 0 {
+		t.Errorf("inspect before work saw %d ops", before)
+	}
+	for i := uint64(0); i < 10; i++ {
+		if err := p.Do(0, &Request{Op: OpWrite, Addr: i, Data: val(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var during int
+	if err := p.Inspect(0, func() { during = len(fakes[0].ops) }); err != nil {
+		t.Fatal(err)
+	}
+	if during != 10 {
+		t.Errorf("inspect saw %d ops, want 10", during)
+	}
+	// After Close, Inspect falls back to direct (quiescent) access.
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var after int
+	if err := p.Inspect(0, func() { after = len(fakes[0].ops) }); err != nil {
+		t.Fatal(err)
+	}
+	if after != 10 {
+		t.Errorf("post-close inspect saw %d ops, want 10", after)
+	}
+	if err := p.Inspect(99, func() {}); err == nil {
+		t.Error("post-close inspect accepted out-of-range shard")
+	}
+	// Concurrent post-close inspectors must stay serialized: the workers
+	// are gone, so the pool itself has to provide the mutual exclusion.
+	var counter int
+	var cwg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for k := 0; k < 50; k++ {
+				if err := p.Inspect(0, func() { counter++ }); err != nil {
+					t.Errorf("post-close inspect: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	cwg.Wait()
+	if counter != 400 {
+		t.Errorf("post-close inspectors raced: counter = %d, want 400", counter)
+	}
+}
+
+func TestInspectAllFansOut(t *testing.T) {
+	p, fakes := newTestPool(t, 3, 8)
+	for i := uint64(0); i < 9; i++ {
+		if err := p.Do(int(i%3), &Request{Op: OpWrite, Addr: i, Data: val(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := make([]int, 3)
+	fns := make([]func(), 3)
+	for i := range fns {
+		fns[i] = func() { counts[i] = len(fakes[i].ops) }
+	}
+	if err := p.InspectAll(fns); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range counts {
+		if n != 3 {
+			t.Errorf("shard %d: inspector saw %d ops, want 3", i, n)
+		}
+	}
+	if err := p.InspectAll(fns[:2]); err == nil {
+		t.Error("mismatched inspector count accepted")
+	}
+	// Inspections are monitoring, not load: counters must not move.
+	st := p.Stats()
+	if st.SingleOps != 9 {
+		t.Errorf("SingleOps = %d, want 9 (inspects must not count)", st.SingleOps)
+	}
+	for i, n := range st.ExecutedPerShard {
+		if n != 3 {
+			t.Errorf("shard %d executed = %d, want 3 (inspects must not count)", i, n)
+		}
+	}
+	// After Close, InspectAll reads the quiescent engines directly.
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InspectAll(fns); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range counts {
+		if n != 3 {
+			t.Errorf("post-close shard %d: inspector saw %d ops, want 3", i, n)
+		}
+	}
+}
+
+func TestUpdateOp(t *testing.T) {
+	p, _ := newTestPool(t, 2, 4)
+	defer p.Close()
+	if err := p.Do(1, &Request{Op: OpWrite, Addr: 3, Data: val(41)}); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Do(1, &Request{Op: OpUpdate, Addr: 3, Fn: func(d []byte) {
+		binary.LittleEndian.PutUint64(d, binary.LittleEndian.Uint64(d)+1)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &Request{Op: OpRead, Addr: 3}
+	if err := p.Do(1, req); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(req.Out); got != 42 {
+		t.Errorf("update result %d, want 42", got)
+	}
+	if err := p.Do(0, &Request{Op: Op(99)}); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestPoolStatsCounters(t *testing.T) {
+	p, _ := newTestPool(t, 2, 4)
+	defer p.Close()
+	for i := 0; i < 5; i++ {
+		if err := p.Do(0, &Request{Op: OpWrite, Addr: 1, Data: val(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reqs := []*Request{{Op: OpRead, Addr: 1}, {Op: OpRead, Addr: 1}}
+	if err := p.DoBatch([]int{0, 1}, reqs); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.SingleOps != 5 || st.Batches != 1 || st.BatchedOps != 2 {
+		t.Errorf("stats = %+v, want 5 single / 1 batch / 2 batched", st)
+	}
+	if fmt.Sprint(st.ExecutedPerShard) != "[6 1]" {
+		t.Errorf("per-shard executed = %v, want [6 1]", st.ExecutedPerShard)
+	}
+}

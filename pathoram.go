@@ -96,8 +96,19 @@ type Config struct {
 	DisableBackgroundEviction bool
 	// Rand, when set, makes all randomness (leaf selection, per-block
 	// keys) deterministic for reproducible simulation. Production use
-	// must leave it nil: leaves then come from crypto/rand.
+	// must leave it nil: leaves then come from crypto/rand. NewSharded
+	// never shares one generator across shards (math/rand generators are
+	// not goroutine-safe); it derives an independent per-shard generator
+	// from this one instead, keeping sharded simulations reproducible.
 	Rand *rand.Rand
+	// OnPathAccess, when set, observes every path the ORAM touches, in
+	// order, real and dummy alike — exactly the adversary's view of the
+	// access sequence. Observability/test hook; it runs synchronously on
+	// the accessing goroutine. In a ShardedConfig the hook is copied into
+	// every shard, whose workers invoke it concurrently — it must be safe
+	// for concurrent use there (or use OnShardPathAccess, whose shard
+	// index makes per-shard accumulators race-free).
+	OnPathAccess func(leaf uint64)
 }
 
 func (c *Config) applyDefaults() error {
@@ -138,6 +149,10 @@ func (c *Config) applyDefaults() error {
 		if _, err := crand.Read(c.Key); err != nil {
 			return fmt.Errorf("pathoram: drawing key: %w", err)
 		}
+	} else {
+		// Copy so a caller mutating its slice afterwards cannot desync the
+		// schemes built from it.
+		c.Key = append([]byte(nil), c.Key...)
 	}
 	return nil
 }
@@ -220,6 +235,10 @@ func New(cfg Config) (*ORAM, error) {
 		SuperBlock:         cfg.SuperBlockSize,
 		BackgroundEviction: !cfg.DisableBackgroundEviction && cfg.StashCapacity > 0,
 	}
+	if cfg.OnPathAccess != nil {
+		hook := cfg.OnPathAccess
+		params.OnPathAccess = func(leaf uint64, _ core.AccessKind) { hook(leaf) }
+	}
 	pos, err := core.NewOnChipPositionMap(params.Groups(), tree.NumLeaves(), src)
 	if err != nil {
 		return nil, err
@@ -271,6 +290,11 @@ func (o *ORAM) Store(addr uint64, data []byte) error {
 
 // Stats returns the protocol counters.
 func (o *ORAM) Stats() Stats { return o.inner.Stats() }
+
+// ResetStats clears the protocol counters (peak occupancy included).
+// BlocksInORAM is a live occupancy gauge, not a counter, and survives the
+// reset.
+func (o *ORAM) ResetStats() { o.inner.ResetStats() }
 
 // StashSize returns the current stash occupancy in blocks.
 func (o *ORAM) StashSize() int { return o.inner.StashSize() }

@@ -1,0 +1,444 @@
+package pathoram
+
+import (
+	"crypto/aes"
+	crand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/encrypt"
+	"repro/internal/shard"
+)
+
+// Partition selects how Sharded maps logical addresses to shards.
+type Partition int
+
+const (
+	// PartitionStripe routes address a to shard a mod N with local address
+	// a div N. Sequential and strided scans spread evenly over all shards,
+	// which is the right default for throughput; the cost is that logically
+	// adjacent addresses land in different trees, so per-shard super blocks
+	// no longer capture the program's spatial locality.
+	PartitionStripe Partition = iota
+	// PartitionRange gives each shard one contiguous slice of the address
+	// space. Adjacency survives inside a shard — super-block prefetching
+	// keeps its meaning — but a sequential scan hammers one shard at a
+	// time.
+	PartitionRange
+)
+
+// ShardedConfig describes a sharded, concurrency-safe ORAM: N independent
+// Path ORAM instances behind a batched request scheduler.
+type ShardedConfig struct {
+	// Config is the per-shard template. Blocks is the TOTAL logical
+	// address space; it is split across the shards by Partition, and every
+	// other field applies to each shard individually (an explicit
+	// LeafLevel, for instance, sizes every shard's tree). Key is the
+	// master secret: each shard receives its own key derived from it, and
+	// Rand seeds an independent per-shard generator — neither is ever
+	// shared between shards (see NewSharded).
+	Config
+	// Shards is the number of independent Path ORAM instances, each owned
+	// by its own worker goroutine. Default 1. Must not exceed Blocks.
+	Shards int
+	// Partition selects the address-space split (default PartitionStripe).
+	Partition Partition
+	// QueueDepth is the per-shard request queue length (default 128).
+	QueueDepth int
+	// OnShardPathAccess, when set, observes every path each shard touches
+	// — the adversary's per-shard view of the access sequence. It is
+	// called from the shard worker goroutines, so distinct shards invoke
+	// it concurrently; the callback must tolerate that (per-shard
+	// accumulators indexed by the shard argument need no locking).
+	OnShardPathAccess func(shard int, leaf uint64)
+}
+
+// Sharded is a concurrency-safe ORAM serving layer. It partitions the
+// logical address space over independent Path ORAM shards, each owned
+// exclusively by a worker goroutine, and schedules requests onto them:
+// single operations (Read/Write/Update) enqueue and wait, batched
+// operations (ReadBatch/WriteBatch) fan out across shards and join.
+//
+// All methods are safe for concurrent use by any number of goroutines.
+//
+// Obliviousness: the shard selector is a fixed public function of the
+// address, and within each shard the unmodified Path ORAM invariant holds —
+// every access touches a freshly drawn uniform path, so each shard's leaf
+// sequence is uniform and independent of the program's access pattern
+// (Stefanov et al.: disjoint trees are accessed independently without
+// weakening obliviousness). What the adversary additionally sees compared
+// to one big tree is which shard serves each request, i.e. the timing and
+// per-shard mix of traffic; see DESIGN.md for the precise statement and the
+// deployment guidance (uniform partitioning, padding batches with dummy
+// accesses when request-to-shard routing itself must be hidden).
+type Sharded struct {
+	orams     []*ORAM
+	pool      *shard.Pool
+	blocks    uint64
+	n         uint64
+	partition Partition
+	// Range-partition geometry: the first `big` shards hold base+1 blocks,
+	// the rest hold base.
+	base, big uint64
+}
+
+// NewSharded builds the sharded ORAM. Per-shard derivations keep the
+// shards cryptographically and statistically independent:
+//
+//   - Keys: cfg.Key (drawn fresh when nil) acts as a master secret; shard i
+//     encrypts under AES_master(i). Sharing one key would reuse one-time
+//     pads — CounterScheme's pad depends only on (key, bucketID, counter)
+//     and every shard numbers its buckets from zero.
+//   - Randomness: when cfg.Rand is set, each shard gets its own generator
+//     seeded from a draw on cfg.Rand (which is consumed in shard order, so
+//     a fixed parent seed reproduces the whole sharded simulation).
+//     math/rand generators are not goroutine-safe; sharing one across
+//     workers would be a data race.
+func NewSharded(cfg ShardedConfig) (*Sharded, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("pathoram: Shards=%d must be >= 1", cfg.Shards)
+	}
+	if cfg.Blocks == 0 {
+		return nil, fmt.Errorf("pathoram: Blocks must be >= 1")
+	}
+	if uint64(cfg.Shards) > cfg.Blocks {
+		return nil, fmt.Errorf("pathoram: %d shards for %d blocks; every shard needs at least one block", cfg.Shards, cfg.Blocks)
+	}
+	switch cfg.Partition {
+	case PartitionStripe, PartitionRange:
+	default:
+		return nil, fmt.Errorf("pathoram: unknown partition %d", cfg.Partition)
+	}
+	// Derive per-shard keys only when encryption is actually in use
+	// (BlockSize 0 forces EncryptNone in applyDefaults): an unused Key of
+	// arbitrary length must not fail a plaintext simulation. The master
+	// must be exactly 16 bytes — AES-KDF subkeys are AES-128, and quietly
+	// accepting a 32-byte master would downgrade an intended AES-256 setup.
+	var keys [][]byte
+	if cfg.Encryption != EncryptNone && cfg.BlockSize > 0 {
+		master := cfg.Key
+		if master == nil {
+			master = make([]byte, encrypt.KeySize)
+			if _, err := crand.Read(master); err != nil {
+				return nil, fmt.Errorf("pathoram: drawing master key: %w", err)
+			}
+		} else if len(master) != encrypt.KeySize {
+			return nil, fmt.Errorf("pathoram: master key is %d bytes, want %d (per-shard subkeys are AES-128)",
+				len(master), encrypt.KeySize)
+		}
+		var err error
+		if keys, err = deriveShardKeys(master, cfg.Shards); err != nil {
+			return nil, err
+		}
+	}
+	n := uint64(cfg.Shards)
+	s := &Sharded{
+		orams:     make([]*ORAM, cfg.Shards),
+		blocks:    cfg.Blocks,
+		n:         n,
+		partition: cfg.Partition,
+		base:      cfg.Blocks / n,
+		big:       cfg.Blocks % n,
+	}
+	engines := make([]shard.Engine, cfg.Shards)
+	for i := range s.orams {
+		sc := cfg.Config
+		sc.Blocks = s.shardBlocks(i)
+		if keys != nil {
+			sc.Key = keys[i]
+		}
+		if cfg.Rand != nil {
+			sc.Rand = rand.New(rand.NewSource(cfg.Rand.Int63()))
+		}
+		if cfg.OnShardPathAccess != nil {
+			hook, inner := cfg.OnShardPathAccess, cfg.Config.OnPathAccess
+			sc.OnPathAccess = func(leaf uint64) {
+				if inner != nil {
+					inner(leaf)
+				}
+				hook(i, leaf)
+			}
+		}
+		o, err := New(sc)
+		if err != nil {
+			return nil, fmt.Errorf("pathoram: building shard %d: %w", i, err)
+		}
+		s.orams[i] = o
+		engines[i] = o
+	}
+	pool, err := shard.NewPool(engines, cfg.QueueDepth)
+	if err != nil {
+		return nil, err
+	}
+	s.pool = pool
+	return s, nil
+}
+
+// Key-derivation domains. Every construction that expands the master key
+// into subkeys must use its own tag here: the tag is what guarantees that
+// no two structures ever encrypt under the same subkey — and therefore
+// never share counter-scheme one-time pads — even when they reuse indices
+// (shard 1 vs hierarchy level 1) and both number buckets from zero.
+const (
+	domainHierarchy byte = 'H' // per-level keys of the recursive position map
+	domainShard     byte = 'S' // per-shard keys of the sharded serving layer
+)
+
+// deriveSubKey expands the 16-byte master key into an independent subkey
+// with one AES block: AES_master(index ‖ 0… ‖ domain). AES as a PRP:
+// distinct (domain, index) inputs give distinct pseudorandom keys, none
+// equal to the master.
+func deriveSubKey(master []byte, domain byte, index uint64) ([]byte, error) {
+	blk, err := aes.NewCipher(master)
+	if err != nil {
+		return nil, fmt.Errorf("pathoram: key derivation: %w", err)
+	}
+	var in [16]byte
+	binary.LittleEndian.PutUint64(in[:8], index)
+	in[15] = domain
+	k := make([]byte, 16)
+	blk.Encrypt(k, in[:])
+	return k, nil
+}
+
+// deriveShardKeys derives one independent key per shard from the master.
+func deriveShardKeys(master []byte, n int) ([][]byte, error) {
+	keys := make([][]byte, n)
+	for i := range keys {
+		k, err := deriveSubKey(master, domainShard, uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = k
+	}
+	return keys, nil
+}
+
+// shardBlocks returns the number of logical addresses shard i serves.
+func (s *Sharded) shardBlocks(i int) uint64 {
+	switch s.partition {
+	case PartitionRange:
+		if uint64(i) < s.big {
+			return s.base + 1
+		}
+		return s.base
+	default: // PartitionStripe
+		return (s.blocks - uint64(i) + s.n - 1) / s.n
+	}
+}
+
+// shardOf maps a logical address to its shard and shard-local address.
+func (s *Sharded) shardOf(addr uint64) (int, uint64) {
+	if s.partition == PartitionRange {
+		cut := s.big * (s.base + 1)
+		if addr < cut {
+			return int(addr / (s.base + 1)), addr % (s.base + 1)
+		}
+		rest := addr - cut
+		return int(s.big + rest/s.base), rest % s.base
+	}
+	return int(addr % s.n), addr / s.n
+}
+
+func (s *Sharded) checkAddr(addr uint64) error {
+	if addr >= s.blocks {
+		return fmt.Errorf("pathoram: address %d out of range [0,%d)", addr, s.blocks)
+	}
+	return nil
+}
+
+// NumShards returns the number of independent ORAM shards.
+func (s *Sharded) NumShards() int { return len(s.orams) }
+
+// Blocks returns the total logical address-space size.
+func (s *Sharded) Blocks() uint64 { return s.blocks }
+
+// Read returns a copy of the block at addr (zero-filled if never written).
+// One oblivious path access on the owning shard.
+func (s *Sharded) Read(addr uint64) ([]byte, error) {
+	if err := s.checkAddr(addr); err != nil {
+		return nil, err
+	}
+	sh, local := s.shardOf(addr)
+	req := shard.Request{Op: shard.OpRead, Addr: local}
+	if err := s.pool.Do(sh, &req); err != nil {
+		return nil, err
+	}
+	return req.Out, nil
+}
+
+// Write replaces the block at addr. One oblivious path access on the
+// owning shard. The caller keeps ownership of data (Write returns only
+// after the shard has copied it in).
+func (s *Sharded) Write(addr uint64, data []byte) error {
+	if err := s.checkAddr(addr); err != nil {
+		return err
+	}
+	sh, local := s.shardOf(addr)
+	return s.pool.Do(sh, &shard.Request{Op: shard.OpWrite, Addr: local, Data: data})
+}
+
+// Update applies fn to the block's content in place in a single oblivious
+// read-modify-write access. fn runs on the shard's worker goroutine, so it
+// must not call back into this Sharded (that would deadlock the worker on
+// itself) and should not block.
+func (s *Sharded) Update(addr uint64, fn func(data []byte)) error {
+	if err := s.checkAddr(addr); err != nil {
+		return err
+	}
+	sh, local := s.shardOf(addr)
+	return s.pool.Do(sh, &shard.Request{Op: shard.OpUpdate, Addr: local, Fn: fn})
+}
+
+// ReadBatch reads every address in one submission: requests fan out to
+// their shards, run in parallel across shards, and join. results[i] is the
+// block at addrs[i] — input order is preserved regardless of shard
+// interleaving. Address validation happens up front: an out-of-range
+// address fails the whole batch before anything is submitted. Once
+// submitted, every request executes; the returned error is then the first
+// per-request failure and results holds whatever succeeded (nil at failed
+// slots).
+func (s *Sharded) ReadBatch(addrs []uint64) ([][]byte, error) {
+	if len(addrs) == 0 {
+		return nil, nil
+	}
+	reqs, shards, err := s.batchRequests(addrs, func(_ int, local uint64) shard.Request {
+		return shard.Request{Op: shard.OpRead, Addr: local}
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = s.pool.DoBatch(shards, reqs)
+	results := make([][]byte, len(addrs))
+	for i, r := range reqs {
+		results[i] = r.Out
+	}
+	return results, err
+}
+
+// WriteBatch writes data[i] to addrs[i] for every i in one submission,
+// fanning out across shards and joining. Ordering guarantee: requests to
+// the same shard execute in slice order, so a batch writing one address
+// twice ends with the later value. Address and length validation happens
+// up front and fails the whole batch before anything is submitted; once
+// submitted, every request executes and the returned error is the first
+// per-request failure.
+func (s *Sharded) WriteBatch(addrs []uint64, data [][]byte) error {
+	if len(addrs) != len(data) {
+		return fmt.Errorf("pathoram: %d addresses for %d payloads", len(addrs), len(data))
+	}
+	if len(addrs) == 0 {
+		return nil
+	}
+	reqs, shards, err := s.batchRequests(addrs, func(i int, local uint64) shard.Request {
+		return shard.Request{Op: shard.OpWrite, Addr: local, Data: data[i]}
+	})
+	if err != nil {
+		return err
+	}
+	return s.pool.DoBatch(shards, reqs)
+}
+
+// batchRequests validates every address up front, then builds the routing
+// arrays for one batch submission: build constructs request i from its
+// index and shard-local address. The single routing path both batch ops
+// share — padded/dummy-filled batch modes should extend this, not fork it.
+func (s *Sharded) batchRequests(addrs []uint64, build func(i int, local uint64) shard.Request) ([]*shard.Request, []int, error) {
+	reqs := make([]*shard.Request, len(addrs))
+	shards := make([]int, len(addrs))
+	backing := make([]shard.Request, len(addrs))
+	for i, a := range addrs {
+		if err := s.checkAddr(a); err != nil {
+			return nil, nil, err
+		}
+		sh, local := s.shardOf(a)
+		backing[i] = build(i, local)
+		reqs[i] = &backing[i]
+		shards[i] = sh
+	}
+	return reqs, shards, nil
+}
+
+// Stats aggregates the protocol counters across all shards (Stats.Merge
+// semantics: counters sum, stash peaks take the worst shard). Each shard's
+// snapshot is taken on its worker, serialized with that shard's request
+// stream.
+func (s *Sharded) Stats() Stats {
+	var merged Stats
+	for _, st := range s.ShardStats() {
+		merged = merged.Merge(st)
+	}
+	return merged
+}
+
+// ShardStats returns each shard's own protocol counters. Snapshots are
+// taken on the workers, serialized with each shard's request stream and
+// fanned out in parallel (after Close they read the quiescent shards
+// directly).
+func (s *Sharded) ShardStats() []Stats {
+	out := make([]Stats, len(s.orams))
+	_ = s.pool.InspectAll(s.inspectors(func(i int, o *ORAM) { out[i] = o.Stats() }))
+	return out
+}
+
+// ResetStats clears every shard's protocol counters (peaks included), e.g.
+// to exclude a pre-fill phase from a measurement. BlocksInORAM is a live
+// occupancy gauge, not a counter, and survives the reset. The scheduler's
+// own counters are cumulative; diff SchedulerStats snapshots instead.
+func (s *Sharded) ResetStats() {
+	_ = s.pool.InspectAll(s.inspectors(func(_ int, o *ORAM) { o.ResetStats() }))
+}
+
+// inspectors adapts a per-shard closure to the pool's fan-out form.
+func (s *Sharded) inspectors(fn func(i int, o *ORAM)) []func() {
+	fns := make([]func(), len(s.orams))
+	for i, o := range s.orams {
+		fns[i] = func() { fn(i, o) }
+	}
+	return fns
+}
+
+// ErrClosed is returned for operations submitted after Close.
+var ErrClosed = shard.ErrClosed
+
+// SchedulerStats re-exports the scheduler counters (internal/shard.Stats)
+// so callers outside this module can name the type.
+type SchedulerStats = shard.Stats
+
+// SchedulerStats returns the request scheduler's own counters (ops,
+// batches, per-shard executed requests).
+func (s *Sharded) SchedulerStats() SchedulerStats { return s.pool.Stats() }
+
+// StashSize returns the summed stash occupancy over all shards.
+func (s *Sharded) StashSize() int {
+	sizes := make([]int, len(s.orams))
+	_ = s.pool.InspectAll(s.inspectors(func(i int, o *ORAM) { sizes[i] = o.StashSize() }))
+	var total int
+	for _, n := range sizes {
+		total += n
+	}
+	return total
+}
+
+// ExternalMemoryBytes returns the summed external storage footprint of all
+// shards (0 for plain in-memory stores).
+func (s *Sharded) ExternalMemoryBytes() uint64 {
+	sizes := make([]uint64, len(s.orams))
+	_ = s.pool.InspectAll(s.inspectors(func(i int, o *ORAM) { sizes[i] = o.ExternalMemoryBytes() }))
+	var total uint64
+	for _, n := range sizes {
+		total += n
+	}
+	return total
+}
+
+// Close stops accepting new requests, waits until every request already
+// accepted has completed (in-flight work is drained, never dropped), and
+// stops the shard workers. Operations submitted after Close fail with
+// ErrClosed. Close is idempotent; Stats and ShardStats keep working on the
+// quiescent shards afterwards.
+func (s *Sharded) Close() error { return s.pool.Close() }
