@@ -267,6 +267,79 @@ func BenchmarkShardedBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedBatchRandom measures the oblivious routing cost alone:
+// plain (unpadded) batches under PartitionRandom, where every logical
+// operation becomes a fetch from the block's current shard plus a
+// relocation to a fresh uniform shard. Compare against BenchmarkShardedBatch
+// at the same shard count for the routing-hiding overhead.
+func BenchmarkShardedBatchRandom(b *testing.B) {
+	const blocks = 1 << 14
+	const blockSize = 64
+	const batch = 64
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := newBenchSharded(b, ShardedConfig{
+				Shards:    shards,
+				Partition: PartitionRandom,
+				Config:    Config{Blocks: blocks, BlockSize: blockSize, Encryption: EncryptNone},
+			})
+			defer s.Close()
+			rng := rand.New(rand.NewSource(400))
+			addrs := make([]uint64, batch)
+			s.ResetStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range addrs {
+					addrs[j] = rng.Uint64() % blocks
+				}
+				if _, err := s.ReadBatch(addrs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "ops/s")
+			b.ReportMetric(s.Stats().PaddingPerReal(), "pad/real")
+		})
+	}
+}
+
+// BenchmarkShardedBatchPadded measures the fully oblivious mode —
+// PartitionRandom plus padded batches, where every batch touches every
+// shard equally often — and attaches the padding overhead as a metric.
+// ops/s here versus BenchmarkShardedBatch is the total price of an
+// input-independent shard schedule.
+func BenchmarkShardedBatchPadded(b *testing.B) {
+	const blocks = 1 << 14
+	const blockSize = 64
+	const batch = 64
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := newBenchSharded(b, ShardedConfig{
+				Shards:    shards,
+				Partition: PartitionRandom,
+				Padded:    true,
+				Config:    Config{Blocks: blocks, BlockSize: blockSize, Encryption: EncryptNone},
+			})
+			defer s.Close()
+			rng := rand.New(rand.NewSource(500))
+			addrs := make([]uint64, batch)
+			s.ResetStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range addrs {
+					addrs[j] = rng.Uint64() % blocks
+				}
+				if _, err := s.ReadBatch(addrs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "ops/s")
+			b.ReportMetric(s.Stats().PaddingPerReal(), "pad/real")
+		})
+	}
+}
+
 // ---------- per-figure benchmarks ----------
 
 func BenchmarkFig03StashOccupancy(b *testing.B) {

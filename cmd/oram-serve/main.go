@@ -6,6 +6,11 @@
 // Example:
 //
 //	oram-serve -blocks 16384 -blocksize 64 -shards 1,2,4,8 -clients 8 -ops 40000
+//
+// The oblivious routing modes (SECURITY.md) are driven by -partition and
+// -padded; the pad/real column then reports the measured padding overhead:
+//
+//	oram-serve -partition random -batch 64 -padded
 package main
 
 import (
@@ -36,7 +41,8 @@ func main() {
 		writeFrac = flag.Float64("writefrac", 0.5, "fraction of operations that are writes")
 		encrypt   = flag.String("encrypt", "counter", "bucket encryption: none|counter|strawman")
 		integrity = flag.Bool("integrity", false, "enable the authentication tree")
-		partition = flag.String("partition", "stripe", "address partition: stripe|range")
+		partition = flag.String("partition", "stripe", "address partition: stripe|range|random (random hides request->shard routing)")
+		padded    = flag.Bool("padded", false, "padded batch mode: every batch touches every shard equally often (requires -batch > 0)")
 		queue     = flag.Int("queue", 128, "per-shard request queue depth")
 		seed      = flag.Int64("seed", 0, "deterministic ORAM randomness when != 0")
 	)
@@ -59,26 +65,32 @@ func main() {
 		part = pathoram.PartitionStripe
 	case "range":
 		part = pathoram.PartitionRange
+	case "random":
+		part = pathoram.PartitionRandom
 	default:
 		log.Fatalf("unknown -partition %q", *partition)
+	}
+	if *padded && *batch <= 0 {
+		log.Fatal("-padded pads batch schedules; combine it with -batch > 0")
 	}
 	shardCounts, err := parseInts(*shardsCSV)
 	if err != nil {
 		log.Fatalf("parsing -shards: %v", err)
 	}
 
-	fmt.Printf("oram-serve: %d blocks x %dB, %s encryption, integrity=%v, partition=%s\n",
-		*blocks, *blockSize, *encrypt, *integrity, *partition)
+	fmt.Printf("oram-serve: %d blocks x %dB, %s encryption, integrity=%v, partition=%s, padded=%v\n",
+		*blocks, *blockSize, *encrypt, *integrity, *partition, *padded)
 	fmt.Printf("load: %d clients, %d ops/config, batch=%d, writefrac=%.2f, GOMAXPROCS=%d\n\n",
 		*clients, *ops, *batch, *writeFrac, runtime.GOMAXPROCS(0))
 
 	w := newTable(os.Stdout)
-	w.row("shards", "wall", "ops/s", "speedup", "dummy/real", "stash-peak", "imbalance")
+	w.row("shards", "wall", "ops/s", "speedup", "dummy/real", "pad/real", "stash-peak", "imbalance")
 	var baseline float64
 	for _, n := range shardCounts {
 		res, err := runConfig(config{
 			blocks: *blocks, blockSize: *blockSize, shards: n, partition: part,
-			encryption: enc, integrity: *integrity, queue: *queue, seed: *seed,
+			padded: *padded, encryption: enc, integrity: *integrity,
+			queue: *queue, seed: *seed,
 			clients: *clients, ops: *ops, batch: *batch, writeFrac: *writeFrac,
 		})
 		if err != nil {
@@ -93,12 +105,14 @@ func main() {
 			fmt.Sprintf("%.0f", res.opsPerSec),
 			fmt.Sprintf("%.2fx", res.opsPerSec/baseline),
 			fmt.Sprintf("%.3f", res.dummyPerReal),
+			fmt.Sprintf("%.3f", res.padPerReal),
 			strconv.Itoa(res.stashPeak),
 			fmt.Sprintf("%.2f", res.imbalance),
 		)
 	}
 	w.flush()
 	fmt.Println("\nimbalance = busiest shard's executed requests / mean (1.00 is perfectly even)")
+	fmt.Println("pad/real  = scheduler padding accesses per real access (padded batch overhead)")
 }
 
 type config struct {
@@ -106,6 +120,7 @@ type config struct {
 	blockSize  int
 	shards     int
 	partition  pathoram.Partition
+	padded     bool
 	encryption pathoram.Encryption
 	integrity  bool
 	queue      int
@@ -120,6 +135,7 @@ type result struct {
 	wall         time.Duration
 	opsPerSec    float64
 	dummyPerReal float64
+	padPerReal   float64
 	stashPeak    int
 	imbalance    float64
 }
@@ -128,6 +144,7 @@ func runConfig(c config) (result, error) {
 	cfg := pathoram.ShardedConfig{
 		Shards:     c.shards,
 		Partition:  c.partition,
+		Padded:     c.padded,
 		QueueDepth: c.queue,
 		Config: pathoram.Config{
 			Blocks: c.blocks, BlockSize: c.blockSize,
@@ -240,6 +257,7 @@ func runConfig(c config) (result, error) {
 		wall:         wall,
 		opsPerSec:    float64(c.clients*perClient) / wall.Seconds(),
 		dummyPerReal: st.DummyPerReal(),
+		padPerReal:   st.PaddingPerReal(),
 		stashPeak:    st.StashPeak,
 		imbalance:    float64(max) / mean,
 	}, nil

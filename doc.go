@@ -1,0 +1,71 @@
+// Package pathoram is a Go implementation of Path ORAM optimized for
+// secure processors, reproducing Ren, Yu, Fletcher, van Dijk and Devadas,
+// "Design Space Exploration and Optimization of Path Oblivious RAM in
+// Secure Processors" (ISCA 2013), grown into a concurrent, sharded
+// oblivious block-serving layer.
+//
+// An ORAM stores fixed-size blocks in an untrusted external memory such
+// that the sequence of memory locations touched is computationally
+// independent of the program's access pattern. This package provides:
+//
+//   - the single Path ORAM (New) with the paper's optimizations: provably
+//     secure background eviction (Section 3.1), static super blocks
+//     (Section 3.2) and the exclusive Load/Store interface for
+//     cache-attached use (Section 3.3.1);
+//   - randomized bucket encryption: the counter-based scheme of Section
+//     2.2.2 (default) or the strawman of Section 2.2.1;
+//   - integrity verification via the mirrored authentication tree of
+//     Section 5 (tamper and replay detection with no initialization pass);
+//   - the hierarchical construction of Section 2.3, which stores the
+//     position map in recursively smaller ORAMs (see NewHierarchy);
+//   - a sharded, concurrency-safe serving layer (NewSharded): the address
+//     space partitioned over N independent Path ORAM shards behind a
+//     batched request scheduler, with optional oblivious request routing
+//     (PartitionRandom) and padded, fixed-shape batch schedules
+//     (ShardedConfig.Padded).
+//
+// # Architecture
+//
+// Protocol correctness lives in single-threaded code; concurrency lives in
+// one place, the shard scheduler. The package map, with the paper sections
+// each piece reproduces:
+//
+//   - internal/treemath — binary-tree index arithmetic: bucket numbering,
+//     path enumeration, the common-path-length metric (Section 2.1).
+//   - internal/core — the Path ORAM protocol: stash, greedy path eviction,
+//     background eviction (Section 3.1), super blocks (Section 3.2), the
+//     exclusive Load/Store interface (Section 3.3.1), position maps and
+//     leaf sources. Deliberately lock-free and single-threaded.
+//   - internal/encrypt — the two randomized bucket-encryption schemes
+//     (Sections 2.2.1 and 2.2.2) and the encrypting path store.
+//   - internal/integrity — the mirrored authentication tree (Section 5).
+//   - internal/hierarchy — the recursive position-map construction
+//     (Sections 2.3 and 3.3.3).
+//   - internal/shard — the serving layer's worker pool and batched request
+//     scheduler: one goroutine per shard owning one engine exclusively,
+//     with first-class dummy requests for padded schedules.
+//   - internal/placement — bucket-to-DRAM address layouts, including the
+//     subtree packing of Section 3.3.4 (Figure 6).
+//   - internal/dram — an event-driven DDR3 timing model standing in for
+//     DRAMSim2 (Section 4.2, Figure 11).
+//   - internal/cache, internal/cpu — the processor model of Table 1: the
+//     exclusive L1/L2 hierarchy and the in-order core timing model whose
+//     line memory is DRAM or ORAM (Sections 3.3.1 and 4.3).
+//   - internal/trace — synthetic instruction/memory streams standing in
+//     for the SPEC2006 traces (Section 4.3, Figure 12).
+//   - internal/hide — the HIDE-style chunk permuter used as the paper's
+//     Section 6.2 comparison point.
+//   - internal/analysis — the paper's analytical storage/overhead model
+//     (Equations 1-2, Sections 2.2-2.4 and 3.1.4).
+//   - internal/stats — histograms and running summaries for the
+//     experiment harnesses (Figure 3's tail probabilities).
+//   - internal/exp — the experiment runners regenerating every figure and
+//     table of the evaluation; cmd/* are their command-line drivers, and
+//     cmd/oram-serve drives the sharded serving layer.
+//
+// The serving layer's threat model — what an adversary observing per-shard
+// traffic and request routing learns under each partition and batch mode —
+// is written out in SECURITY.md; DESIGN.md covers the architecture and
+// EXPERIMENTS.md maps the paper's evaluation (and the serving-layer
+// additions) to runnable harnesses.
+package pathoram

@@ -16,6 +16,14 @@ const (
 	// KindEviction is an insecure block-remapping eviction access
 	// (Section 3.1.3); it exists only for the Figure 4 attack study.
 	KindEviction
+	// KindPadding is a scheduler-issued padding access: a dummy path
+	// access injected by the sharded serving layer to give a batch a
+	// fixed, input-independent shard schedule (see Sharded's padded batch
+	// mode and SECURITY.md). On the memory bus it is indistinguishable
+	// from every other kind; the tag exists so tests and stats can
+	// account for the padding overhead separately from background
+	// eviction.
+	KindPadding
 )
 
 // ErrStashOverflow reports Path ORAM failure: the stash exceeded its
@@ -195,6 +203,22 @@ func (o *ORAM) DummyAccess() error {
 		return err
 	}
 	o.stats.DummyAccesses++
+	return nil
+}
+
+// PaddingAccess reads a uniformly random path and writes back as many
+// blocks as possible, exactly like DummyAccess, but counts as scheduler
+// padding rather than background eviction. The sharded serving layer's
+// padded batch mode issues these to fill the dummy slots of a fixed-shape
+// batch schedule; keeping the counter separate lets Stats report the
+// padding overhead (PaddingAccesses / RealAccesses) without conflating it
+// with the stash-draining dummies of Section 3.1.
+func (o *ORAM) PaddingAccess() error {
+	leaf := o.leaves.Leaf(o.tree.NumLeaves())
+	if err := o.pathAccess(leaf, KindPadding, nil); err != nil {
+		return err
+	}
+	o.stats.PaddingAccesses++
 	return nil
 }
 

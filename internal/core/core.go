@@ -162,6 +162,12 @@ type Stats struct {
 	RealAccesses uint64
 	// DummyAccesses counts background-eviction dummy path accesses.
 	DummyAccesses uint64
+	// PaddingAccesses counts scheduler-issued padding accesses: the dummy
+	// path accesses the sharded serving layer injects to give padded
+	// batches a fixed, input-independent shard schedule. They are path
+	// accesses like any other on the bus; the separate counter makes the
+	// padding overhead (PaddingPerReal) measurable.
+	PaddingAccesses uint64
 	// EvictionAccesses counts insecure block-remapping eviction accesses
 	// (only under EvictInsecureRemap).
 	EvictionAccesses uint64
@@ -185,6 +191,7 @@ type Stats struct {
 func (s Stats) Merge(other Stats) Stats {
 	s.RealAccesses += other.RealAccesses
 	s.DummyAccesses += other.DummyAccesses
+	s.PaddingAccesses += other.PaddingAccesses
 	s.EvictionAccesses += other.EvictionAccesses
 	s.Stores += other.Stores
 	s.BlocksInORAM += other.BlocksInORAM
@@ -203,6 +210,15 @@ func (s Stats) DummyPerReal() float64 {
 		return 0
 	}
 	return float64(s.DummyAccesses) / float64(s.RealAccesses)
+}
+
+// PaddingPerReal returns the padded-batch overhead: scheduler padding
+// accesses per real access (0 when no real accesses happened).
+func (s Stats) PaddingPerReal() float64 {
+	if s.RealAccesses == 0 {
+		return 0
+	}
+	return float64(s.PaddingAccesses) / float64(s.RealAccesses)
 }
 
 // ORAM is a single Path ORAM.

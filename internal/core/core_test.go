@@ -460,6 +460,45 @@ func TestOnPathAccessKinds(t *testing.T) {
 	}
 }
 
+// TestPaddingAccess checks the scheduler-padding dummy: it performs a path
+// access observers see as KindPadding, counts separately from background
+// eviction, and never grows the stash.
+func TestPaddingAccess(t *testing.T) {
+	p := Params{LeafLevel: 5, Z: 2, Blocks: 64, StashCapacity: 50, BackgroundEviction: true}
+	counts := map[AccessKind]int{}
+	p.OnPathAccess = func(_ uint64, k AccessKind) { counts[k]++ }
+	o, _, _ := newTestORAM(t, p, 22)
+	for i := uint64(0); i < 32; i++ {
+		if _, err := o.Access(i, OpWrite, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	occupancy := o.StashSize()
+	for i := 0; i < 100; i++ {
+		if err := o.PaddingAccess(); err != nil {
+			t.Fatal(err)
+		}
+		if o.StashSize() > occupancy {
+			t.Fatalf("padding access %d grew the stash (%d -> %d)", i, occupancy, o.StashSize())
+		}
+		occupancy = o.StashSize()
+	}
+	st := o.Stats()
+	if st.PaddingAccesses != 100 {
+		t.Errorf("PaddingAccesses = %d, want 100", st.PaddingAccesses)
+	}
+	if counts[KindPadding] != 100 {
+		t.Errorf("hook padding count = %d, want 100", counts[KindPadding])
+	}
+	if st.PaddingPerReal() != 100.0/32 {
+		t.Errorf("PaddingPerReal = %v, want %v", st.PaddingPerReal(), 100.0/32)
+	}
+	o.ResetStats()
+	if o.Stats().PaddingAccesses != 0 {
+		t.Error("ResetStats kept PaddingAccesses")
+	}
+}
+
 func TestValidate(t *testing.T) {
 	base := smallParams()
 	if err := base.Validate(); err != nil {

@@ -37,6 +37,10 @@ type Engine interface {
 	Write(addr uint64, data []byte) error
 	// Update applies fn to the block in one read-modify-write access.
 	Update(addr uint64, fn func(data []byte)) error
+	// PaddingAccess performs one dummy access that is indistinguishable
+	// from a real one to an observer of the engine's memory traffic. The
+	// padded batch mode fills its fixed-shape schedule with these.
+	PaddingAccess() error
 }
 
 // Op selects what a Request does on its shard's engine.
@@ -49,6 +53,12 @@ const (
 	OpWrite
 	// OpUpdate applies Fn to Addr in a single oblivious access.
 	OpUpdate
+	// OpPadding performs one dummy access (Engine.PaddingAccess): a real
+	// random-path access that touches no block. Padded batches use it to
+	// fill the dummy slots of their fixed shard schedule, so an observer
+	// sees the same per-shard traffic regardless of which slots carried
+	// real requests.
+	OpPadding
 	// OpInspect runs Run on the worker goroutine with exclusive access to
 	// the engine and nothing else in flight on that shard. Used to take
 	// consistent stats snapshots without stopping the world.
@@ -83,6 +93,11 @@ type Stats struct {
 	// carried.
 	Batches    uint64
 	BatchedOps uint64
+	// PaddingOps counts OpPadding requests executed: the dummy accesses
+	// injected by padded batches. They are also included in
+	// ExecutedPerShard, since on the wire they are shard traffic like any
+	// other.
+	PaddingOps uint64
 	// ExecutedPerShard counts requests completed by each worker.
 	ExecutedPerShard []uint64
 }
@@ -114,6 +129,7 @@ type Pool struct {
 	singleOps  atomic.Uint64
 	batches    atomic.Uint64
 	batchedOps atomic.Uint64
+	paddingOps atomic.Uint64
 	executed   []paddedCounter
 }
 
@@ -162,6 +178,9 @@ func (p *Pool) run(i int) {
 			req.Err = e.Write(req.Addr, req.Data)
 		case OpUpdate:
 			req.Err = e.Update(req.Addr, req.Fn)
+		case OpPadding:
+			req.Err = e.PaddingAccess()
+			p.paddingOps.Add(1)
 		case OpInspect:
 			if req.Run != nil {
 				req.Run()
@@ -318,6 +337,7 @@ func (p *Pool) Stats() Stats {
 		SingleOps:        p.singleOps.Load(),
 		Batches:          p.batches.Load(),
 		BatchedOps:       p.batchedOps.Load(),
+		PaddingOps:       p.paddingOps.Load(),
 		ExecutedPerShard: make([]uint64, len(p.executed)),
 	}
 	for i := range p.executed {

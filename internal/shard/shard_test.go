@@ -15,6 +15,7 @@ import (
 type fakeEngine struct {
 	blocks   map[uint64][]byte
 	ops      []uint64 // addresses in execution order
+	paddings int      // PaddingAccess calls
 	delay    time.Duration
 	failAddr uint64 // Read/Write of this address fails
 	hasFail  bool
@@ -57,6 +58,14 @@ func (e *fakeEngine) Update(addr uint64, fn func([]byte)) error {
 	d := e.blocks[addr]
 	fn(d)
 	e.blocks[addr] = d
+	return nil
+}
+
+func (e *fakeEngine) PaddingAccess() error {
+	if e.delay > 0 {
+		time.Sleep(e.delay)
+	}
+	e.paddings++
 	return nil
 }
 
@@ -409,6 +418,32 @@ func TestUpdateOp(t *testing.T) {
 	}
 	if err := p.Do(0, &Request{Op: Op(99)}); err == nil {
 		t.Error("unknown op accepted")
+	}
+}
+
+// TestPaddingOp checks the first-class dummy request: OpPadding reaches
+// the engine's PaddingAccess, counts as shard traffic in ExecutedPerShard
+// and is tallied separately in Stats.PaddingOps.
+func TestPaddingOp(t *testing.T) {
+	p, fakes := newTestPool(t, 2, 4)
+	defer p.Close()
+	reqs := []*Request{
+		{Op: OpWrite, Addr: 1, Data: val(1)},
+		{Op: OpPadding},
+		{Op: OpPadding},
+	}
+	if err := p.DoBatch([]int{0, 0, 1}, reqs); err != nil {
+		t.Fatal(err)
+	}
+	if fakes[0].paddings != 1 || fakes[1].paddings != 1 {
+		t.Errorf("engine padding calls = %d,%d, want 1,1", fakes[0].paddings, fakes[1].paddings)
+	}
+	st := p.Stats()
+	if st.PaddingOps != 2 {
+		t.Errorf("PaddingOps = %d, want 2", st.PaddingOps)
+	}
+	if fmt.Sprint(st.ExecutedPerShard) != "[2 1]" {
+		t.Errorf("per-shard executed = %v, want [2 1]", st.ExecutedPerShard)
 	}
 }
 

@@ -1,26 +1,3 @@
-// Package pathoram is a Go implementation of Path ORAM optimized for
-// secure processors, reproducing Ren, Yu, Fletcher, van Dijk and Devadas,
-// "Design Space Exploration and Optimization of Path Oblivious RAM in
-// Secure Processors" (ISCA 2013).
-//
-// An ORAM stores fixed-size blocks in an untrusted external memory such
-// that the sequence of memory locations touched is computationally
-// independent of the program's access pattern. This package provides:
-//
-//   - the single Path ORAM with the paper's optimizations: provably secure
-//     background eviction (Section 3.1), static super blocks (Section 3.2)
-//     and the exclusive Load/Store interface for cache-attached use
-//     (Section 3.3.1);
-//   - randomized bucket encryption: the counter-based scheme of Section
-//     2.2.2 (default) or the strawman of Section 2.2.1;
-//   - integrity verification via the mirrored authentication tree of
-//     Section 5 (tamper and replay detection with no initialization pass);
-//   - the hierarchical construction of Section 2.3, which stores the
-//     position map in recursively smaller ORAMs (see NewHierarchy).
-//
-// The experiment harnesses that regenerate the paper's figures and tables
-// live under internal/exp and the cmd/ tools; see DESIGN.md and
-// EXPERIMENTS.md.
 package pathoram
 
 import (
@@ -287,6 +264,13 @@ func (o *ORAM) Load(addr uint64) (data []byte, found bool, group []Block, err er
 func (o *ORAM) Store(addr uint64, data []byte) error {
 	return o.inner.Store(addr, data)
 }
+
+// PaddingAccess performs one dummy path access — a freshly drawn uniform
+// path is read and written back, remapping nothing — and counts it as
+// scheduler padding (Stats.PaddingAccesses). On the memory bus it is
+// indistinguishable from a real access; the sharded serving layer's padded
+// batch mode uses it to fill the dummy slots of a fixed-shape schedule.
+func (o *ORAM) PaddingAccess() error { return o.inner.PaddingAccess() }
 
 // Stats returns the protocol counters.
 func (o *ORAM) Stats() Stats { return o.inner.Stats() }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/core"
 	"repro/internal/encrypt"
 	"repro/internal/shard"
 )
@@ -26,6 +27,17 @@ const (
 	// keeps its meaning — but a sequential scan hammers one shard at a
 	// time.
 	PartitionRange
+	// PartitionRandom routes obliviously: a second position map assigns
+	// every block a uniformly random shard, remapped to a fresh uniform
+	// draw on each access (Stefanov-Shi-Song-style partitioned ORAM), so
+	// the shard serving a request depends only on secret coins, never on
+	// the address. Every access becomes two path accesses (fetch from the
+	// current home, relocate to the new one), and every shard must be
+	// sized for the whole address space — the storage and bandwidth price
+	// of hiding the routing. Combine with ShardedConfig.Padded for
+	// batches whose shard schedule has a fixed, input-independent shape;
+	// see SECURITY.md for exactly what each combination hides.
+	PartitionRandom
 )
 
 // ShardedConfig describes a sharded, concurrency-safe ORAM: N independent
@@ -46,6 +58,18 @@ type ShardedConfig struct {
 	Partition Partition
 	// QueueDepth is the per-shard request queue length (default 128).
 	QueueDepth int
+	// Padded switches ReadBatch/WriteBatch to the padded batch mode:
+	// every batch touches every shard an equal number of times — the
+	// larger of ceil(batchSize/Shards) and the busiest shard's real
+	// demand — with scheduler-issued dummy accesses (OpPadding, real
+	// random-path accesses) filling the empty slots. An observer of the
+	// shard schedule cannot tell which slots carried real requests.
+	// Under PartitionRandom the whole shape is additionally independent
+	// of the requested addresses; under the fixed partitions the shape's
+	// height still tracks the busiest shard (see DESIGN.md's decision
+	// table). Padding overhead is counted in Stats.PaddingAccesses.
+	// Single operations are never padded.
+	Padded bool
 	// OnShardPathAccess, when set, observes every path each shard touches
 	// — the adversary's per-shard view of the access sequence. It is
 	// called from the shard worker goroutines, so distinct shards invoke
@@ -76,8 +100,12 @@ type Sharded struct {
 	orams     []*ORAM
 	pool      *shard.Pool
 	blocks    uint64
+	blockSize int
 	n         uint64
 	partition Partition
+	padded    bool
+	// router is the block→shard position map (PartitionRandom only).
+	router *randomRouter
 	// Range-partition geometry: the first `big` shards hold base+1 blocks,
 	// the rest hold base.
 	base, big uint64
@@ -109,7 +137,7 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 		return nil, fmt.Errorf("pathoram: %d shards for %d blocks; every shard needs at least one block", cfg.Shards, cfg.Blocks)
 	}
 	switch cfg.Partition {
-	case PartitionStripe, PartitionRange:
+	case PartitionStripe, PartitionRange, PartitionRandom:
 	default:
 		return nil, fmt.Errorf("pathoram: unknown partition %d", cfg.Partition)
 	}
@@ -139,8 +167,10 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 	s := &Sharded{
 		orams:     make([]*ORAM, cfg.Shards),
 		blocks:    cfg.Blocks,
+		blockSize: cfg.BlockSize,
 		n:         n,
 		partition: cfg.Partition,
+		padded:    cfg.Padded,
 		base:      cfg.Blocks / n,
 		big:       cfg.Blocks % n,
 	}
@@ -175,6 +205,18 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 		return nil, err
 	}
 	s.pool = pool
+	if cfg.Partition == PartitionRandom {
+		// The router's shard draws get their own source: deterministic
+		// (derived from cfg.Rand, after the per-shard seeds, so existing
+		// seeded simulations keep their per-shard streams) or crypto.
+		var src core.LeafSource
+		if cfg.Rand != nil {
+			src = core.NewMathLeafSource(rand.New(rand.NewSource(cfg.Rand.Int63())))
+		} else {
+			src = core.NewCryptoLeafSource()
+		}
+		s.router = newRandomRouter(cfg.Blocks, newShardDrawer(src, cfg.Shards))
+	}
 	return s, nil
 }
 
@@ -221,6 +263,10 @@ func deriveShardKeys(master []byte, n int) ([][]byte, error) {
 // shardBlocks returns the number of logical addresses shard i serves.
 func (s *Sharded) shardBlocks(i int) uint64 {
 	switch s.partition {
+	case PartitionRandom:
+		// Any block can live on any shard at any time, so every shard is
+		// sized for the full logical address space.
+		return s.blocks
 	case PartitionRange:
 		if uint64(i) < s.big {
 			return s.base + 1
@@ -258,8 +304,12 @@ func (s *Sharded) NumShards() int { return len(s.orams) }
 func (s *Sharded) Blocks() uint64 { return s.blocks }
 
 // Read returns a copy of the block at addr (zero-filled if never written).
-// One oblivious path access on the owning shard.
+// One oblivious path access on the owning shard — two under
+// PartitionRandom (fetch from the current home, relocate to a fresh one).
 func (s *Sharded) Read(addr uint64) ([]byte, error) {
+	if s.partition == PartitionRandom {
+		return s.randomAccess(addr, shard.OpRead, nil, nil)
+	}
 	if err := s.checkAddr(addr); err != nil {
 		return nil, err
 	}
@@ -272,9 +322,14 @@ func (s *Sharded) Read(addr uint64) ([]byte, error) {
 }
 
 // Write replaces the block at addr. One oblivious path access on the
-// owning shard. The caller keeps ownership of data (Write returns only
-// after the shard has copied it in).
+// owning shard — two under PartitionRandom, making writes
+// indistinguishable from reads on the shard schedule. The caller keeps
+// ownership of data (Write returns only after the shard has copied it in).
 func (s *Sharded) Write(addr uint64, data []byte) error {
+	if s.partition == PartitionRandom {
+		_, err := s.randomAccess(addr, shard.OpWrite, data, nil)
+		return err
+	}
 	if err := s.checkAddr(addr); err != nil {
 		return err
 	}
@@ -283,10 +338,15 @@ func (s *Sharded) Write(addr uint64, data []byte) error {
 }
 
 // Update applies fn to the block's content in place in a single oblivious
-// read-modify-write access. fn runs on the shard's worker goroutine, so it
-// must not call back into this Sharded (that would deadlock the worker on
-// itself) and should not block.
+// read-modify-write access (a fetch-relocate pair under PartitionRandom).
+// fn runs on the shard's worker goroutine — on the caller's goroutine
+// under PartitionRandom — so it must not call back into this Sharded (that
+// would deadlock the worker on itself) and should not block.
 func (s *Sharded) Update(addr uint64, fn func(data []byte)) error {
+	if s.partition == PartitionRandom {
+		_, err := s.randomAccess(addr, shard.OpUpdate, nil, fn)
+		return err
+	}
 	if err := s.checkAddr(addr); err != nil {
 		return err
 	}
@@ -301,18 +361,35 @@ func (s *Sharded) Update(addr uint64, fn func(data []byte)) error {
 // address fails the whole batch before anything is submitted. Once
 // submitted, every request executes; the returned error is then the first
 // per-request failure and results holds whatever succeeded (nil at failed
-// slots).
+// slots). Exception: under PartitionRandom a failed fetch aborts the
+// whole batch before any block is relocated — results is then nil even
+// for requests whose fetch succeeded (the router map stays consistent;
+// see DESIGN.md's error semantics).
 func (s *Sharded) ReadBatch(addrs []uint64) ([][]byte, error) {
 	if len(addrs) == 0 {
 		return nil, nil
 	}
-	reqs, shards, err := s.batchRequests(addrs, func(_ int, local uint64) shard.Request {
+	if s.partition == PartitionRandom {
+		return s.randomBatch(addrs, nil, shard.OpRead)
+	}
+	build := func(_ int, local uint64) shard.Request {
 		return shard.Request{Op: shard.OpRead, Addr: local}
-	})
-	if err != nil {
+	}
+	var reqs []*shard.Request
+	var err error
+	if s.padded {
+		reqs, err = s.paddedFixedBatch(addrs, build)
+	} else {
+		var shards []int
+		reqs, shards, err = s.batchRequests(addrs, build)
+		if err != nil {
+			return nil, err
+		}
+		err = s.pool.DoBatch(shards, reqs)
+	}
+	if reqs == nil {
 		return nil, err
 	}
-	err = s.pool.DoBatch(shards, reqs)
 	results := make([][]byte, len(addrs))
 	for i, r := range reqs {
 		results[i] = r.Out
@@ -323,10 +400,12 @@ func (s *Sharded) ReadBatch(addrs []uint64) ([][]byte, error) {
 // WriteBatch writes data[i] to addrs[i] for every i in one submission,
 // fanning out across shards and joining. Ordering guarantee: requests to
 // the same shard execute in slice order, so a batch writing one address
-// twice ends with the later value. Address and length validation happens
-// up front and fails the whole batch before anything is submitted; once
-// submitted, every request executes and the returned error is the first
-// per-request failure.
+// twice ends with the later value (under PartitionRandom, duplicates
+// coalesce with the same later-write-wins result). Address and length
+// validation happens up front and fails the whole batch before anything
+// is submitted; once submitted, every request executes and the returned
+// error is the first per-request failure — except under PartitionRandom,
+// where a failed fetch aborts the batch before any write lands.
 func (s *Sharded) WriteBatch(addrs []uint64, data [][]byte) error {
 	if len(addrs) != len(data) {
 		return fmt.Errorf("pathoram: %d addresses for %d payloads", len(addrs), len(data))
@@ -334,9 +413,18 @@ func (s *Sharded) WriteBatch(addrs []uint64, data [][]byte) error {
 	if len(addrs) == 0 {
 		return nil
 	}
-	reqs, shards, err := s.batchRequests(addrs, func(i int, local uint64) shard.Request {
+	if s.partition == PartitionRandom {
+		_, err := s.randomBatch(addrs, data, shard.OpWrite)
+		return err
+	}
+	build := func(i int, local uint64) shard.Request {
 		return shard.Request{Op: shard.OpWrite, Addr: local, Data: data[i]}
-	})
+	}
+	if s.padded {
+		_, err := s.paddedFixedBatch(addrs, build)
+		return err
+	}
+	reqs, shards, err := s.batchRequests(addrs, build)
 	if err != nil {
 		return err
 	}
