@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -45,6 +46,9 @@ func main() {
 		padded    = flag.Bool("padded", false, "padded batch mode: every batch touches every shard equally often (requires -batch > 0)")
 		queue     = flag.Int("queue", 128, "per-shard request queue depth")
 		seed      = flag.Int64("seed", 0, "deterministic ORAM randomness when != 0")
+		async     = flag.Bool("async", false, "staged access path: respond after the path read, write back and evict during idle queue time")
+		idleEv    = flag.Int("idle-evictions", 0, "max background evictions per idle gap (0 = default, negative disables; with -async)")
+		think     = flag.Duration("think", 0, "client think time between operations (open-loop pacing; idle time is where -async wins)")
 	)
 	flag.Parse()
 
@@ -78,20 +82,21 @@ func main() {
 		log.Fatalf("parsing -shards: %v", err)
 	}
 
-	fmt.Printf("oram-serve: %d blocks x %dB, %s encryption, integrity=%v, partition=%s, padded=%v\n",
-		*blocks, *blockSize, *encrypt, *integrity, *partition, *padded)
-	fmt.Printf("load: %d clients, %d ops/config, batch=%d, writefrac=%.2f, GOMAXPROCS=%d\n\n",
-		*clients, *ops, *batch, *writeFrac, runtime.GOMAXPROCS(0))
+	fmt.Printf("oram-serve: %d blocks x %dB, %s encryption, integrity=%v, partition=%s, padded=%v, async=%v\n",
+		*blocks, *blockSize, *encrypt, *integrity, *partition, *padded, *async)
+	fmt.Printf("load: %d clients, %d ops/config, batch=%d, writefrac=%.2f, think=%v, GOMAXPROCS=%d\n\n",
+		*clients, *ops, *batch, *writeFrac, *think, runtime.GOMAXPROCS(0))
 
 	w := newTable(os.Stdout)
-	w.row("shards", "wall", "ops/s", "speedup", "dummy/real", "pad/real", "stash-peak", "imbalance")
+	w.row("shards", "wall", "ops/s", "speedup", "p50", "p95", "p99", "dummy/real", "pad/real", "stash-peak", "imbalance")
 	var baseline float64
 	for _, n := range shardCounts {
 		res, err := runConfig(config{
 			blocks: *blocks, blockSize: *blockSize, shards: n, partition: part,
 			padded: *padded, encryption: enc, integrity: *integrity,
-			queue: *queue, seed: *seed,
+			queue: *queue, seed: *seed, async: *async, idleEvictions: *idleEv,
 			clients: *clients, ops: *ops, batch: *batch, writeFrac: *writeFrac,
+			think: *think,
 		})
 		if err != nil {
 			log.Fatalf("shards=%d: %v", n, err)
@@ -104,6 +109,9 @@ func main() {
 			res.wall.Round(time.Millisecond).String(),
 			fmt.Sprintf("%.0f", res.opsPerSec),
 			fmt.Sprintf("%.2fx", res.opsPerSec/baseline),
+			res.p50.Round(time.Microsecond).String(),
+			res.p95.Round(time.Microsecond).String(),
+			res.p99.Round(time.Microsecond).String(),
 			fmt.Sprintf("%.3f", res.dummyPerReal),
 			fmt.Sprintf("%.3f", res.padPerReal),
 			strconv.Itoa(res.stashPeak),
@@ -111,44 +119,51 @@ func main() {
 		)
 	}
 	w.flush()
-	fmt.Println("\nimbalance = busiest shard's executed requests / mean (1.00 is perfectly even)")
+	fmt.Println("\nimbalance = busiest shard's executed real requests / mean (1.00 is perfectly even)")
 	fmt.Println("pad/real  = scheduler padding accesses per real access (padded batch overhead)")
+	fmt.Println("p50/p95/p99 = client-visible latency per submission (per op, or per batch with -batch)")
 }
 
 type config struct {
-	blocks     uint64
-	blockSize  int
-	shards     int
-	partition  pathoram.Partition
-	padded     bool
-	encryption pathoram.Encryption
-	integrity  bool
-	queue      int
-	seed       int64
-	clients    int
-	ops        int
-	batch      int
-	writeFrac  float64
+	blocks        uint64
+	blockSize     int
+	shards        int
+	partition     pathoram.Partition
+	padded        bool
+	encryption    pathoram.Encryption
+	integrity     bool
+	queue         int
+	seed          int64
+	async         bool
+	idleEvictions int
+	clients       int
+	ops           int
+	batch         int
+	writeFrac     float64
+	think         time.Duration
 }
 
 type result struct {
-	wall         time.Duration
-	opsPerSec    float64
-	dummyPerReal float64
-	padPerReal   float64
-	stashPeak    int
-	imbalance    float64
+	wall          time.Duration
+	opsPerSec     float64
+	p50, p95, p99 time.Duration
+	dummyPerReal  float64
+	padPerReal    float64
+	stashPeak     int
+	imbalance     float64
 }
 
 func runConfig(c config) (result, error) {
 	cfg := pathoram.ShardedConfig{
-		Shards:     c.shards,
-		Partition:  c.partition,
-		Padded:     c.padded,
-		QueueDepth: c.queue,
+		Shards:           c.shards,
+		Partition:        c.partition,
+		Padded:           c.padded,
+		QueueDepth:       c.queue,
+		EvictionsPerIdle: c.idleEvictions,
 		Config: pathoram.Config{
 			Blocks: c.blocks, BlockSize: c.blockSize,
 			Encryption: c.encryption, Integrity: c.integrity,
+			AsyncEviction: c.async,
 		},
 	}
 	if c.seed != 0 {
@@ -190,6 +205,9 @@ func runConfig(c config) (result, error) {
 	}
 	var wg sync.WaitGroup
 	errs := make(chan error, c.clients)
+	// Per-client latency logs (one slot per submission), merged after the
+	// run for the percentile columns.
+	lats := make([][]time.Duration, c.clients)
 	start := time.Now()
 	for cl := 0; cl < c.clients; cl++ {
 		wg.Add(1)
@@ -197,12 +215,15 @@ func runConfig(c config) (result, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(cl) + 1))
 			payload := make([]byte, c.blockSize)
+			record := func(d time.Duration) { lats[cl] = append(lats[cl], d) }
 			if c.batch > 0 {
+				lats[cl] = make([]time.Duration, 0, (perClient+c.batch-1)/c.batch)
 				addrs := make([]uint64, c.batch)
 				for done := 0; done < perClient; done += c.batch {
 					for j := range addrs {
 						addrs[j] = rng.Uint64() % c.blocks
 					}
+					t0 := time.Now()
 					if rng.Float64() < c.writeFrac {
 						data := make([][]byte, c.batch)
 						for j := range data {
@@ -216,12 +237,18 @@ func runConfig(c config) (result, error) {
 						errs <- err
 						return
 					}
+					record(time.Since(t0))
+					if c.think > 0 {
+						time.Sleep(c.think)
+					}
 				}
 				return
 			}
+			lats[cl] = make([]time.Duration, 0, perClient)
 			for i := 0; i < perClient; i++ {
 				addr := rng.Uint64() % c.blocks
 				var opErr error
+				t0 := time.Now()
 				if rng.Float64() < c.writeFrac {
 					opErr = s.Write(addr, payload)
 				} else {
@@ -230,6 +257,10 @@ func runConfig(c config) (result, error) {
 				if opErr != nil {
 					errs <- opErr
 					return
+				}
+				record(time.Since(t0))
+				if c.think > 0 {
+					time.Sleep(c.think)
 				}
 			}
 		}(cl)
@@ -240,6 +271,17 @@ func runConfig(c config) (result, error) {
 	case err := <-errs:
 		return result{}, err
 	default:
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		return all[int(p*float64(len(all)-1))]
 	}
 
 	st := s.Stats()
@@ -256,6 +298,9 @@ func runConfig(c config) (result, error) {
 	return result{
 		wall:         wall,
 		opsPerSec:    float64(c.clients*perClient) / wall.Seconds(),
+		p50:          pct(0.50),
+		p95:          pct(0.95),
+		p99:          pct(0.99),
 		dummyPerReal: st.DummyPerReal(),
 		padPerReal:   st.PaddingPerReal(),
 		stashPeak:    st.StashPeak,

@@ -22,7 +22,11 @@
 //     space partitioned over N independent Path ORAM shards behind a
 //     batched request scheduler, with optional oblivious request routing
 //     (PartitionRandom) and padded, fixed-shape batch schedules
-//     (ShardedConfig.Padded).
+//     (ShardedConfig.Padded);
+//   - a staged access path (Config.AsyncEviction): respond after path
+//     read and stash merge, defer write-back I/O and background eviction
+//     to idle queue time — Section 3.1.1's background eviction and the
+//     Figure 5 phase-overlap study applied to the serving layer.
 //
 // # Architecture
 //

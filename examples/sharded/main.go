@@ -141,6 +141,12 @@ func main() {
 	}
 	hst := hidden.Stats()
 	hsched := hidden.SchedulerStats()
-	fmt.Printf("oblivious routing: per-shard load %v (flat by construction), %.2f padding/real\n",
-		hsched.ExecutedPerShard, hst.PaddingPerReal())
+	// On-the-wire traffic is real requests plus scheduler padding;
+	// ExecutedPerShard alone shows only the (secret-coin-routed) real legs.
+	wire := make([]uint64, len(hsched.ExecutedPerShard))
+	for i := range wire {
+		wire[i] = hsched.ExecutedPerShard[i] + hsched.PaddingPerShard[i]
+	}
+	fmt.Printf("oblivious routing: per-shard wire traffic %v (flat by construction), %.2f padding/real\n",
+		wire, hst.PaddingPerReal())
 }

@@ -255,25 +255,30 @@ func (o *ORAM) realAccess(addr uint64, kind AccessKind, fn func(newLeaf uint32) 
 	return nil
 }
 
-// pathAccess implements steps 2 and 5 of accessORAM: read the whole path
-// into the stash, run the mutation, then evict greedily back onto the same
-// path.
+// pathAccess is the staged protocol shared by every path access:
+//
+//	stage 1 (position lookup)      — done by the caller (realAccess)
+//	stage 2 (path read)            — readPathIntoStash
+//	stage 3 (decrypt/stash merge)  — readPathIntoStash
+//	stage 4 (respond)              — mutate computes the caller's answer
+//	stage 5 (write-back)           — writeBack
+//
+// In synchronous mode the stages run back to back, exactly steps 2 and 5
+// of accessORAM. In staged mode (Params.DeferWriteBack) stage 5 computes
+// the eviction placement eagerly — stash and position-map state never
+// diverge from the synchronous protocol — but the write I/O is queued, so
+// pathAccess (and with it the caller's response) returns without paying
+// for serialization, re-encryption, authentication or the store write.
 func (o *ORAM) pathAccess(leaf uint64, kind AccessKind, mutate func() error) error {
-	o.slotBuf = o.slotBuf[:0]
-	slots, err := o.store.ReadPath(leaf, o.slotBuf)
-	if err != nil {
+	if err := o.readPathIntoStash(leaf); err != nil {
 		return err
-	}
-	o.slotBuf = slots // keep grown capacity for reuse
-	for _, sl := range slots {
-		o.stash.add(sl)
 	}
 	if mutate != nil {
 		if err := mutate(); err != nil {
 			return err
 		}
 	}
-	if err := o.evictTo(leaf); err != nil {
+	if err := o.writeBack(leaf); err != nil {
 		return err
 	}
 	// Peak is the paper's notion of occupancy: blocks resident in the
@@ -289,9 +294,56 @@ func (o *ORAM) pathAccess(leaf uint64, kind AccessKind, mutate func() error) err
 	return nil
 }
 
-// evictTo writes back the path to leaf, placing each stash block as deep as
-// its own leaf allows (the ORAM "shuffle" of Section 2.1, step 5).
-func (o *ORAM) evictTo(leaf uint64) error {
+// readPathIntoStash performs stages 2 and 3: read every real block on the
+// path to leaf and merge it into the stash, in root-to-leaf bucket order.
+// Buckets whose live content is still sitting in a pending write-back
+// (the overlay) are not read from the store — their blocks are moved out
+// of the pending entry instead, so the store's stale copies are never
+// observed and every block keeps exactly one live home (stash, store, or
+// one pending bucket). Because the merge order is the same whether a
+// bucket came from the store or from the overlay, the stash — and with it
+// every downstream eviction decision — evolves bit-identically to the
+// synchronous protocol.
+func (o *ORAM) readPathIntoStash(leaf uint64) error {
+	var skip []bool
+	if len(o.overlay) > 0 {
+		skip = o.skipBuf
+		for d := range skip {
+			_, skip[d] = o.overlay[o.tree.PathBucket(leaf, d)]
+		}
+	}
+	buckets, err := o.store.ReadPath(leaf, skip, o.readBuf)
+	if err != nil {
+		return err
+	}
+	o.readBuf = buckets // keep grown capacity for reuse
+	for d, bucket := range buckets {
+		if skip != nil && skip[d] {
+			ref := o.overlay[o.tree.PathBucket(leaf, d)]
+			pb := ref.entry.buckets[ref.level]
+			for _, sl := range pb {
+				o.stash.add(sl)
+			}
+			// The pending bucket's blocks now live in the stash; emptying
+			// it keeps the eventual flush from writing duplicates. The
+			// overlay keeps redirecting reads of this bucket to the (now
+			// empty) pending content until this access's own write-back —
+			// which covers the same bucket — supersedes it.
+			ref.entry.buckets[ref.level] = pb[:0]
+			continue
+		}
+		for _, sl := range bucket {
+			o.stash.add(sl)
+		}
+	}
+	return nil
+}
+
+// writeBack performs stage 5: place each stash block as deep on the path
+// to leaf as its own leaf allows (the ORAM "shuffle" of Section 2.1,
+// step 5), then write the path — immediately in synchronous mode, or onto
+// the deferred queue in staged mode.
+func (o *ORAM) writeBack(leaf uint64) error {
 	l := o.tree.LeafLevel()
 	for d := range o.byDepth {
 		o.byDepth[d] = o.byDepth[d][:0]
@@ -315,7 +367,11 @@ func (o *ORAM) evictTo(leaf uint64) error {
 		}
 	}
 	o.poolBuf = pool[:0]
-	if err := o.store.WritePath(leaf, o.bucketBuf); err != nil {
+	if o.p.DeferWriteBack {
+		if err := o.deferWriteBack(leaf); err != nil {
+			return err
+		}
+	} else if err := o.store.WritePath(leaf, o.bucketBuf); err != nil {
 		return err
 	}
 	o.stash.compact(placed)
@@ -361,6 +417,161 @@ func (o *ORAM) drainBackground() error {
 		}
 	default:
 		return fmt.Errorf("core: unknown eviction policy %d", o.p.Policy)
+	}
+	return nil
+}
+
+// ---------- staged mode: deferred write-backs and background work ----------
+
+// pendingPath is one computed-but-unwritten path write-back. Its buckets
+// are authoritative for their tree positions until the flush: later reads
+// of an overlaid bucket move the blocks out (emptying the slice), so a
+// block never has two live copies.
+type pendingPath struct {
+	leaf    uint64
+	buckets [][]Slot
+}
+
+// overlayRef points a flat bucket index at the pending entry (and level
+// within it) holding the bucket's live content.
+type overlayRef struct {
+	entry *pendingPath
+	level int
+}
+
+// BackgroundWork reports what one StepBackground call did.
+type BackgroundWork int
+
+const (
+	// BgNone: no deferred write-backs pending and the stash is already at
+	// or below the idle low-water mark.
+	BgNone BackgroundWork = iota
+	// BgWriteBack: one pending path write-back was completed.
+	BgWriteBack
+	// BgEviction: one background-eviction dummy access was issued.
+	BgEviction
+)
+
+// deferWriteBack queues the just-computed eviction (o.bucketBuf) for the
+// path to leaf instead of writing it. If the queue is full the oldest
+// entry is completed first, bounding both queue length and pinned memory.
+// Entries are recycled through a freelist (the staged hot path must not
+// generate steady-state garbage the synchronous path does not).
+func (o *ORAM) deferWriteBack(leaf uint64) error {
+	for len(o.pending) >= o.maxDefer {
+		if err := o.completeOldestWriteBack(); err != nil {
+			return err
+		}
+	}
+	var e *pendingPath
+	if n := len(o.freePending); n > 0 {
+		e = o.freePending[n-1]
+		o.freePending[n-1] = nil
+		o.freePending = o.freePending[:n-1]
+		e.leaf = leaf
+	} else {
+		e = &pendingPath{leaf: leaf, buckets: make([][]Slot, len(o.bucketBuf))}
+	}
+	for d, b := range o.bucketBuf {
+		e.buckets[d] = append(e.buckets[d][:0], b...)
+	}
+	o.pending = append(o.pending, e)
+	for d := range e.buckets {
+		o.overlay[o.tree.PathBucket(leaf, d)] = overlayRef{entry: e, level: d}
+	}
+	o.stats.DeferredWriteBacks++
+	if n := len(o.pending); n > o.stats.PendingWriteBackPeak {
+		o.stats.PendingWriteBackPeak = n
+	}
+	return nil
+}
+
+// completeOldestWriteBack pops the FIFO head and performs its store write.
+// Overlay entries that still point at the flushed path are released: the
+// store copy is fresh from here on. (An overlay entry superseded by a
+// later pending path stays, so reads keep seeing the newest content.)
+func (o *ORAM) completeOldestWriteBack() error {
+	e := o.pending[0]
+	if err := o.store.WritePath(e.leaf, e.buckets); err != nil {
+		return err
+	}
+	o.pending[0] = nil
+	o.pending = o.pending[1:]
+	if len(o.pending) == 0 {
+		o.pending = nil // let the backing array go; it regrows cheaply
+	}
+	for d := range e.buckets {
+		b := o.tree.PathBucket(e.leaf, d)
+		if ref, ok := o.overlay[b]; ok && ref.entry == e {
+			delete(o.overlay, b)
+		}
+	}
+	// Recycle: zero the slots — full capacity, since overlay reads may
+	// have truncated a bucket past stale entries — so retained capacity
+	// does not pin payload buffers, then park the entry for reuse.
+	for d, bkt := range e.buckets {
+		bkt = bkt[:cap(bkt)]
+		for i := range bkt {
+			bkt[i] = Slot{}
+		}
+		e.buckets[d] = bkt[:0]
+	}
+	o.freePending = append(o.freePending, e)
+	return nil
+}
+
+// StepBackground performs one unit of deferred work: completing the oldest
+// pending write-back, or — when the queue is empty, allowEviction is set
+// and the stash sits above the idle low-water mark — issuing one
+// background-eviction dummy access. Shard workers call it in a loop during
+// idle queue time; BgNone means there is nothing useful left to do.
+//
+// Idle eviction drains to half the inline threshold (rather than the
+// threshold itself) so that a burst of subsequent accesses has headroom
+// before any of them must pay for inline draining. The schedule on which
+// these dummies are issued depends only on queue occupancy and stash
+// occupancy — both functions of the access *count*, never of addresses —
+// so the background path sequence leaks nothing beyond uniformly random
+// leaves (see SECURITY.md).
+func (o *ORAM) StepBackground(allowEviction bool) (BackgroundWork, error) {
+	if len(o.pending) > 0 {
+		return BgWriteBack, o.completeOldestWriteBack()
+	}
+	// Idle eviction exists only for the paper's secure scheme: under
+	// EvictInsecureRemap (the Figure 4 attack study) speculative dummy
+	// draining would mix two eviction schemes into the observed trace and
+	// corrupt the study, so that policy drains inline only.
+	if allowEviction && o.p.BackgroundEviction && o.p.Policy == EvictBackgroundDummy &&
+		o.threshold >= 0 && o.stash.len() > o.threshold/2 {
+		if err := o.DummyAccess(); err != nil {
+			return BgEviction, err
+		}
+		o.stats.IdleEvictions++
+		return BgEviction, nil
+	}
+	return BgNone, nil
+}
+
+// Flush completes every pending write-back and fully drains background
+// eviction, leaving the ORAM in a state a synchronous engine could have
+// reached: no deferred I/O, stash at or below the eviction threshold.
+func (o *ORAM) Flush() error {
+	for len(o.pending) > 0 {
+		if err := o.completeOldestWriteBack(); err != nil {
+			return err
+		}
+	}
+	if o.p.BackgroundEviction {
+		// Inline draining issues dummy accesses whose write-backs are
+		// themselves deferred in staged mode; flush those too.
+		if err := o.drainBackground(); err != nil {
+			return err
+		}
+		for len(o.pending) > 0 {
+			if err := o.completeOldestWriteBack(); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -54,6 +54,13 @@ const UnassignedLeaf = ^uint32(0)
 // the guard turns an impossible hang into a diagnosable error.
 const DefaultMaxDummyRun = 1 << 20
 
+// DefaultMaxDeferredWriteBacks bounds the deferred write-back queue in
+// staged mode (Params.DeferWriteBack). Each pending entry pins at most
+// Z(L+1) block copies, so the default keeps memory overhead to a handful
+// of paths while still letting a burst of requests respond before any
+// write-back I/O happens.
+const DefaultMaxDeferredWriteBacks = 8
+
 // ErrLivelock is returned if background eviction issues MaxDummyRun dummy
 // accesses without draining the stash.
 var ErrLivelock = errors.New("core: background eviction livelock guard tripped")
@@ -100,6 +107,23 @@ type Params struct {
 	// AfterAccess, when set, observes the stash occupancy (in blocks)
 	// after each completed path access. Used by the Figure 3 study.
 	AfterAccess func(stashBlocks int, kind AccessKind)
+	// DeferWriteBack enables the staged access path: each access performs
+	// position lookup, path read, stash merge and eviction *placement*
+	// synchronously (so stash and position-map state are identical to the
+	// synchronous protocol), but the path write-back I/O — serialization,
+	// re-encryption, authentication and the store write — is queued and
+	// completed later by StepBackground or Flush. Reads
+	// of paths whose write-back is still pending are served from the
+	// pending buckets (the write buffer), so logical contents are never
+	// stale. The caller is responsible for draining: shard workers do it
+	// during idle queue time, and Flush drains everything.
+	DeferWriteBack bool
+	// MaxDeferredWriteBacks caps the deferred queue length when positive
+	// (default DefaultMaxDeferredWriteBacks). Pushing onto a full queue
+	// first completes the oldest pending write-back inline, so the queue —
+	// and the memory it pins — stays bounded even under sustained load
+	// with no idle time.
+	MaxDeferredWriteBacks int
 }
 
 // GroupSize returns the effective super block size (at least 1).
@@ -181,6 +205,19 @@ type Stats struct {
 	// MaxDummyRun is the longest run of consecutive dummy accesses needed
 	// to drain the stash.
 	MaxDummyRun int
+	// DeferredWriteBacks counts path write-backs whose I/O was deferred
+	// past the response (staged mode only). Every deferred write-back is
+	// eventually completed by StepBackground, Flush or the queue-full
+	// inline drain.
+	DeferredWriteBacks uint64
+	// IdleEvictions counts background-eviction dummy accesses issued by
+	// StepBackground during idle time — a subset of DummyAccesses. The
+	// remainder were issued inline by drainBackground when an access left
+	// the stash above the eviction threshold.
+	IdleEvictions uint64
+	// PendingWriteBackPeak is the largest deferred write-back queue length
+	// ever observed (staged mode only).
+	PendingWriteBackPeak int
 }
 
 // Merge returns the combination of s and other: additive counters are
@@ -195,11 +232,16 @@ func (s Stats) Merge(other Stats) Stats {
 	s.EvictionAccesses += other.EvictionAccesses
 	s.Stores += other.Stores
 	s.BlocksInORAM += other.BlocksInORAM
+	s.DeferredWriteBacks += other.DeferredWriteBacks
+	s.IdleEvictions += other.IdleEvictions
 	if other.StashPeak > s.StashPeak {
 		s.StashPeak = other.StashPeak
 	}
 	if other.MaxDummyRun > s.MaxDummyRun {
 		s.MaxDummyRun = other.MaxDummyRun
+	}
+	if other.PendingWriteBackPeak > s.PendingWriteBackPeak {
+		s.PendingWriteBackPeak = other.PendingWriteBackPeak
 	}
 	return s
 }
@@ -236,12 +278,22 @@ type ORAM struct {
 
 	stats Stats
 
+	// Deferred write-back state (staged mode, Params.DeferWriteBack).
+	// pending is the FIFO of computed-but-unwritten paths; overlay maps a
+	// bucket's flat tree index to the pending entry holding its live
+	// content, so path reads never see the store's stale copy.
+	maxDefer    int
+	pending     []*pendingPath
+	freePending []*pendingPath // recycled entries; bounded by maxDefer+1
+	overlay     map[uint64]overlayRef
+
 	// reusable buffers
 	bucketBuf [][]Slot
-	slotBuf   []Slot
+	readBuf   [][]Slot
 	byDepth   [][]int
 	poolBuf   []int
 	placed    []bool
+	skipBuf   []bool
 }
 
 // New assembles an ORAM from a validated parameter set, a bucket store, a
@@ -269,6 +321,14 @@ func New(p Params, store PathStore, pos PositionMap, leaves LeafSource) (*ORAM, 
 	if o.maxDummy <= 0 {
 		o.maxDummy = DefaultMaxDummyRun
 	}
+	if p.DeferWriteBack {
+		o.maxDefer = p.MaxDeferredWriteBacks
+		if o.maxDefer <= 0 {
+			o.maxDefer = DefaultMaxDeferredWriteBacks
+		}
+		o.overlay = make(map[uint64]overlayRef)
+		o.skipBuf = make([]bool, tree.Levels())
+	}
 	for i := range o.bucketBuf {
 		o.bucketBuf[i] = make([]Slot, 0, p.Z)
 	}
@@ -291,6 +351,10 @@ func (o *ORAM) ResetStats() { o.stats = Stats{BlocksInORAM: o.stats.BlocksInORAM
 
 // StashSize returns the current stash occupancy in blocks.
 func (o *ORAM) StashSize() int { return o.stash.len() }
+
+// PendingWriteBacks returns the number of path write-backs whose I/O has
+// been deferred and not yet completed (always 0 outside staged mode).
+func (o *ORAM) PendingWriteBacks() int { return len(o.pending) }
 
 // group returns the position-map entry index for a program address.
 func (o *ORAM) group(addr uint64) uint64 {

@@ -18,13 +18,26 @@ type Slot struct {
 // PathStore abstracts the external-memory tree at path granularity, the
 // unit of every Path ORAM operation.
 //
-// ReadPath appends every real block stored on the path to the given leaf to
-// dst and returns the extended slice (bucket boundaries are irrelevant to
-// the protocol on reads). WritePath replaces the whole path: buckets[d]
-// holds the blocks for the level-d bucket (at most Z); unfilled slots
-// become dummy blocks.
+// ReadPath returns the real blocks stored on the path to the given leaf,
+// one bucket per level in root-to-leaf order (dst[d] holds the level-d
+// bucket's blocks; the per-level shape mirrors WritePath, and the staged
+// access path depends on it to merge store buckets and pending write-back
+// buckets into the stash in exact bucket order). dst, when non-nil, is
+// reused: each dst[d] is truncated and appended to. skip, when non-nil,
+// has one flag per level; a set flag means the caller already holds that
+// bucket's live content (it sits in a pending deferred write-back) and
+// the store must not emit the bucket's — stale — blocks. Implementations
+// are free to still touch the skipped ciphertexts for verification; they
+// just don't decode them.
+//
+// WritePath replaces the whole path: buckets[d] holds the blocks for the
+// level-d bucket (at most Z); unfilled slots become dummy blocks. With
+// deferred write-backs the write for a path may arrive after reads (and
+// write-backs) of other paths; stores must not assume strict read/write
+// alternation, only that every write was preceded by a read of the same
+// path at some earlier point.
 type PathStore interface {
-	ReadPath(leaf uint64, dst []Slot) ([]Slot, error)
+	ReadPath(leaf uint64, skip []bool, dst [][]Slot) ([][]Slot, error)
 	WritePath(leaf uint64, buckets [][]Slot) error
 }
 
@@ -65,11 +78,18 @@ func NewMemStore(leafLevel, z, blockBytes int) (*MemStore, error) {
 }
 
 // ReadPath implements PathStore.
-func (s *MemStore) ReadPath(leaf uint64, dst []Slot) ([]Slot, error) {
+func (s *MemStore) ReadPath(leaf uint64, skip []bool, dst [][]Slot) ([][]Slot, error) {
+	var err error
+	if dst, err = prepareReadBuf(dst, s.tree.Levels()); err != nil {
+		return dst, err
+	}
 	if !s.tree.ValidLeaf(leaf) {
 		return dst, fmt.Errorf("core: leaf %d out of range", leaf)
 	}
 	for d := 0; d <= s.tree.LeafLevel(); d++ {
+		if skip != nil && skip[d] {
+			continue
+		}
 		base := s.tree.PathBucket(leaf, d) * uint64(s.z)
 		for i := uint64(0); i < uint64(s.z); i++ {
 			if a := s.addr1[base+i]; a != 0 {
@@ -77,9 +97,29 @@ func (s *MemStore) ReadPath(leaf uint64, dst []Slot) ([]Slot, error) {
 				if s.data != nil {
 					slot.Data = s.data[base+i]
 				}
-				dst = append(dst, slot)
+				dst[d] = append(dst[d], slot)
 			}
 		}
+	}
+	return dst, nil
+}
+
+// PrepareReadBuf sizes dst for a ReadPath over levels buckets, truncating
+// reused per-level slices. Store implementations share it so the
+// buffer-reuse contract stays uniform.
+func PrepareReadBuf(dst [][]Slot, levels int) ([][]Slot, error) {
+	return prepareReadBuf(dst, levels)
+}
+
+func prepareReadBuf(dst [][]Slot, levels int) ([][]Slot, error) {
+	if dst == nil {
+		return make([][]Slot, levels), nil
+	}
+	if len(dst) != levels {
+		return dst, fmt.Errorf("core: read buffer has %d buckets, want %d", len(dst), levels)
+	}
+	for d := range dst {
+		dst[d] = dst[d][:0]
 	}
 	return dst, nil
 }

@@ -12,12 +12,15 @@ func TestMemStoreEmptyRead(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.ReadPath(7, nil)
+	got, err := s.ReadPath(7, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 0 {
-		t.Errorf("empty tree returned %d blocks", len(got))
+	if len(got) != 5 {
+		t.Errorf("ReadPath returned %d buckets, want one per level (5)", len(got))
+	}
+	if n := len(flatSlots(got)); n != 0 {
+		t.Errorf("empty tree returned %d blocks", n)
 	}
 	if s.CountBlocks() != 0 {
 		t.Errorf("empty tree counts %d blocks", s.CountBlocks())
@@ -29,7 +32,7 @@ func TestMemStoreRejectsBadGeometry(t *testing.T) {
 		t.Error("Z=0 accepted")
 	}
 	s, _ := NewMemStore(3, 2, 0)
-	if _, err := s.ReadPath(8, nil); err == nil {
+	if _, err := s.ReadPath(8, nil, nil); err == nil {
 		t.Error("out-of-range leaf read accepted")
 	}
 	if err := s.WritePath(8, make([][]Slot, 4)); err == nil {
@@ -53,15 +56,18 @@ func TestMemStoreWriteReadRoundTrip(t *testing.T) {
 	if err := s.WritePath(5, buckets); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.ReadPath(5, nil)
+	got, err := s.ReadPath(5, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 3 {
-		t.Fatalf("read %d blocks want 3", len(got))
+	if n := len(flatSlots(got)); n != 3 {
+		t.Fatalf("read %d blocks want 3", n)
+	}
+	if len(got[0]) != 1 || len(got[2]) != 2 {
+		t.Fatalf("per-level shape wrong: %v", got)
 	}
 	byAddr := map[uint64]Slot{}
-	for _, b := range got {
+	for _, b := range flatSlots(got) {
 		byAddr[b.Addr] = b
 	}
 	if b, ok := byAddr[0]; !ok || b.Leaf != 5 || !bytes.Equal(b.Data, blockOf(1, 8)) {
@@ -72,13 +78,30 @@ func TestMemStoreWriteReadRoundTrip(t *testing.T) {
 	}
 	// Reading a disjoint path sees only the shared root bucket.
 	// Leaf 5 = 101b; leaf 2 = 010b diverges at the root's children.
-	other, err := s.ReadPath(2, nil)
+	other, err := s.ReadPath(2, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(other) != 1 || other[0].Addr != 0 {
+	if flat := flatSlots(other); len(flat) != 1 || flat[0].Addr != 0 {
 		t.Errorf("disjoint path read %+v, want only root block 0", other)
 	}
+	// A skip mask suppresses exactly the flagged buckets.
+	skipped, err := s.ReadPath(5, []bool{true, false, false, false}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped[0]) != 0 || len(skipped[2]) != 2 {
+		t.Errorf("skip mask misapplied: %v", skipped)
+	}
+}
+
+// flatSlots flattens a per-level ReadPath result for shape-agnostic checks.
+func flatSlots(buckets [][]Slot) []Slot {
+	var out []Slot
+	for _, b := range buckets {
+		out = append(out, b...)
+	}
+	return out
 }
 
 func TestMemStoreOverwriteClearsOldBlocks(t *testing.T) {
@@ -129,12 +152,12 @@ func TestMemStorePathCoverageProperty(t *testing.T) {
 		if err := s.WritePath(leaf, b); err != nil {
 			return false
 		}
-		got, err := s.ReadPath(probe, nil)
+		got, err := s.ReadPath(probe, nil, nil)
 		if err != nil {
 			return false
 		}
 		found := false
-		for _, bl := range got {
+		for _, bl := range flatSlots(got) {
 			if bl.Addr == leaf+1 {
 				found = true
 			}

@@ -51,10 +51,12 @@ type Store struct {
 	mem     []byte
 	written []bool // per bucket; used instead of valid bits when Auth == nil
 
-	// state carried from ReadPath to the matching WritePath
-	lastLeaf  uint64
-	lastReach []bool
-	havePath  bool
+	// outstanding counts, per leaf, ReadPaths not yet matched by a
+	// WritePath. The protocol only ever writes paths it has read, but with
+	// deferred write-backs the write may arrive after reads (and writes)
+	// of other paths — a multiset is the strongest pairing the store can
+	// still enforce.
+	outstanding map[uint64]int
 
 	// reusable buffers
 	plainBuf []byte
@@ -115,6 +117,7 @@ func NewStore(cfg StoreConfig) (*Store, error) {
 	}
 	s.mem = make([]byte, tree.NumBuckets()*uint64(s.stride))
 	s.written = make([]bool, tree.NumBuckets())
+	s.outstanding = make(map[uint64]int)
 	s.plainBuf = make([]byte, s.pbytes)
 	s.ctRefs = make([][]byte, tree.Levels())
 	if cfg.RandomizeMemory != nil {
@@ -137,30 +140,36 @@ func (s *Store) bucketSlice(flat uint64) []byte {
 }
 
 // ReadPath implements core.PathStore: decrypt (and verify) the path,
-// append the real blocks to dst.
-func (s *Store) ReadPath(leaf uint64, dst []core.Slot) ([]core.Slot, error) {
+// emit the real blocks per level into dst. Buckets flagged in skip are
+// still read and verified — their ciphertexts are part of the path's
+// authentication — but not decrypted or emitted: the caller holds their
+// live content in a pending deferred write-back, so the store copy is
+// stale.
+func (s *Store) ReadPath(leaf uint64, skip []bool, dst [][]core.Slot) ([][]core.Slot, error) {
+	var err error
+	if dst, err = core.PrepareReadBuf(dst, s.tree.Levels()); err != nil {
+		return dst, err
+	}
 	if !s.tree.ValidLeaf(leaf) {
 		return dst, fmt.Errorf("encrypt: leaf %d out of range", leaf)
 	}
-	reach := make([]bool, s.tree.Levels())
+	reach := s.pathReachability(leaf)
 	for d := 0; d <= s.tree.LeafLevel(); d++ {
 		flat := s.tree.PathBucket(leaf, d)
 		s.ctRefs[d] = s.bucketSlice(flat)
 		s.noteAccess(flat, false)
 	}
 	if s.cfg.Auth != nil {
-		copy(reach, s.cfg.Auth.PathReachability(leaf))
 		if err := s.cfg.Auth.VerifyPath(leaf, s.ctRefs); err != nil {
 			return dst, err
-		}
-	} else {
-		for d := 0; d <= s.tree.LeafLevel(); d++ {
-			reach[d] = s.written[s.tree.PathBucket(leaf, d)]
 		}
 	}
 	for d := 0; d <= s.tree.LeafLevel(); d++ {
 		if !reach[d] {
 			continue // never written: only garbage (or zeroes) there
+		}
+		if skip != nil && skip[d] {
+			continue // live content is in the caller's write buffer
 		}
 		flat := s.tree.PathBucket(leaf, d)
 		if err := s.cfg.Scheme.Open(flat, s.ctRefs[d], s.z, s.plainBuf); err != nil {
@@ -174,29 +183,47 @@ func (s *Store) ReadPath(leaf uint64, dst []core.Slot) ([]core.Slot, error) {
 			}
 			data := make([]byte, s.cfg.BlockBytes)
 			copy(data, rec[slotHeaderBytes:slotHeaderBytes+s.cfg.BlockBytes])
-			dst = append(dst, core.Slot{
+			dst[d] = append(dst[d], core.Slot{
 				Addr: addr1 - 1,
 				Leaf: binary.LittleEndian.Uint32(rec[8:12]),
 				Data: data,
 			})
 		}
 	}
-	s.lastLeaf, s.havePath = leaf, true
-	s.lastReach = reach
+	s.outstanding[leaf]++
 	return dst, nil
+}
+
+// pathReachability reports, per level, whether the bucket on the path to
+// leaf has meaningful (ever-written) content right now.
+func (s *Store) pathReachability(leaf uint64) []bool {
+	if s.cfg.Auth != nil {
+		return s.cfg.Auth.PathReachability(leaf) // freshly allocated per call
+	}
+	reach := make([]bool, s.tree.Levels())
+	for d := 0; d <= s.tree.LeafLevel(); d++ {
+		reach[d] = s.written[s.tree.PathBucket(leaf, d)]
+	}
+	return reach
 }
 
 // WritePath implements core.PathStore: serialize, pad with dummies,
 // re-encrypt under fresh randomness and re-authenticate. The protocol
-// always writes the path it just read, which the store enforces.
+// only writes paths it has read; the store enforces that pairing as a
+// multiset, since deferred write-backs may land after later paths were
+// read or written. Reachability is computed at write time — with
+// intervening write-backs it can only have improved since the read.
 func (s *Store) WritePath(leaf uint64, buckets [][]core.Slot) error {
-	if !s.havePath || leaf != s.lastLeaf {
+	if s.outstanding[leaf] == 0 {
 		return fmt.Errorf("encrypt: WritePath(%d) without matching ReadPath", leaf)
 	}
 	if len(buckets) != s.tree.Levels() {
 		return fmt.Errorf("encrypt: got %d buckets, want %d", len(buckets), s.tree.Levels())
 	}
-	s.havePath = false
+	reach := s.pathReachability(leaf)
+	if s.outstanding[leaf]--; s.outstanding[leaf] == 0 {
+		delete(s.outstanding, leaf)
+	}
 	for d := 0; d <= s.tree.LeafLevel(); d++ {
 		if len(buckets[d]) > s.z {
 			return fmt.Errorf("encrypt: bucket at level %d overfull (%d > %d)", d, len(buckets[d]), s.z)
@@ -229,7 +256,7 @@ func (s *Store) WritePath(leaf uint64, buckets [][]core.Slot) error {
 		s.noteAccess(flat, true)
 	}
 	if s.cfg.Auth != nil {
-		return s.cfg.Auth.UpdatePath(leaf, s.ctRefs, s.lastReach)
+		return s.cfg.Auth.UpdatePath(leaf, s.ctRefs, reach)
 	}
 	return nil
 }

@@ -268,12 +268,91 @@ func TestWritePathRequiresMatchingRead(t *testing.T) {
 	if err := store.WritePath(3, make([][]core.Slot, 5)); err == nil {
 		t.Error("WritePath without ReadPath accepted")
 	}
-	if _, err := store.ReadPath(2, nil); err != nil {
+	if _, err := store.ReadPath(2, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := store.WritePath(3, make([][]core.Slot, 5)); err == nil {
 		t.Error("WritePath for a different leaf accepted")
 	}
+	// The read of 2 is still outstanding, so its (late) write-back lands;
+	// a second one must be rejected — writes never outnumber reads.
+	if err := store.WritePath(2, make([][]core.Slot, 5)); err != nil {
+		t.Errorf("deferred WritePath for outstanding read rejected: %v", err)
+	}
+	if err := store.WritePath(2, make([][]core.Slot, 5)); err == nil {
+		t.Error("double WritePath for a single ReadPath accepted")
+	}
+}
+
+// TestDeferredWriteBackInterleavingWithAuth drives the store in the
+// staged protocol's access order — several path reads outstanding at
+// once, write-backs landing late in FIFO order — and checks that
+// authenticated round trips keep verifying and block payloads survive.
+func TestDeferredWriteBackInterleavingWithAuth(t *testing.T) {
+	scheme, _ := NewCounterScheme(testKey, 31)
+	auth := NewAuthTree(4, 2, 8, scheme)
+	store, err := NewStore(StoreConfig{LeafLevel: 4, Z: 2, BlockBytes: 8, Scheme: scheme, Auth: auth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(leaf uint64, buckets [][]core.Slot) {
+		t.Helper()
+		if buckets == nil {
+			buckets = make([][]core.Slot, 5)
+		}
+		if err := store.WritePath(leaf, buckets); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read := func(leaf uint64) [][]core.Slot {
+		t.Helper()
+		got, err := store.ReadPath(leaf, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	// Seed a block on leaf 3's deepest bucket.
+	read(3)
+	seeded := make([][]core.Slot, 5)
+	seeded[4] = []core.Slot{{Addr: 7, Leaf: 3, Data: fill(0xAB, 8)}}
+	write(3, seeded)
+
+	// Staged order: read 3, read 12, read 5 — then write them back FIFO.
+	// The block travels as the stash would carry it: the early write-backs
+	// rewrite their paths without it, and the final write-back places it
+	// in the shared root bucket.
+	got := read(3)
+	if len(got[4]) != 1 || !bytes.Equal(got[4][0].Data, fill(0xAB, 8)) {
+		t.Fatalf("seeded block lost before deferral: %v", got)
+	}
+	read(12)
+	read(5)
+	write(3, nil)
+	write(12, nil)
+	relocated := make([][]core.Slot, 5)
+	relocated[0] = got[4] // move the block to the shared root bucket
+	write(5, relocated)
+
+	// The root bucket is on every path; the block must be visible — and
+	// the whole path must verify — wherever we look.
+	if got := read(9); len(got[0]) != 1 || got[0][0].Addr != 7 {
+		t.Fatalf("relocated block not visible at root via leaf 9: %v", got)
+	}
+	write(9, nil) // moves it out again (bucket rewritten empty)
+	if got := read(3); len(flatten(got)) != 0 {
+		t.Fatalf("tree should be empty after root rewrite, saw %v", got)
+	}
+	write(3, nil)
+}
+
+func flatten(buckets [][]core.Slot) []core.Slot {
+	var out []core.Slot
+	for _, b := range buckets {
+		out = append(out, b...)
+	}
+	return out
 }
 
 func TestStoreTrafficAndFootprint(t *testing.T) {
@@ -286,7 +365,7 @@ func TestStoreTrafficAndFootprint(t *testing.T) {
 	if got, want := store.MemoryBytes(), uint64(31*stride); got != want {
 		t.Errorf("MemoryBytes=%d want %d", got, want)
 	}
-	if _, err := store.ReadPath(0, nil); err != nil {
+	if _, err := store.ReadPath(0, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := store.WritePath(0, make([][]core.Slot, 5)); err != nil {
@@ -314,7 +393,7 @@ func TestOnBucketAccessHook(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := store.ReadPath(1, nil); err != nil {
+	if _, err := store.ReadPath(1, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := store.WritePath(1, make([][]core.Slot, 5)); err != nil {

@@ -18,13 +18,23 @@
 // (DoBatch: fan out across shards, join, preserve input order). Close
 // drains every request already accepted before the workers exit, so no
 // caller is ever left waiting on an abandoned request.
+//
+// With Config.IdleWork enabled the worker loop becomes a two-stage
+// pipeline: after answering a request it performs the engine's deferred
+// work — completing queued path write-backs and running background
+// eviction — during idle queue time, yielding to the next request the
+// moment one arrives. Close and Inspect flush first, so the engines are
+// always observed (and left) in a fully written-back state.
 package shard
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/core"
 )
 
 // Engine is one single-threaded ORAM instance. The pool takes exclusive
@@ -41,6 +51,15 @@ type Engine interface {
 	// from a real one to an observer of the engine's memory traffic. The
 	// padded batch mode fills its fixed-shape schedule with these.
 	PaddingAccess() error
+	// StepBackground performs one unit of deferred work — completing one
+	// pending path write-back, or (when allowEviction is set) issuing one
+	// background-eviction dummy access — and reports which. Workers call
+	// it in a loop during idle queue time; core.BgNone ends the loop.
+	StepBackground(allowEviction bool) (core.BackgroundWork, error)
+	// Flush completes every pending write-back and fully drains
+	// background eviction, leaving the engine in a state the synchronous
+	// protocol could have produced.
+	Flush() error
 }
 
 // Op selects what a Request does on its shard's engine.
@@ -77,6 +96,7 @@ type Request struct {
 	Data []byte            // OpWrite payload
 	Fn   func(data []byte) // OpUpdate mutator
 	Run  func()            // OpInspect body
+	Peek bool              // OpInspect: skip the consistency flush (observe deferred state as-is)
 
 	Out []byte // OpRead result
 	Err error  // operation outcome
@@ -94,11 +114,20 @@ type Stats struct {
 	Batches    uint64
 	BatchedOps uint64
 	// PaddingOps counts OpPadding requests executed: the dummy accesses
-	// injected by padded batches. They are also included in
-	// ExecutedPerShard, since on the wire they are shard traffic like any
-	// other.
-	PaddingOps uint64
-	// ExecutedPerShard counts requests completed by each worker.
+	// injected by padded batches. They are deliberately NOT included in
+	// ExecutedPerShard, so that ExecutedPerShard measures real client
+	// traffic; PaddingPerShard carries the per-shard breakdown, and
+	// on-the-wire per-shard traffic is executed plus padding.
+	PaddingOps      uint64
+	PaddingPerShard []uint64
+	// IdleWriteBacks and IdleEvictions count the background work units the
+	// workers performed during idle queue time (Config.IdleWork): deferred
+	// path write-backs completed, and background-eviction dummy accesses
+	// issued.
+	IdleWriteBacks uint64
+	IdleEvictions  uint64
+	// ExecutedPerShard counts real (non-padding, non-inspect) requests
+	// completed by each worker.
 	ExecutedPerShard []uint64
 }
 
@@ -109,11 +138,40 @@ type paddedCounter struct {
 	_ [56]byte
 }
 
+// DefaultEvictionsPerIdle caps the background-eviction dummy accesses a
+// worker issues per idle gap. The cap bounds how long a worker can be busy
+// with speculative draining when a request arrives (it yields between
+// units), and keeps an idle pool from endlessly polishing its stashes.
+// Deferred write-backs are never capped: they are owed work, not
+// speculation.
+const DefaultEvictionsPerIdle = 4
+
+// Config parameterizes a Pool.
+type Config struct {
+	// QueueDepth is the per-shard request buffer (default 128): deep
+	// enough to absorb bursts, shallow enough to bound the work Close must
+	// drain.
+	QueueDepth int
+	// IdleWork enables the idle-time background scheduler: after
+	// answering a request, the worker completes deferred write-backs and
+	// runs background eviction until the queue has work again. Close and
+	// Inspect flush the engines first, so snapshots and the final state
+	// are always fully written back.
+	IdleWork bool
+	// EvictionsPerIdle caps background-eviction dummy accesses per idle
+	// gap (default DefaultEvictionsPerIdle; negative disables idle
+	// eviction, leaving only write-back completion).
+	EvictionsPerIdle int
+}
+
 // Pool owns N engines and runs one worker goroutine per engine.
 type Pool struct {
 	engines []Engine
 	queues  []chan *Request
 	workers sync.WaitGroup
+
+	idleWork         bool
+	evictionsPerIdle int
 
 	// mu guards closed against concurrent Close: submitters hold the read
 	// lock across the channel send, so Close (write lock) cannot close a
@@ -126,17 +184,24 @@ type Pool struct {
 	// touch the engines from their own goroutines simultaneously.
 	inspectMu sync.Mutex
 
-	singleOps  atomic.Uint64
-	batches    atomic.Uint64
-	batchedOps atomic.Uint64
-	paddingOps atomic.Uint64
-	executed   []paddedCounter
+	singleOps      atomic.Uint64
+	batches        atomic.Uint64
+	batchedOps     atomic.Uint64
+	paddingOps     atomic.Uint64
+	idleWriteBacks atomic.Uint64
+	idleEvictions  atomic.Uint64
+	executed       []paddedCounter
+	padded         []paddedCounter
+
+	// bgErrMu/bgErr record the first background-work or close-time flush
+	// error; Close surfaces it (request errors travel with their requests,
+	// but background work has no caller to report to).
+	bgErrMu sync.Mutex
+	bgErr   error
 }
 
-// NewPool starts one worker per engine. queueDepth is the per-shard buffer
-// (default 128 when <= 0): deep enough to absorb bursts, shallow enough to
-// bound the work Close must drain.
-func NewPool(engines []Engine, queueDepth int) (*Pool, error) {
+// NewPool starts one worker per engine.
+func NewPool(engines []Engine, cfg Config) (*Pool, error) {
 	if len(engines) == 0 {
 		return nil, fmt.Errorf("shard: pool needs at least one engine")
 	}
@@ -145,16 +210,24 @@ func NewPool(engines []Engine, queueDepth int) (*Pool, error) {
 			return nil, fmt.Errorf("shard: engine %d is nil", i)
 		}
 	}
-	if queueDepth <= 0 {
-		queueDepth = 128
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 128
+	}
+	if cfg.EvictionsPerIdle == 0 {
+		cfg.EvictionsPerIdle = DefaultEvictionsPerIdle
+	} else if cfg.EvictionsPerIdle < 0 {
+		cfg.EvictionsPerIdle = 0
 	}
 	p := &Pool{
-		engines:  engines,
-		queues:   make([]chan *Request, len(engines)),
-		executed: make([]paddedCounter, len(engines)),
+		engines:          engines,
+		queues:           make([]chan *Request, len(engines)),
+		executed:         make([]paddedCounter, len(engines)),
+		padded:           make([]paddedCounter, len(engines)),
+		idleWork:         cfg.IdleWork,
+		evictionsPerIdle: cfg.EvictionsPerIdle,
 	}
 	for i := range engines {
-		p.queues[i] = make(chan *Request, queueDepth)
+		p.queues[i] = make(chan *Request, cfg.QueueDepth)
 		p.workers.Add(1)
 		go p.run(i)
 	}
@@ -164,38 +237,120 @@ func NewPool(engines []Engine, queueDepth int) (*Pool, error) {
 // NumShards returns the number of engines.
 func (p *Pool) NumShards() int { return len(p.engines) }
 
+// handle applies one request to shard i's engine.
+func (p *Pool) handle(i int, e Engine, req *Request) {
+	switch req.Op {
+	case OpRead:
+		req.Out, req.Err = e.Read(req.Addr)
+	case OpWrite:
+		req.Err = e.Write(req.Addr, req.Data)
+	case OpUpdate:
+		req.Err = e.Update(req.Addr, req.Fn)
+	case OpPadding:
+		req.Err = e.PaddingAccess()
+		p.paddingOps.Add(1)
+		p.padded[i].Add(1)
+	case OpInspect:
+		// Inspections observe a consistent snapshot: with idle work on,
+		// deferred write-backs and pending evictions are flushed first, so
+		// the snapshot matches what the synchronous path would show. Peek
+		// inspections opt out to observe the deferred state itself. A
+		// flush failure travels on the request AND is recorded for Close:
+		// several snapshot callers (Stats, StashSize) have no error return
+		// and would otherwise silently observe an engine holding deferred
+		// state.
+		if p.idleWork && !req.Peek {
+			if req.Err = e.Flush(); req.Err != nil {
+				p.noteBackgroundErr(req.Err)
+			}
+		}
+		if req.Run != nil {
+			req.Run()
+		}
+	default:
+		req.Err = fmt.Errorf("shard: unknown op %d", req.Op)
+	}
+	if req.Op != OpInspect && req.Op != OpPadding {
+		// Inspections are monitoring, not load, and padding is scheduler
+		// overhead counted in PaddingOps: keeping both out means
+		// ExecutedPerShard measures real client traffic per shard.
+		p.executed[i].Add(1)
+	}
+	req.wg.Done()
+}
+
 // run is the worker loop: serially apply every request routed to shard i.
-// Ranging over the queue makes Close-time draining automatic — the loop
-// only exits once the closed channel is empty.
+// Receiving from the queue makes Close-time draining automatic — receive
+// only fails once the closed channel is empty. Between requests, idle-work
+// pools run the engine's deferred write-backs and background eviction,
+// yielding the moment the queue has a request (requests always win the
+// select, so background work never delays an already-queued client).
 func (p *Pool) run(i int) {
 	defer p.workers.Done()
 	e := p.engines[i]
-	for req := range p.queues[i] {
-		switch req.Op {
-		case OpRead:
-			req.Out, req.Err = e.Read(req.Addr)
-		case OpWrite:
-			req.Err = e.Write(req.Addr, req.Data)
-		case OpUpdate:
-			req.Err = e.Update(req.Addr, req.Fn)
-		case OpPadding:
-			req.Err = e.PaddingAccess()
-			p.paddingOps.Add(1)
-		case OpInspect:
-			if req.Run != nil {
-				req.Run()
+	q := p.queues[i]
+	for {
+		req, ok := <-q
+		if !ok {
+			break
+		}
+		p.handle(i, e, req)
+		if !p.idleWork {
+			continue
+		}
+		// Yield before touching background work: the goroutine just
+		// unblocked by the response must get the processor first, or —
+		// with few processors — the response's delivery would silently
+		// absorb the cost of the write-back it was supposed to skip.
+		runtime.Gosched()
+		evictions := 0
+	idle:
+		for {
+			select {
+			case req, ok := <-q:
+				if !ok {
+					break idle
+				}
+				p.handle(i, e, req)
+				evictions = 0
+				runtime.Gosched()
+			default:
+				w, err := e.StepBackground(evictions < p.evictionsPerIdle)
+				if err != nil {
+					p.noteBackgroundErr(err)
+					break idle
+				}
+				switch w {
+				case core.BgWriteBack:
+					p.idleWriteBacks.Add(1)
+				case core.BgEviction:
+					p.idleEvictions.Add(1)
+					evictions++
+				default:
+					break idle
+				}
 			}
-		default:
-			req.Err = fmt.Errorf("shard: unknown op %d", req.Op)
 		}
-		if req.Op != OpInspect {
-			// Inspections are internal monitoring, not load: keeping them
-			// out of the counters means ExecutedPerShard measures ORAM
-			// traffic even when Stats() is polled frequently.
-			p.executed[i].Add(1)
-		}
-		req.wg.Done()
+		// A break out of the idle loop with the queue still open simply
+		// returns to the blocking receive above; if the queue was closed
+		// the receive observes it and the worker exits through the drain
+		// path below.
 	}
+	if p.idleWork {
+		// Close-time drain: leave the engine fully written back, as the
+		// synchronous path would.
+		if err := e.Flush(); err != nil {
+			p.noteBackgroundErr(err)
+		}
+	}
+}
+
+func (p *Pool) noteBackgroundErr(err error) {
+	p.bgErrMu.Lock()
+	if p.bgErr == nil {
+		p.bgErr = err
+	}
+	p.bgErrMu.Unlock()
 }
 
 // submit enqueues req on shard s. req.wg must be armed by the caller.
@@ -300,7 +455,14 @@ func (p *Pool) Inspect(s int, fn func()) error {
 // still serializing each fn with its shard's request stream. Shards whose
 // submission raced with Close are handled like Inspect: wait for the
 // drain, then run directly on the quiescent engine.
-func (p *Pool) InspectAll(fns []func()) error {
+func (p *Pool) InspectAll(fns []func()) error { return p.inspectAll(fns, false) }
+
+// PeekAll is InspectAll without the idle-work consistency flush: fns
+// observe each engine's deferred state as-is (pending write-backs
+// included). Monitoring that must not perturb the pipeline uses this.
+func (p *Pool) PeekAll(fns []func()) error { return p.inspectAll(fns, true) }
+
+func (p *Pool) inspectAll(fns []func(), peek bool) error {
 	if len(fns) != len(p.engines) {
 		return fmt.Errorf("shard: %d inspectors for %d shards", len(fns), len(p.engines))
 	}
@@ -308,7 +470,7 @@ func (p *Pool) InspectAll(fns []func()) error {
 	backing := make([]Request, len(fns))
 	var direct []int
 	for i, fn := range fns {
-		backing[i] = Request{Op: OpInspect, Run: fn, wg: &wg}
+		backing[i] = Request{Op: OpInspect, Run: fn, Peek: peek, wg: &wg}
 		wg.Add(1)
 		if err := p.submit(i, &backing[i]); err != nil {
 			wg.Done()
@@ -328,6 +490,14 @@ func (p *Pool) InspectAll(fns []func()) error {
 		}
 		p.inspectMu.Unlock()
 	}
+	// Surface per-shard flush failures (the inspections themselves cannot
+	// fail): the snapshot still ran, but on an engine that may hold
+	// deferred state.
+	for i := range backing {
+		if backing[i].Err != nil {
+			return backing[i].Err
+		}
+	}
 	return nil
 }
 
@@ -338,17 +508,24 @@ func (p *Pool) Stats() Stats {
 		Batches:          p.batches.Load(),
 		BatchedOps:       p.batchedOps.Load(),
 		PaddingOps:       p.paddingOps.Load(),
+		IdleWriteBacks:   p.idleWriteBacks.Load(),
+		IdleEvictions:    p.idleEvictions.Load(),
 		ExecutedPerShard: make([]uint64, len(p.executed)),
+		PaddingPerShard:  make([]uint64, len(p.padded)),
 	}
 	for i := range p.executed {
 		s.ExecutedPerShard[i] = p.executed[i].Load()
+		s.PaddingPerShard[i] = p.padded[i].Load()
 	}
 	return s
 }
 
 // Close stops accepting requests, waits for every already-accepted request
-// to complete, and stops the workers. Safe to call more than once; later
-// calls wait for the drain and return nil.
+// to complete, flushes each engine's deferred work (idle-work pools), and
+// stops the workers. It returns the first background-work or flush error
+// encountered over the pool's lifetime — such errors have no request to
+// travel with. Safe to call more than once; later calls wait for the
+// drain and report the same error.
 func (p *Pool) Close() error {
 	p.mu.Lock()
 	if !p.closed {
@@ -359,5 +536,7 @@ func (p *Pool) Close() error {
 	}
 	p.mu.Unlock()
 	p.workers.Wait()
-	return nil
+	p.bgErrMu.Lock()
+	defer p.bgErrMu.Unlock()
+	return p.bgErr
 }

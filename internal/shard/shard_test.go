@@ -8,10 +8,14 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/core"
 )
 
 // fakeEngine is a deliberately non-thread-safe map engine: if the pool ever
-// touched it from two goroutines, the race detector would fire.
+// touched it from two goroutines, the race detector would fire. With
+// deferring set, every operation enqueues one fake deferred write-back, so
+// idle-work scheduling can be observed without a real ORAM.
 type fakeEngine struct {
 	blocks   map[uint64][]byte
 	ops      []uint64 // addresses in execution order
@@ -19,6 +23,13 @@ type fakeEngine struct {
 	delay    time.Duration
 	failAddr uint64 // Read/Write of this address fails
 	hasFail  bool
+
+	deferring bool // ops enqueue fake deferred write-backs
+	pending   int  // outstanding fake write-backs
+	evictable int  // fake background-eviction budget
+	wbDone    int  // write-backs completed via StepBackground
+	evDone    int  // evictions performed via StepBackground
+	flushes   int  // Flush calls
 }
 
 var errFake = errors.New("fake engine failure")
@@ -28,10 +39,7 @@ func newFakeEngine() *fakeEngine {
 }
 
 func (e *fakeEngine) Read(addr uint64) ([]byte, error) {
-	if e.delay > 0 {
-		time.Sleep(e.delay)
-	}
-	e.ops = append(e.ops, addr)
+	e.noteOp(addr)
 	if e.hasFail && addr == e.failAddr {
 		return nil, errFake
 	}
@@ -39,10 +47,7 @@ func (e *fakeEngine) Read(addr uint64) ([]byte, error) {
 }
 
 func (e *fakeEngine) Write(addr uint64, data []byte) error {
-	if e.delay > 0 {
-		time.Sleep(e.delay)
-	}
-	e.ops = append(e.ops, addr)
+	e.noteOp(addr)
 	if e.hasFail && addr == e.failAddr {
 		return errFake
 	}
@@ -51,10 +56,7 @@ func (e *fakeEngine) Write(addr uint64, data []byte) error {
 }
 
 func (e *fakeEngine) Update(addr uint64, fn func([]byte)) error {
-	if e.delay > 0 {
-		time.Sleep(e.delay)
-	}
-	e.ops = append(e.ops, addr)
+	e.noteOp(addr)
 	d := e.blocks[addr]
 	fn(d)
 	e.blocks[addr] = d
@@ -69,7 +71,42 @@ func (e *fakeEngine) PaddingAccess() error {
 	return nil
 }
 
+func (e *fakeEngine) StepBackground(allowEviction bool) (core.BackgroundWork, error) {
+	if e.pending > 0 {
+		e.pending--
+		e.wbDone++
+		return core.BgWriteBack, nil
+	}
+	if allowEviction && e.evictable > 0 {
+		e.evictable--
+		e.evDone++
+		return core.BgEviction, nil
+	}
+	return core.BgNone, nil
+}
+
+func (e *fakeEngine) Flush() error {
+	e.flushes++
+	e.pending = 0
+	return nil
+}
+
+func (e *fakeEngine) noteOp(addr uint64) {
+	if e.delay > 0 {
+		time.Sleep(e.delay)
+	}
+	e.ops = append(e.ops, addr)
+	if e.deferring {
+		e.pending++
+	}
+}
+
 func newTestPool(t *testing.T, n, depth int) (*Pool, []*fakeEngine) {
+	t.Helper()
+	return newConfiguredPool(t, n, Config{QueueDepth: depth})
+}
+
+func newConfiguredPool(t *testing.T, n int, cfg Config) (*Pool, []*fakeEngine) {
 	t.Helper()
 	fakes := make([]*fakeEngine, n)
 	engines := make([]Engine, n)
@@ -77,7 +114,7 @@ func newTestPool(t *testing.T, n, depth int) (*Pool, []*fakeEngine) {
 		fakes[i] = newFakeEngine()
 		engines[i] = fakes[i]
 	}
-	p, err := NewPool(engines, depth)
+	p, err := NewPool(engines, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,10 +128,10 @@ func val(i uint64) []byte {
 }
 
 func TestPoolValidation(t *testing.T) {
-	if _, err := NewPool(nil, 0); err == nil {
+	if _, err := NewPool(nil, Config{}); err == nil {
 		t.Error("empty engine list accepted")
 	}
-	if _, err := NewPool([]Engine{nil}, 0); err == nil {
+	if _, err := NewPool([]Engine{nil}, Config{}); err == nil {
 		t.Error("nil engine accepted")
 	}
 	p, _ := newTestPool(t, 2, 0)
@@ -422,8 +459,10 @@ func TestUpdateOp(t *testing.T) {
 }
 
 // TestPaddingOp checks the first-class dummy request: OpPadding reaches
-// the engine's PaddingAccess, counts as shard traffic in ExecutedPerShard
-// and is tallied separately in Stats.PaddingOps.
+// the engine's PaddingAccess and is tallied in Stats.PaddingOps — and
+// ONLY there. ExecutedPerShard must count real client traffic alone, so
+// padding-heavy schedules don't skew it as a load measure (regression:
+// padding used to be double-counted into executed).
 func TestPaddingOp(t *testing.T) {
 	p, fakes := newTestPool(t, 2, 4)
 	defer p.Close()
@@ -442,8 +481,15 @@ func TestPaddingOp(t *testing.T) {
 	if st.PaddingOps != 2 {
 		t.Errorf("PaddingOps = %d, want 2", st.PaddingOps)
 	}
-	if fmt.Sprint(st.ExecutedPerShard) != "[2 1]" {
-		t.Errorf("per-shard executed = %v, want [2 1]", st.ExecutedPerShard)
+	if fmt.Sprint(st.ExecutedPerShard) != "[1 0]" {
+		t.Errorf("per-shard executed = %v, want [1 0] (padding must not count as executed)", st.ExecutedPerShard)
+	}
+	var executed uint64
+	for _, n := range st.ExecutedPerShard {
+		executed += n
+	}
+	if executed+st.PaddingOps != 3 {
+		t.Errorf("executed %d + padding %d != 3 submitted requests", executed, st.PaddingOps)
 	}
 }
 
@@ -465,5 +511,149 @@ func TestPoolStatsCounters(t *testing.T) {
 	}
 	if fmt.Sprint(st.ExecutedPerShard) != "[6 1]" {
 		t.Errorf("per-shard executed = %v, want [6 1]", st.ExecutedPerShard)
+	}
+}
+
+// pendingTotal reads every engine's outstanding fake write-backs through
+// the pool's peek path (serialized with the workers, no flush).
+func pendingTotal(t *testing.T, p *Pool, fakes []*fakeEngine) int {
+	t.Helper()
+	counts := make([]int, len(fakes))
+	fns := make([]func(), len(fakes))
+	for i := range fns {
+		fns[i] = func() { counts[i] = fakes[i].pending }
+	}
+	if err := p.PeekAll(fns); err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}
+
+// TestAsyncIdleWorkDrainsWriteBacks submits deferring operations and
+// checks that the workers complete the deferred write-backs on their own
+// during idle queue time — no Flush, Inspect or Close involved.
+func TestAsyncIdleWorkDrainsWriteBacks(t *testing.T) {
+	p, fakes := newConfiguredPool(t, 2, Config{QueueDepth: 8, IdleWork: true})
+	defer p.Close()
+	for _, f := range fakes {
+		f.deferring = true
+	}
+	for i := uint64(0); i < 20; i++ {
+		if err := p.Do(int(i%2), &Request{Op: OpWrite, Addr: i, Data: val(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for pendingTotal(t, p, fakes) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle workers never drained: %d write-backs still pending", pendingTotal(t, p, fakes))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := p.Stats()
+	if st.IdleWriteBacks == 0 {
+		t.Error("IdleWriteBacks = 0; background work was not counted")
+	}
+}
+
+// TestAsyncCloseFlushes checks the drain guarantee: Close leaves every
+// engine flushed even when deferred write-backs were outstanding.
+func TestAsyncCloseFlushes(t *testing.T) {
+	p, fakes := newConfiguredPool(t, 2, Config{QueueDepth: 64, IdleWork: true})
+	for _, f := range fakes {
+		f.deferring = true
+	}
+	for i := uint64(0); i < 40; i++ {
+		if err := p.Do(int(i%2), &Request{Op: OpWrite, Addr: i, Data: val(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range fakes {
+		if f.pending != 0 {
+			t.Errorf("engine %d: %d write-backs pending after Close", i, f.pending)
+		}
+		if f.flushes == 0 {
+			t.Errorf("engine %d: never flushed on Close", i)
+		}
+	}
+}
+
+// TestAsyncInspectFlushesFirst checks that inspections observe a
+// consistent (fully written-back) snapshot, while peeks observe the
+// deferred state as-is.
+func TestAsyncInspectFlushesFirst(t *testing.T) {
+	// Queue several ops back to back so the worker plausibly still holds
+	// deferred work when the inspection runs; either way the inspection
+	// itself must observe pending == 0.
+	p, fakes := newConfiguredPool(t, 1, Config{QueueDepth: 16, IdleWork: true})
+	defer p.Close()
+	fakes[0].deferring = true
+	for i := uint64(0); i < 8; i++ {
+		if err := p.Do(0, &Request{Op: OpWrite, Addr: i, Data: val(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var pendingSeen, flushesSeen int
+	if err := p.Inspect(0, func() {
+		pendingSeen = fakes[0].pending
+		flushesSeen = fakes[0].flushes
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if pendingSeen != 0 {
+		t.Errorf("inspection saw %d pending write-backs; Inspect must flush first", pendingSeen)
+	}
+	if flushesSeen == 0 {
+		t.Error("inspection ran without a preceding flush")
+	}
+}
+
+// TestAsyncEvictionsPerIdleCap checks that a worker issues at most
+// EvictionsPerIdle background evictions per idle gap and then goes back to
+// blocking on the queue.
+func TestAsyncEvictionsPerIdleCap(t *testing.T) {
+	p, fakes := newConfiguredPool(t, 1, Config{QueueDepth: 4, IdleWork: true, EvictionsPerIdle: 3})
+	fakes[0].evictable = 100
+	if err := p.Do(0, &Request{Op: OpWrite, Addr: 1, Data: val(1)}); err != nil {
+		t.Fatal(err)
+	}
+	// Give the worker ample time to (wrongly) keep evicting past the cap.
+	time.Sleep(20 * time.Millisecond)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fakes[0].evDone != 3 {
+		t.Errorf("worker performed %d idle evictions, want exactly the cap of 3", fakes[0].evDone)
+	}
+	if st := p.Stats(); st.IdleEvictions != 3 {
+		t.Errorf("Stats.IdleEvictions = %d, want 3", st.IdleEvictions)
+	}
+}
+
+// TestSyncPoolNeverTouchesBackground checks that without IdleWork the pool
+// never calls StepBackground or Flush — synchronous engines keep their
+// exact pre-pipelining behavior.
+func TestSyncPoolNeverTouchesBackground(t *testing.T) {
+	p, fakes := newTestPool(t, 1, 4)
+	fakes[0].evictable = 5
+	for i := uint64(0); i < 10; i++ {
+		if err := p.Do(0, &Request{Op: OpWrite, Addr: i, Data: val(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fakes[0].evDone != 0 || fakes[0].wbDone != 0 || fakes[0].flushes != 0 {
+		t.Errorf("sync pool ran background work: ev=%d wb=%d flushes=%d",
+			fakes[0].evDone, fakes[0].wbDone, fakes[0].flushes)
 	}
 }

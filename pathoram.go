@@ -71,6 +71,19 @@ type Config struct {
 	// (simulation only: the stash can then overflow, which is Path ORAM
 	// failure).
 	DisableBackgroundEviction bool
+	// AsyncEviction enables the staged access path: Read/Write/Update
+	// return as soon as the path has been read and merged and the eviction
+	// placement computed; the write-back I/O (serialization, encryption,
+	// authentication, store write) is deferred onto a bounded queue, and
+	// stash draining is expected to happen in idle time. Someone must
+	// drain: inside a Sharded the shard workers do it automatically during
+	// idle queue time; a standalone ORAM owner calls StepBackground (e.g.
+	// between requests) and Flush when quiescing. Logical contents are
+	// never stale — reads of paths with pending write-backs are served
+	// from the write buffer — and the stash bound still holds: if deferred
+	// work piles up faster than idle time drains it, draining falls back
+	// inline, degrading to the synchronous protocol rather than failing.
+	AsyncEviction bool
 	// Rand, when set, makes all randomness (leaf selection, per-block
 	// keys) deterministic for reproducible simulation. Production use
 	// must leave it nil: leaves then come from crypto/rand. NewSharded
@@ -211,6 +224,7 @@ func New(cfg Config) (*ORAM, error) {
 		StashCapacity:      cfg.StashCapacity,
 		SuperBlock:         cfg.SuperBlockSize,
 		BackgroundEviction: !cfg.DisableBackgroundEviction && cfg.StashCapacity > 0,
+		DeferWriteBack:     cfg.AsyncEviction,
 	}
 	if cfg.OnPathAccess != nil {
 		hook := cfg.OnPathAccess
@@ -271,6 +285,35 @@ func (o *ORAM) Store(addr uint64, data []byte) error {
 // indistinguishable from a real access; the sharded serving layer's padded
 // batch mode uses it to fill the dummy slots of a fixed-shape schedule.
 func (o *ORAM) PaddingAccess() error { return o.inner.PaddingAccess() }
+
+// BackgroundWork reports what one StepBackground call did.
+type BackgroundWork = core.BackgroundWork
+
+// Re-exported StepBackground outcomes.
+const (
+	BgNone      = core.BgNone
+	BgWriteBack = core.BgWriteBack
+	BgEviction  = core.BgEviction
+)
+
+// StepBackground performs one unit of deferred work — completing one
+// pending path write-back, or (when allowEviction is set and the stash
+// sits above the idle low-water mark) issuing one background-eviction
+// dummy access — and reports which. Under AsyncEviction, call it whenever
+// the ORAM would otherwise sit idle; BgNone means there is nothing useful
+// to do right now. Inside a Sharded the shard workers call it for you.
+func (o *ORAM) StepBackground(allowEviction bool) (BackgroundWork, error) {
+	return o.inner.StepBackground(allowEviction)
+}
+
+// Flush completes every deferred path write-back and fully drains
+// background eviction, leaving the ORAM in a state the synchronous
+// protocol could have produced. A no-op without AsyncEviction.
+func (o *ORAM) Flush() error { return o.inner.Flush() }
+
+// PendingWriteBacks returns the number of deferred path write-backs not
+// yet completed (always 0 without AsyncEviction).
+func (o *ORAM) PendingWriteBacks() int { return o.inner.PendingWriteBacks() }
 
 // Stats returns the protocol counters.
 func (o *ORAM) Stats() Stats { return o.inner.Stats() }

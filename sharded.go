@@ -58,6 +58,21 @@ type ShardedConfig struct {
 	Partition Partition
 	// QueueDepth is the per-shard request queue length (default 128).
 	QueueDepth int
+	// EvictionsPerIdle caps how many background-eviction dummy accesses a
+	// worker issues per idle gap (default 4; negative disables idle
+	// eviction, leaving only write-back completion). Only meaningful with
+	// AsyncEviction (promoted from Config), which turns each shard into a
+	// two-stage pipeline: the worker answers a request as soon as its path
+	// has been read and merged, then completes the deferred write-back —
+	// and runs background stash eviction — during idle queue time.
+	// Client-visible latency pays only for the read half of each access;
+	// under sustained saturation the deferred work drains inline and
+	// throughput matches the synchronous mode. Close, Inspect-based
+	// snapshots (Stats, ShardStats, StashSize) and Flush all drain fully
+	// first, so observed state always matches the synchronous protocol.
+	// See DESIGN.md (pipelining) and SECURITY.md (why the idle-time
+	// schedule leaks nothing).
+	EvictionsPerIdle int
 	// Padded switches ReadBatch/WriteBatch to the padded batch mode:
 	// every batch touches every shard an equal number of times — the
 	// larger of ceil(batchSize/Shards) and the busiest shard's real
@@ -200,7 +215,11 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 		s.orams[i] = o
 		engines[i] = o
 	}
-	pool, err := shard.NewPool(engines, cfg.QueueDepth)
+	pool, err := shard.NewPool(engines, shard.Config{
+		QueueDepth:       cfg.QueueDepth,
+		IdleWork:         cfg.AsyncEviction,
+		EvictionsPerIdle: cfg.EvictionsPerIdle,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -454,7 +473,9 @@ func (s *Sharded) batchRequests(addrs []uint64, build func(i int, local uint64) 
 // Stats aggregates the protocol counters across all shards (Stats.Merge
 // semantics: counters sum, stash peaks take the worst shard). Each shard's
 // snapshot is taken on its worker, serialized with that shard's request
-// stream.
+// stream. Under AsyncEviction snapshots flush first; a flush failure
+// cannot be reported here (no error return) but is recorded and surfaced
+// by Close — call Flush directly to observe it eagerly.
 func (s *Sharded) Stats() Stats {
 	var merged Stats
 	for _, st := range s.ShardStats() {
@@ -500,6 +521,30 @@ type SchedulerStats = shard.Stats
 // SchedulerStats returns the request scheduler's own counters (ops,
 // batches, per-shard executed requests).
 func (s *Sharded) SchedulerStats() SchedulerStats { return s.pool.Stats() }
+
+// Flush completes every shard's deferred write-backs and drains background
+// eviction, leaving all shards in a state the synchronous mode could have
+// produced. It serializes with each shard's request stream (concurrent
+// traffic keeps flowing; requests accepted before the flush are included).
+// A no-op barrier without AsyncEviction.
+func (s *Sharded) Flush() error {
+	return s.pool.InspectAll(s.inspectors(func(int, *ORAM) {}))
+}
+
+// PendingWriteBacks returns the total number of deferred path write-backs
+// across all shards that have not yet been completed. Unlike the other
+// snapshots it intentionally does NOT flush first — it measures the
+// backlog, so it rides the pool's peek path. Always 0 without
+// AsyncEviction, and after Close or Flush.
+func (s *Sharded) PendingWriteBacks() int {
+	counts := make([]int, len(s.orams))
+	_ = s.pool.PeekAll(s.inspectors(func(i int, o *ORAM) { counts[i] = o.PendingWriteBacks() }))
+	var total int
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}
 
 // StashSize returns the summed stash occupancy over all shards.
 func (s *Sharded) StashSize() int {

@@ -227,9 +227,27 @@ func TestPaddedFixedPartitionFlatCounts(t *testing.T) {
 		t.Fatal(err)
 	}
 	sched := s.SchedulerStats()
+	// On-the-wire traffic per shard is real executed requests plus padding
+	// (ExecutedPerShard alone deliberately counts only real traffic).
+	wire := make([]uint64, shards)
+	for sh := range wire {
+		wire[sh] = sched.ExecutedPerShard[sh] + sched.PaddingPerShard[sh]
+	}
 	for sh := 1; sh < shards; sh++ {
-		if sched.ExecutedPerShard[sh] != sched.ExecutedPerShard[0] {
-			t.Fatalf("padded stripe batch not flat: executed %v", sched.ExecutedPerShard)
+		if wire[sh] != wire[0] {
+			t.Fatalf("padded stripe batch not flat on the wire: %v (executed %v, padding %v)",
+				wire, sched.ExecutedPerShard, sched.PaddingPerShard)
+		}
+	}
+	// The crafted batch puts every real request on shard 0; executed must
+	// now say exactly that instead of being smeared by padding.
+	if sched.ExecutedPerShard[0] != k {
+		t.Errorf("ExecutedPerShard[0] = %d, want %d real requests", sched.ExecutedPerShard[0], k)
+	}
+	for sh := 1; sh < shards; sh++ {
+		if sched.ExecutedPerShard[sh] != 0 {
+			t.Errorf("ExecutedPerShard[%d] = %d, want 0 (all real traffic was crafted onto shard 0)",
+				sh, sched.ExecutedPerShard[sh])
 		}
 	}
 	// All k requests were real on shard 0, so every shard ran k slots:

@@ -16,6 +16,16 @@ import (
 // obliviousness argument, what each mode leaks, and the protocol's padded
 // batch shape are written out in SECURITY.md; the design trade-offs
 // (storage, the single-op correlation leak) in DESIGN.md.
+//
+// Composition with AsyncEviction: both legs of the two-leg protocol ride
+// the shard pool's ordinary request path, so under the staged access path
+// each leg's response is released after its path read and stash merge,
+// and the legs' write-backs complete on their respective shards' idle
+// time. The router map is still updated only after the relocation leg's
+// engine has accepted the write (logically complete; its write-back I/O
+// may be pending), which is exactly the consistency point the overlay
+// guarantees — a re-access fetches through the new home's pending content
+// if it arrives before the flush.
 
 // shardDrawer draws uniform shard indices from a LeafSource. LeafSource
 // only draws over powers of two, so non-power-of-two shard counts use
