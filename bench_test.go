@@ -238,6 +238,53 @@ func BenchmarkShardedThroughputEncrypted(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedDRAM measures the timed serving layer: wall-clock
+// throughput of DRAM-backed shards on the shared memory scheduler, with
+// the modeled currency attached as metrics — DDR3 cycles per op, row-hit
+// rate, and achieved bytes per modeled cycle, all diffed against the
+// post-pre-fill snapshot so they describe the measured reads only. CI
+// runs it once as the timed-backend smoke test.
+func BenchmarkShardedDRAM(b *testing.B) {
+	const blocks = 1 << 12
+	const blockSize = 64
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := newBenchSharded(b, ShardedConfig{
+				Shards: shards,
+				Config: Config{
+					Blocks: blocks, BlockSize: blockSize,
+					Encryption:   EncryptNone,
+					Backend:      BackendDRAM,
+					DRAMChannels: 2,
+				},
+			})
+			defer s.Close()
+			pre, _ := s.TimingStats()
+			var seed atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(300 + seed.Add(1)))
+				for pb.Next() {
+					if _, err := s.Read(rng.Uint64() % blocks); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			post, ok := s.TimingStats()
+			if !ok {
+				b.Fatal("no timing stats from DRAM backend")
+			}
+			d := post.Delta(pre)
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+			b.ReportMetric(float64(d.Cycles)/float64(b.N), "cycles/op")
+			b.ReportMetric(d.RowHitRate(), "row-hit")
+			b.ReportMetric(d.BytesPerCycle(), "B/cycle")
+		})
+	}
+}
+
 // BenchmarkShardedBatch measures batched submission from a single client:
 // even one caller gets cross-shard parallelism because the batch fans out
 // to all workers.

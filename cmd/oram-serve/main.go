@@ -49,6 +49,11 @@ func main() {
 		async     = flag.Bool("async", false, "staged access path: respond after the path read, write back and evict during idle queue time")
 		idleEv    = flag.Int("idle-evictions", 0, "max background evictions per idle gap (0 = default, negative disables; with -async)")
 		think     = flag.Duration("think", 0, "client think time between operations (open-loop pacing; idle time is where -async wins)")
+		backend   = flag.String("backend", "mem", "storage backend: mem (untimed) | dram (shared cycle-accurate DDR3 model; adds the modeled-cycle columns)")
+		channels  = flag.Int("channels", 2, "independent DDR3 channels shared by all shards (with -backend dram)")
+		layout    = flag.String("layout", "subtree", "bucket-to-row placement: subtree|naive (with -backend dram)")
+		dramSer   = flag.Bool("dram-serialize", false, "modeling baseline: forbid inter-shard overlap on the memory channels (with -backend dram)")
+		maxDefer  = flag.Int("max-deferred", 0, "deferred write-back queue depth = modeled write-buffer depth (0 = default 8; with -async)")
 	)
 	flag.Parse()
 
@@ -77,6 +82,40 @@ func main() {
 	if *padded && *batch <= 0 {
 		log.Fatal("-padded pads batch schedules; combine it with -batch > 0")
 	}
+	// Knobs that would be silently inert in the selected mode are rejected,
+	// so a sweep never varies a flag that changes nothing.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *backend != "dram" {
+		for _, name := range []string{"channels", "layout", "dram-serialize"} {
+			if explicit[name] {
+				log.Fatalf("-%s only affects the timed backend; combine it with -backend dram", name)
+			}
+		}
+	}
+	if explicit["max-deferred"] && !*async {
+		// Meaningful with or without -backend dram (it bounds the staged
+		// path's pinned memory either way) — but only under -async.
+		log.Fatal("-max-deferred sizes the deferred write-back queue; combine it with -async")
+	}
+	var back pathoram.Backend
+	switch *backend {
+	case "mem":
+		back = pathoram.BackendMem
+	case "dram":
+		back = pathoram.BackendDRAM
+	default:
+		log.Fatalf("unknown -backend %q", *backend)
+	}
+	var lay pathoram.DRAMLayout
+	switch *layout {
+	case "subtree":
+		lay = pathoram.LayoutSubtree
+	case "naive":
+		lay = pathoram.LayoutNaive
+	default:
+		log.Fatalf("unknown -layout %q", *layout)
+	}
 	shardCounts, err := parseInts(*shardsCSV)
 	if err != nil {
 		log.Fatalf("parsing -shards: %v", err)
@@ -84,11 +123,19 @@ func main() {
 
 	fmt.Printf("oram-serve: %d blocks x %dB, %s encryption, integrity=%v, partition=%s, padded=%v, async=%v\n",
 		*blocks, *blockSize, *encrypt, *integrity, *partition, *padded, *async)
+	if back == pathoram.BackendDRAM {
+		depth := *maxDefer
+		if depth == 0 {
+			depth = 8 // core.DefaultMaxDeferredWriteBacks, the resolved value
+		}
+		fmt.Printf("backend: dram (%d channels, %s layout, serialize=%v, write-buffer depth=%d)\n",
+			*channels, *layout, *dramSer, depth)
+	}
 	fmt.Printf("load: %d clients, %d ops/config, batch=%d, writefrac=%.2f, think=%v, GOMAXPROCS=%d\n\n",
 		*clients, *ops, *batch, *writeFrac, *think, runtime.GOMAXPROCS(0))
 
 	w := newTable(os.Stdout)
-	w.row("shards", "wall", "ops/s", "speedup", "p50", "p95", "p99", "dummy/real", "pad/real", "stash-peak", "imbalance")
+	w.row("shards", "wall", "ops/s", "speedup", "p50", "p95", "p99", "dummy/real", "pad/real", "stash-peak", "imbalance", "row-hit", "B/cyc", "rd-cyc", "Mcycles")
 	var baseline float64
 	for _, n := range shardCounts {
 		res, err := runConfig(config{
@@ -96,7 +143,9 @@ func main() {
 			padded: *padded, encryption: enc, integrity: *integrity,
 			queue: *queue, seed: *seed, async: *async, idleEvictions: *idleEv,
 			clients: *clients, ops: *ops, batch: *batch, writeFrac: *writeFrac,
-			think: *think,
+			think:   *think,
+			backend: back, channels: *channels, layout: lay,
+			dramSerialize: *dramSer, maxDeferred: *maxDefer,
 		})
 		if err != nil {
 			log.Fatalf("shards=%d: %v", n, err)
@@ -116,12 +165,18 @@ func main() {
 			fmt.Sprintf("%.3f", res.padPerReal),
 			strconv.Itoa(res.stashPeak),
 			fmt.Sprintf("%.2f", res.imbalance),
+			res.rowHit, res.bytesPerCyc, res.readCyc, res.mcycles,
 		)
 	}
 	w.flush()
 	fmt.Println("\nimbalance = busiest shard's executed real requests / mean (1.00 is perfectly even)")
 	fmt.Println("pad/real  = scheduler padding accesses per real access (padded batch overhead)")
 	fmt.Println("p50/p95/p99 = client-visible latency per submission (per op, or per batch with -batch)")
+	if back == pathoram.BackendDRAM {
+		fmt.Println("row-hit = DRAM row-buffer hit rate; B/cyc = achieved bytes per memory cycle")
+		fmt.Println("rd-cyc  = mean modeled path-read latency (DDR3 cycles, the access's critical path)")
+		fmt.Println("Mcycles = modeled completion frontier of the measured traffic (millions of cycles)")
+	}
 }
 
 type config struct {
@@ -141,6 +196,11 @@ type config struct {
 	batch         int
 	writeFrac     float64
 	think         time.Duration
+	backend       pathoram.Backend
+	channels      int
+	layout        pathoram.DRAMLayout
+	dramSerialize bool
+	maxDeferred   int
 }
 
 type result struct {
@@ -151,6 +211,8 @@ type result struct {
 	padPerReal    float64
 	stashPeak     int
 	imbalance     float64
+	// Modeled-timing columns ("-" under the untimed backend).
+	rowHit, bytesPerCyc, readCyc, mcycles string
 }
 
 func runConfig(c config) (result, error) {
@@ -163,7 +225,12 @@ func runConfig(c config) (result, error) {
 		Config: pathoram.Config{
 			Blocks: c.blocks, BlockSize: c.blockSize,
 			Encryption: c.encryption, Integrity: c.integrity,
-			AsyncEviction: c.async,
+			AsyncEviction:         c.async,
+			MaxDeferredWriteBacks: c.maxDeferred,
+			Backend:               c.backend,
+			DRAMChannels:          c.channels,
+			DRAMLayout:            c.layout,
+			DRAMSerialize:         c.dramSerialize,
 		},
 	}
 	if c.seed != 0 {
@@ -191,9 +258,12 @@ func runConfig(c config) (result, error) {
 		}
 	}
 	// Exclude the pre-fill from every reported metric: reset the protocol
-	// counters and snapshot the cumulative scheduler counters.
+	// counters and snapshot the cumulative scheduler and timing counters
+	// (the TimingStats snapshot flushes, so pre-fill write-backs are fully
+	// charged before the measurement starts).
 	s.ResetStats()
 	preSched := s.SchedulerStats()
+	preTiming, timed := s.TimingStats()
 
 	perClient := c.ops / c.clients
 	if c.batch > 0 {
@@ -295,7 +365,7 @@ func runConfig(c config) (result, error) {
 		}
 	}
 	mean := float64(total) / float64(len(sched.ExecutedPerShard))
-	return result{
+	res := result{
 		wall:         wall,
 		opsPerSec:    float64(c.clients*perClient) / wall.Seconds(),
 		p50:          pct(0.50),
@@ -305,7 +375,20 @@ func runConfig(c config) (result, error) {
 		padPerReal:   st.PaddingPerReal(),
 		stashPeak:    st.StashPeak,
 		imbalance:    float64(max) / mean,
-	}, nil
+		rowHit:       "-", bytesPerCyc: "-", readCyc: "-", mcycles: "-",
+	}
+	if timed {
+		// Diff against the post-pre-fill snapshot so the modeled columns
+		// describe the measured traffic only. The closing snapshot flushes
+		// first, so every deferred write-back the traffic owed is charged.
+		post, _ := s.TimingStats()
+		d := post.Delta(preTiming)
+		res.rowHit = fmt.Sprintf("%.3f", d.RowHitRate())
+		res.bytesPerCyc = fmt.Sprintf("%.2f", d.BytesPerCycle())
+		res.readCyc = fmt.Sprintf("%.0f", d.MeanReadCycles())
+		res.mcycles = fmt.Sprintf("%.1f", float64(d.Cycles)/1e6)
+	}
+	return res, nil
 }
 
 func parseInts(csv string) ([]int, error) {

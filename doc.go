@@ -26,7 +26,13 @@
 //   - a staged access path (Config.AsyncEviction): respond after path
 //     read and stash merge, defer write-back I/O and background eviction
 //     to idle queue time — Section 3.1.1's background eviction and the
-//     Figure 5 phase-overlap study applied to the serving layer.
+//     Figure 5 phase-overlap study applied to the serving layer;
+//   - a timed storage backend (Config.Backend: BackendDRAM): every
+//     shard's bucket I/O charged to one shared cycle-accurate DDR3 model
+//     behind a memory-channel scheduler, so the serving layer reports
+//     modeled hardware cycles, row-hit rates and bandwidth (TimingStats)
+//     — the paper's design-space currency — while staying bit-identical
+//     to the untimed backend.
 //
 // # Architecture
 //
@@ -52,6 +58,11 @@
 //     subtree packing of Section 3.3.4 (Figure 6).
 //   - internal/dram — an event-driven DDR3 timing model standing in for
 //     DRAMSim2 (Section 4.2, Figure 11).
+//   - internal/membus — the shared memory-channel scheduler of the timed
+//     serving layer: one dram.System for all shards, per-shard ports with
+//     their own modeled clocks and subtree/naive layouts, so different
+//     shards' path reads and write-backs interleave on the modeled
+//     channels (the Figure 5 orderings between shards).
 //   - internal/cache, internal/cpu — the processor model of Table 1: the
 //     exclusive L1/L2 hierarchy and the in-order core timing model whose
 //     line memory is DRAM or ORAM (Sections 3.3.1 and 4.3).

@@ -439,6 +439,14 @@ type overlayRef struct {
 	level int
 }
 
+// deferredWriter lets a store distinguish write-backs issued from the
+// deferred FIFO — the modeled memory controller's write buffer — from
+// inline stage-5 writes. TimedStore implements it to tag the charge;
+// stores that don't care (every plain PathStore) simply receive WritePath.
+type deferredWriter interface {
+	WritePathDeferred(leaf uint64, buckets [][]Slot) error
+}
+
 // BackgroundWork reports what one StepBackground call did.
 type BackgroundWork int
 
@@ -492,7 +500,13 @@ func (o *ORAM) deferWriteBack(leaf uint64) error {
 // later pending path stays, so reads keep seeing the newest content.)
 func (o *ORAM) completeOldestWriteBack() error {
 	e := o.pending[0]
-	if err := o.store.WritePath(e.leaf, e.buckets); err != nil {
+	var err error
+	if o.deferredStore != nil {
+		err = o.deferredStore.WritePathDeferred(e.leaf, e.buckets)
+	} else {
+		err = o.store.WritePath(e.leaf, e.buckets)
+	}
+	if err != nil {
 		return err
 	}
 	o.pending[0] = nil

@@ -276,6 +276,12 @@ type ORAM struct {
 
 	checkedOut map[uint64]struct{} // addresses held by the processor (exclusive mode)
 
+	// deferredStore is store when it distinguishes deferred write-backs
+	// (TimedStore tagging stage-5 write-buffer traffic); nil otherwise.
+	// Resolved once at construction so the flush hot path skips the type
+	// assertion.
+	deferredStore deferredWriter
+
 	stats Stats
 
 	// Deferred write-back state (staged mode, Params.DeferWriteBack).
@@ -321,6 +327,7 @@ func New(p Params, store PathStore, pos PositionMap, leaves LeafSource) (*ORAM, 
 	if o.maxDummy <= 0 {
 		o.maxDummy = DefaultMaxDummyRun
 	}
+	o.deferredStore, _ = store.(deferredWriter)
 	if p.DeferWriteBack {
 		o.maxDefer = p.MaxDeferredWriteBacks
 		if o.maxDefer <= 0 {
@@ -340,6 +347,12 @@ func (o *ORAM) Params() Params { return o.p }
 
 // Tree returns the tree geometry.
 func (o *ORAM) Tree() treemath.Tree { return o.tree }
+
+// BucketStore returns the PathStore the ORAM was assembled with. Callers
+// must not mutate it behind the protocol's back; the accessor exists so
+// wiring and equivalence tests can reach through wrappers
+// (TimedStore.Inner) to compare tree contents.
+func (o *ORAM) BucketStore() PathStore { return o.store }
 
 // Stats returns a snapshot of the activity counters.
 func (o *ORAM) Stats() Stats { return o.stats }

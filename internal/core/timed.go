@@ -1,0 +1,101 @@
+package core
+
+import "fmt"
+
+// PathTimer is the seam between the protocol and a cycle-accurate storage
+// cost model: it charges path-granularity I/O — every bucket read and
+// write the protocol performs — against modeled hardware time without ever
+// touching the data. internal/membus implements it with a shared DDR3
+// timing model; tests implement it with recording stubs.
+//
+// The two methods carry the staged protocol's stage metadata
+// (see ORAM.pathAccess):
+//
+//	ReadPath  — stage 2, the path read. skip has the same meaning as in
+//	            PathStore.ReadPath: a set flag marks a bucket whose live
+//	            content sits in a pending deferred write-back, so its read
+//	            is served from the write buffer and generates NO storage
+//	            traffic. skip is only valid for the duration of the call.
+//	WritePath — stage 5, the path write-back. deferred reports whether the
+//	            write was issued from the deferred FIFO (the modeled memory
+//	            controller's write buffer, drained by StepBackground/Flush
+//	            or the queue-full inline drain) rather than inline during
+//	            the access. Cost models use the flag to attribute write
+//	            traffic to the flush schedule instead of the access itself.
+//
+// Implementations must be safe for use from the single goroutine owning
+// the ORAM; cross-ORAM serialization (many shards charging one shared
+// memory system) is the model's own business — internal/membus takes a bus
+// lock per charge.
+type PathTimer interface {
+	ReadPath(leaf uint64, skip []bool)
+	WritePath(leaf uint64, deferred bool)
+}
+
+// TimedStore wraps a PathStore and charges every completed path read and
+// write to a PathTimer. Timing is observation-only: the wrapped store sees
+// exactly the same call sequence it would see unwrapped — same leaves,
+// same skip masks, same bucket contents, same read/write pairing (so an
+// encrypt.Store's outstanding-path multiset is untouched) — and therefore
+// the protocol's logical state evolves bit-identically to an untimed run.
+// Failed operations are not charged: a path that never landed moved no
+// modeled data.
+type TimedStore struct {
+	inner PathStore
+	timer PathTimer
+}
+
+// NewTimedStore wraps inner so every successful path operation is charged
+// to timer.
+func NewTimedStore(inner PathStore, timer PathTimer) (*TimedStore, error) {
+	if inner == nil || timer == nil {
+		return nil, fmt.Errorf("core: timed store needs both a store and a timer")
+	}
+	return &TimedStore{inner: inner, timer: timer}, nil
+}
+
+// Inner returns the wrapped store (tests compare tree contents through it).
+func (t *TimedStore) Inner() PathStore { return t.inner }
+
+// ReadPath implements PathStore: forward, then charge the stage-2 read.
+func (t *TimedStore) ReadPath(leaf uint64, skip []bool, dst [][]Slot) ([][]Slot, error) {
+	dst, err := t.inner.ReadPath(leaf, skip, dst)
+	if err != nil {
+		return dst, err
+	}
+	t.timer.ReadPath(leaf, skip)
+	return dst, nil
+}
+
+// WritePath implements PathStore: forward, then charge an inline stage-5
+// write-back.
+func (t *TimedStore) WritePath(leaf uint64, buckets [][]Slot) error {
+	if err := t.inner.WritePath(leaf, buckets); err != nil {
+		return err
+	}
+	t.timer.WritePath(leaf, false)
+	return nil
+}
+
+// WritePathDeferred is WritePath for write-backs issued from the deferred
+// FIFO: the ORAM calls it (through the deferredWriter interface) instead
+// of WritePath when completing a queued entry, so the cost model sees the
+// write as write-buffer drain traffic. The wrapped store cannot tell the
+// difference — it receives a plain WritePath either way.
+func (t *TimedStore) WritePathDeferred(leaf uint64, buckets [][]Slot) error {
+	if err := t.inner.WritePath(leaf, buckets); err != nil {
+		return err
+	}
+	t.timer.WritePath(leaf, true)
+	return nil
+}
+
+// MemoryBytes forwards the external-memory footprint when the wrapped
+// store reports one (0 otherwise), so a timed store slots into footprint
+// accounting unchanged.
+func (t *TimedStore) MemoryBytes() uint64 {
+	if m, ok := t.inner.(interface{ MemoryBytes() uint64 }); ok {
+		return m.MemoryBytes()
+	}
+	return 0
+}

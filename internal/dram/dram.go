@@ -88,6 +88,53 @@ type Stats struct {
 	LastCompletionCycle uint64
 }
 
+// Merge returns the combination of s and other, mirroring core.Stats.Merge:
+// additive counters are summed and LastCompletionCycle — a completion-time
+// high-water mark, not a count — takes the maximum. The serving layer uses
+// it to aggregate per-shard memory traffic into one view; merging every
+// shard's counters reproduces the shared memory system's own totals exactly
+// (a property the membus tests pin).
+func (s Stats) Merge(other Stats) Stats {
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.RowHits += other.RowHits
+	s.RowMisses += other.RowMisses
+	s.Refreshes += other.Refreshes
+	s.DataBusBusyCycles += other.DataBusBusyCycles
+	if other.LastCompletionCycle > s.LastCompletionCycle {
+		s.LastCompletionCycle = other.LastCompletionCycle
+	}
+	return s
+}
+
+// Sub returns the counters accrued between the prev snapshot and s (prev
+// must be an earlier snapshot of the same counters): additive counters
+// subtract, and LastCompletionCycle becomes the completion-frontier
+// advance over the interval. Merge and Sub are the only two places the
+// counter set is enumerated — membus builds its per-port attribution and
+// pre-fill-excluded deltas on them, so a new field added here is
+// aggregated and diffed correctly everywhere by construction.
+func (s Stats) Sub(prev Stats) Stats {
+	s.Reads -= prev.Reads
+	s.Writes -= prev.Writes
+	s.RowHits -= prev.RowHits
+	s.RowMisses -= prev.RowMisses
+	s.Refreshes -= prev.Refreshes
+	s.DataBusBusyCycles -= prev.DataBusBusyCycles
+	s.LastCompletionCycle -= prev.LastCompletionCycle
+	return s
+}
+
+// RowHitRate returns hits / (hits+misses) for this snapshot (0 when the
+// snapshot saw no row activations).
+func (s Stats) RowHitRate() float64 {
+	total := s.RowHits + s.RowMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
 type bank struct {
 	openRow    int64 // -1 = closed
 	actAt      uint64
@@ -106,10 +153,11 @@ type channel struct {
 
 // System is one memory system instance.
 type System struct {
-	g     Geometry
-	t     Timing
-	chans []channel
-	stats Stats
+	g       Geometry
+	t       Timing
+	chans   []channel
+	stats   Stats
+	headBuf []uint64 // AccessAll per-channel arrival clocks (reused)
 }
 
 // New builds a memory system.
@@ -237,13 +285,32 @@ func (s *System) Access(at uint64, addr uint64, write bool) uint64 {
 }
 
 // AccessAll submits a batch arriving at the given cycle. Requests are
-// routed to their channels and processed in slice order per channel
-// (channels proceed independently). It returns the completion cycle of the
-// last request.
+// routed to their channels and queued per channel in slice order: each
+// channel's controller holds one request in flight, so request k+1 on a
+// channel enters the bank state machine only when request k's data
+// transfer has completed. Distinct channels proceed independently — every
+// channel's queue starts draining at the batch arrival cycle. It returns
+// the completion cycle of the last request.
+//
+// (Before this queue existed every request was issued at the same arrival
+// cycle, so two same-channel requests to different banks would activate
+// concurrently as if the controller had unbounded lookahead; the only
+// serialization came from the shared data bus. TestDRAMAccessAllQueues
+// pins the per-channel chaining.)
 func (s *System) AccessAll(at uint64, reqs []Request) uint64 {
+	if cap(s.headBuf) < len(s.chans) {
+		s.headBuf = make([]uint64, len(s.chans))
+	}
+	heads := s.headBuf[:len(s.chans)]
+	for i := range heads {
+		heads[i] = at
+	}
 	var done uint64
 	for _, r := range reqs {
-		if d := s.Access(at, r.Addr, r.Write); d > done {
+		ch := s.Map(r.Addr).Channel
+		d := s.Access(heads[ch], r.Addr, r.Write)
+		heads[ch] = d
+		if d > done {
 			done = d
 		}
 	}
@@ -259,13 +326,7 @@ func (s *System) PeakBytesPerCycle() float64 {
 
 // RowHitRate returns hits / (hits+misses), the quantity subtree placement
 // is designed to raise.
-func (s *System) RowHitRate() float64 {
-	total := s.stats.RowHits + s.stats.RowMisses
-	if total == 0 {
-		return 0
-	}
-	return float64(s.stats.RowHits) / float64(total)
-}
+func (s *System) RowHitRate() float64 { return s.stats.RowHitRate() }
 
 func max64(a, b uint64) uint64 {
 	if a > b {

@@ -152,6 +152,120 @@ func TestRandomAccessesSlowerThanStreaming(t *testing.T) {
 	}
 }
 
+// TestDRAMAccessAllQueues pins the per-channel queuing semantics of
+// AccessAll: same-channel requests chain — request k+1 arrives at request
+// k's completion — while distinct channels drain independently from the
+// batch arrival cycle. The batch must behave exactly like hand-chained
+// Access calls, and a same-channel different-bank pair must NOT overlap
+// their activations the way simultaneous issue would.
+func TestDRAMAccessAllQueues(t *testing.T) {
+	g := MicronGeometry(2)
+	// Two requests per channel, to different banks (row misses both), plus
+	// a row-hit follow-up. Bank stride for this geometry:
+	bankSpan := uint64(g.AccessBytes*g.Channels) * uint64(g.RowBytes/g.AccessBytes)
+	reqs := []Request{
+		{Addr: 0},                // ch 0, bank 0
+		{Addr: 64},               // ch 1, bank 0
+		{Addr: bankSpan},         // ch 0, bank 1
+		{Addr: bankSpan + 64},    // ch 1, bank 1
+		{Addr: 128, Write: true}, // ch 0, bank 0 again (turnaround + hit)
+	}
+	batch, err := New(g, DDR3Micron())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := batch.AccessAll(7, reqs)
+
+	// Reference: hand-chain the same requests per channel on a twin system.
+	ref, err := New(g, DDR3Micron())
+	if err != nil {
+		t.Fatal(err)
+	}
+	heads := []uint64{7, 7}
+	var want uint64
+	for _, r := range reqs {
+		ch := ref.Map(r.Addr).Channel
+		heads[ch] = ref.Access(heads[ch], r.Addr, r.Write)
+		if heads[ch] > want {
+			want = heads[ch]
+		}
+	}
+	if got != want {
+		t.Errorf("AccessAll completed at %d, hand-chained per-channel queue at %d", got, want)
+	}
+	if batch.Stats() != ref.Stats() {
+		t.Errorf("stats diverged: batch=%+v ref=%+v", batch.Stats(), ref.Stats())
+	}
+
+	// The queue must actually serialize same-channel requests: the second
+	// bank-0-channel-0 miss cannot activate until the first request's data
+	// completed, so the batch finishes strictly later than unbounded-
+	// lookahead simultaneous issue (the old behavior).
+	sim, err := New(g, DDR3Micron())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var simDone uint64
+	for _, r := range reqs {
+		if d := sim.Access(7, r.Addr, r.Write); d > simDone {
+			simDone = d
+		}
+	}
+	if got <= simDone {
+		t.Errorf("queued batch completed at %d, not later than simultaneous issue (%d)", got, simDone)
+	}
+}
+
+// TestDRAMStatsMerge covers the per-shard aggregation path: counters sum,
+// the completion high-water mark takes the max, and merging with the zero
+// value is the identity.
+func TestDRAMStatsMerge(t *testing.T) {
+	a := Stats{Reads: 3, Writes: 1, RowHits: 2, RowMisses: 2, Refreshes: 1,
+		DataBusBusyCycles: 16, LastCompletionCycle: 90}
+	b := Stats{Reads: 5, Writes: 4, RowHits: 6, RowMisses: 3, Refreshes: 0,
+		DataBusBusyCycles: 36, LastCompletionCycle: 40}
+	got := a.Merge(b)
+	want := Stats{Reads: 8, Writes: 5, RowHits: 8, RowMisses: 5, Refreshes: 1,
+		DataBusBusyCycles: 52, LastCompletionCycle: 90}
+	if got != want {
+		t.Errorf("Merge = %+v, want %+v", got, want)
+	}
+	if got := b.Merge(a); got != want {
+		t.Errorf("Merge not symmetric: %+v vs %+v", got, want)
+	}
+	if got := a.Merge(Stats{}); got != a {
+		t.Errorf("Merge with zero changed stats: %+v vs %+v", got, a)
+	}
+	if hr := want.RowHitRate(); hr != 8.0/13.0 {
+		t.Errorf("merged RowHitRate = %v, want %v", hr, 8.0/13.0)
+	}
+	if (Stats{}).RowHitRate() != 0 {
+		t.Error("zero-stats RowHitRate should be 0")
+	}
+}
+
+// TestDRAMStatsResetAfterMergeSource re-pins Reset in the aggregation
+// context: a system whose counters were merged out continues from a clean
+// slate, and its fresh stats still merge correctly.
+func TestDRAMStatsResetAfterMergeSource(t *testing.T) {
+	s := newSys(t, 1)
+	s.Access(0, 0, false)
+	first := s.Stats()
+	s.Reset()
+	if s.Stats() != (Stats{}) {
+		t.Fatalf("Reset left stats: %+v", s.Stats())
+	}
+	s.Access(0, 0, false)
+	again := s.Stats()
+	if first != again {
+		t.Errorf("post-Reset cold access stats %+v differ from first run %+v", again, first)
+	}
+	merged := first.Merge(again)
+	if merged.Reads != 2 || merged.RowMisses != 2 {
+		t.Errorf("merged reset-separated stats wrong: %+v", merged)
+	}
+}
+
 func TestWritesAndTurnaround(t *testing.T) {
 	s := newSys(t, 1)
 	end1 := s.Access(0, 0, false)

@@ -347,6 +347,77 @@ func TestDeferredWriteBackInterleavingWithAuth(t *testing.T) {
 	write(3, nil)
 }
 
+// countingTimer is a minimal core.PathTimer for the wrapper tests.
+type countingTimer struct {
+	reads, inlineWrites, deferredWrites int
+}
+
+func (c *countingTimer) ReadPath(uint64, []bool) { c.reads++ }
+func (c *countingTimer) WritePath(_ uint64, deferred bool) {
+	if deferred {
+		c.deferredWrites++
+	} else {
+		c.inlineWrites++
+	}
+}
+
+// TestTimedWrapperPreservesOutstandingPairing drives an encrypting,
+// authenticated store through core.TimedStore in the staged access order
+// (reads racing ahead of FIFO write-backs) and checks that the timed
+// layer leaves the outstanding-path multiset untouched: late write-backs
+// still land, writes still never outnumber reads, every path still
+// verifies, and the timer sees exactly the store's I/O stream.
+func TestTimedWrapperPreservesOutstandingPairing(t *testing.T) {
+	scheme, _ := NewCounterScheme(testKey, 31)
+	auth := NewAuthTree(4, 2, 8, scheme)
+	inner, err := NewStore(StoreConfig{LeafLevel: 4, Z: 2, BlockBytes: 8, Scheme: scheme, Auth: auth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timer := &countingTimer{}
+	store, err := core.NewTimedStore(inner, timer)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three reads outstanding at once, write-backs landing late in FIFO
+	// order — the deferred queue's traffic shape. The last one goes
+	// through the deferred entry point, as the ORAM's FIFO drain would.
+	for _, leaf := range []uint64{3, 12, 5} {
+		if _, err := store.ReadPath(leaf, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.WritePath(3, make([][]core.Slot, 5)); err != nil {
+		t.Fatalf("late write-back of outstanding read rejected through timed layer: %v", err)
+	}
+	if err := store.WritePath(12, make([][]core.Slot, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WritePathDeferred(5, make([][]core.Slot, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// The multiset is drained: an unmatched write must still be rejected,
+	// and the rejection must not be charged.
+	if err := store.WritePath(3, make([][]core.Slot, 5)); err == nil {
+		t.Error("unmatched WritePath accepted through timed layer")
+	}
+	if timer.reads != 3 || timer.inlineWrites != 2 || timer.deferredWrites != 1 {
+		t.Errorf("timer saw reads=%d inline=%d deferred=%d, want 3/2/1",
+			timer.reads, timer.inlineWrites, timer.deferredWrites)
+	}
+	// Authenticated reads keep verifying through the wrapper.
+	if _, err := store.ReadPath(9, nil, nil); err != nil {
+		t.Fatalf("authenticated read through timed layer failed: %v", err)
+	}
+	if err := store.WritePath(9, make([][]core.Slot, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if store.MemoryBytes() != inner.MemoryBytes() {
+		t.Errorf("footprint not forwarded: %d vs %d", store.MemoryBytes(), inner.MemoryBytes())
+	}
+}
+
 func flatten(buckets [][]core.Slot) []core.Slot {
 	var out []core.Slot
 	for _, b := range buckets {

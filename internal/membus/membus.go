@@ -1,0 +1,375 @@
+// Package membus is the shared memory-channel scheduler of the timed
+// serving layer: one DDR3 timing model (internal/dram) owned by a Bus,
+// with one Port per ORAM shard. Each port lays its shard's bucket tree out
+// in the shared physical address space (naive or packed-subtree placement,
+// Section 3.3.4 of the paper) and charges the shard's path reads and
+// write-backs — at column-access granularity — onto the shared channels
+// and banks.
+//
+// Time is modeled, not measured: every port carries its own modeled clock
+// (the completion cycle of its last submitted stage), and a stage's
+// requests arrive at that clock regardless of when the shard's worker
+// goroutine got scheduled in real time. Because all ports share one
+// dram.System, requests from different shards contend for the same banks
+// and data buses — so shard A's stage-5 write-backs and shard B's stage-2
+// path reads interleave *within* each other's accesses, the Figure 5
+// overlap the paper studies between hierarchy levels, reproduced here
+// between shards. Config.Serialize disables the overlap (every stage then
+// arrives at the global completion frontier), giving the baseline the
+// intra-access-overlap experiment compares against.
+//
+// The deferred write-back FIFO of the staged access path maps directly
+// onto a memory controller's write buffer: deferred stage-5 charges arrive
+// on the port's clock whenever the flush schedule issues them, reads of
+// buckets still sitting in the buffer are skipped (no DRAM traffic), and
+// the queue depth (core.Params.MaxDeferredWriteBacks) becomes the
+// write-buffer-depth experiment in EXPERIMENTS.md.
+//
+// Concurrency: shard workers call their ports concurrently; every charge
+// takes the bus lock, so the dram.System only ever sees one request stream.
+// The lock serializes real time, not modeled time — modeled interleaving
+// comes from the per-port arrival clocks. One honesty note: the shared
+// bank/bus state is mutated in real submission order, so under concurrent
+// clients the goroutine schedule picks which shard's stage shapes the row
+// and turnaround state first, and cross-shard contention — and with it the
+// exact cycle totals — varies slightly run to run even with fixed seeds.
+// Each shard's own pipeline (its arrival clocks and leaf sequence) stays
+// deterministic, and single-client replays are exactly reproducible; a
+// fully order-independent bus needs the event-ordered controller queue on
+// the ROADMAP.
+package membus
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dram"
+	"repro/internal/placement"
+	"repro/internal/treemath"
+)
+
+// Layout selects how each shard's buckets map to physical addresses.
+type Layout int
+
+const (
+	// LayoutSubtree packs each k-level subtree into one node sized to the
+	// aggregate row-buffer footprint (rows × channels) — the paper's
+	// Figure 6 placement, which raises the row-hit rate of path accesses.
+	// The default.
+	LayoutSubtree Layout = iota
+	// LayoutNaive lays buckets out flat in heap order; consecutive path
+	// buckets land in unrelated rows. The baseline the placement
+	// experiment compares against.
+	LayoutNaive
+)
+
+// Config parameterizes a Bus.
+type Config struct {
+	// Channels is the number of independent DDR3 channels (default 2; the
+	// paper sweeps 1/2/4 in Figure 11). Geometry and timing follow the
+	// paper's DRAMSim2 setup (dram.MicronGeometry / dram.DDR3Micron).
+	Channels int
+	// Layout selects the bucket-to-row placement for every attached shard.
+	Layout Layout
+	// Serialize issues every stage at the global completion frontier
+	// instead of the submitting port's own clock: no two stages ever
+	// overlap in modeled time, across or within shards. It exists as the
+	// measurement baseline for the intra-access overlap result; leave it
+	// false for the actual model.
+	Serialize bool
+}
+
+// Stats is one port's (or, merged, the whole bus's) modeled-timing view.
+type Stats struct {
+	// DRAM holds the memory-system counters attributable to this port's
+	// requests. Merging every port's DRAM stats reproduces the shared
+	// system's own totals.
+	DRAM dram.Stats
+	// PathReads / PathWrites count stage-2 path reads and stage-5 path
+	// write-backs submitted; DeferredWrites is the subset of PathWrites
+	// issued from the deferred FIFO (the write buffer) rather than inline.
+	PathReads      uint64
+	PathWrites     uint64
+	DeferredWrites uint64
+	// SkippedBuckets counts path-read buckets served from the write buffer
+	// instead of DRAM (their live content sat in a pending write-back).
+	SkippedBuckets uint64
+	// ReadCycles / WriteCycles are the summed stage latencies in memory
+	// cycles (completion minus arrival); ReadCycles/PathReads is the
+	// modeled latency a client waits on, since the response is computed
+	// after stage 2.
+	ReadCycles  uint64
+	WriteCycles uint64
+	// Cycles is the completion frontier: the cycle at which the last
+	// charged request finished (max under Merge).
+	Cycles uint64
+	// AccessBytes is the column-access granularity, carried so bandwidth
+	// can be derived from a snapshot alone.
+	AccessBytes int
+}
+
+// Merge combines two snapshots: counters sum, Cycles takes the max
+// (mirroring core.Stats.Merge / dram.Stats.Merge).
+func (s Stats) Merge(other Stats) Stats {
+	s.DRAM = s.DRAM.Merge(other.DRAM)
+	s.PathReads += other.PathReads
+	s.PathWrites += other.PathWrites
+	s.DeferredWrites += other.DeferredWrites
+	s.SkippedBuckets += other.SkippedBuckets
+	s.ReadCycles += other.ReadCycles
+	s.WriteCycles += other.WriteCycles
+	if other.Cycles > s.Cycles {
+		s.Cycles = other.Cycles
+	}
+	if s.AccessBytes == 0 {
+		s.AccessBytes = other.AccessBytes
+	}
+	return s
+}
+
+// Delta returns the stats accrued since the prev snapshot (which must be
+// an earlier snapshot of the same counters): counters subtract, and the
+// frontier fields become the frontier *advance* over the interval, so
+// derived rates (RowHitRate, BytesPerCycle, Mean*Cycles) describe the
+// interval's traffic alone. Measurement drivers use it to exclude
+// pre-fill phases.
+func (s Stats) Delta(prev Stats) Stats {
+	s.DRAM = s.DRAM.Sub(prev.DRAM)
+	s.PathReads -= prev.PathReads
+	s.PathWrites -= prev.PathWrites
+	s.DeferredWrites -= prev.DeferredWrites
+	s.SkippedBuckets -= prev.SkippedBuckets
+	s.ReadCycles -= prev.ReadCycles
+	s.WriteCycles -= prev.WriteCycles
+	s.Cycles -= prev.Cycles
+	return s
+}
+
+// RowHitRate returns the row-buffer hit rate of this snapshot's traffic.
+func (s Stats) RowHitRate() float64 { return s.DRAM.RowHitRate() }
+
+// BytesPerCycle returns achieved bandwidth: bytes moved over the modeled
+// wall-clock (the completion frontier). 0 before any traffic.
+func (s Stats) BytesPerCycle() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64((s.DRAM.Reads+s.DRAM.Writes)*uint64(s.AccessBytes)) / float64(s.Cycles)
+}
+
+// MeanReadCycles returns the mean modeled stage-2 (path read) latency —
+// the memory-cycle cost on an access's critical path.
+func (s Stats) MeanReadCycles() float64 {
+	if s.PathReads == 0 {
+		return 0
+	}
+	return float64(s.ReadCycles) / float64(s.PathReads)
+}
+
+// MeanWriteCycles returns the mean modeled stage-5 (write-back) latency.
+func (s Stats) MeanWriteCycles() float64 {
+	if s.PathWrites == 0 {
+		return 0
+	}
+	return float64(s.WriteCycles) / float64(s.PathWrites)
+}
+
+// Bus owns the shared memory system. Create one per deployment, attach one
+// port per shard, and hand each port to its shard's TimedStore.
+type Bus struct {
+	mu        sync.Mutex
+	sys       *dram.System
+	layout    Layout
+	serialize bool
+	frontier  uint64 // global last completion cycle
+	nextBase  uint64 // physical base address for the next attached shard
+	ports     []*Port
+}
+
+// New builds a bus with the paper's DDR3 geometry and timing.
+func New(cfg Config) (*Bus, error) {
+	if cfg.Channels == 0 {
+		cfg.Channels = 2
+	}
+	switch cfg.Layout {
+	case LayoutSubtree, LayoutNaive:
+	default:
+		return nil, fmt.Errorf("membus: unknown layout %d", cfg.Layout)
+	}
+	sys, err := dram.New(dram.MicronGeometry(cfg.Channels), dram.DDR3Micron())
+	if err != nil {
+		return nil, err
+	}
+	return &Bus{sys: sys, layout: cfg.Layout, serialize: cfg.Serialize}, nil
+}
+
+// Geometry returns the shared memory system's shape.
+func (b *Bus) Geometry() dram.Geometry { return b.sys.Geometry() }
+
+// AttachShard carves out the next region of the physical address space for
+// a shard's bucket tree (leafLevel levels, bucketBytes per bucket on the
+// bus) and returns the shard's port. The region starts on an aggregate-row
+// boundary so the subtree layout's nodes align with row buffers. Attach
+// every shard before traffic starts; construction order fixes the address
+// map, so a fixed shard order gives a reproducible layout.
+func (b *Bus) AttachShard(leafLevel, bucketBytes int) (*Port, error) {
+	if bucketBytes < 1 {
+		return nil, fmt.Errorf("membus: bucket size %d must be >= 1", bucketBytes)
+	}
+	tree := treemath.New(leafLevel)
+	g := b.sys.Geometry()
+	nodeBytes := g.RowBytes * g.Channels
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var m placement.Mapper
+	switch {
+	case b.layout == LayoutSubtree && bucketBytes <= nodeBytes:
+		sm, err := placement.NewSubtree(tree, bucketBytes, nodeBytes, b.nextBase)
+		if err != nil {
+			return nil, err
+		}
+		m = sm
+	default:
+		// Naive layout, also the fallback when one bucket outgrows the
+		// aggregate row (packing cannot help there).
+		m = placement.NewNaive(tree, bucketBytes, b.nextBase)
+	}
+	stride := uint64(nodeBytes)
+	b.nextBase += (m.Size() + stride - 1) / stride * stride
+	p := &Port{
+		bus:         b,
+		shard:       len(b.ports),
+		tree:        tree,
+		mapper:      m,
+		bucketBytes: bucketBytes,
+	}
+	p.stats.AccessBytes = g.AccessBytes
+	b.ports = append(b.ports, p)
+	return p, nil
+}
+
+// Stats returns the bus-wide view: every port's counters merged. Equal to
+// the underlying dram.System's totals on the DRAM side.
+func (b *Bus) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var merged Stats
+	for _, p := range b.ports {
+		merged = merged.Merge(p.stats)
+	}
+	merged.AccessBytes = b.sys.Geometry().AccessBytes
+	return merged
+}
+
+// ShardStats returns each port's own counters, index-aligned with the
+// attach order.
+func (b *Bus) ShardStats() []Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Stats, len(b.ports))
+	for i, p := range b.ports {
+		out[i] = p.stats
+	}
+	return out
+}
+
+// SystemStats exposes the shared memory system's own counters (tests pin
+// them against the merged port view).
+func (b *Bus) SystemStats() dram.Stats { b.mu.Lock(); defer b.mu.Unlock(); return b.sys.Stats() }
+
+// Cycles returns the global completion frontier: the modeled cycle at
+// which the last charged request of any shard finished.
+func (b *Bus) Cycles() uint64 { b.mu.Lock(); defer b.mu.Unlock(); return b.frontier }
+
+// Port is one shard's window onto the bus. It implements core.PathTimer:
+// the shard's TimedStore charges stage-2 path reads and stage-5 path
+// write-backs through it. A port is owned by its shard's worker goroutine;
+// the bus lock makes concurrent ports safe.
+type Port struct {
+	bus         *Bus
+	shard       int
+	tree        treemath.Tree
+	mapper      placement.Mapper
+	bucketBytes int
+	readyAt     uint64 // modeled completion cycle of this shard's last stage
+	stats       Stats
+	reqBuf      []dram.Request // per-stage column-access batch (reused)
+}
+
+// Shard returns the port's attach index.
+func (p *Port) Shard() int { return p.shard }
+
+// Stats returns a snapshot of this port's counters.
+func (p *Port) Stats() Stats {
+	p.bus.mu.Lock()
+	defer p.bus.mu.Unlock()
+	return p.stats
+}
+
+// ReadPath implements core.PathTimer (stage 2): charge one column access
+// per AccessBytes of every non-skipped bucket on the path. Skipped buckets
+// are write-buffer hits — their content never touches DRAM.
+func (p *Port) ReadPath(leaf uint64, skip []bool) { p.charge(leaf, skip, false, false) }
+
+// WritePath implements core.PathTimer (stage 5): charge the full path
+// write-back. deferred write-backs arrive on the port's clock at whatever
+// point the flush schedule issued them — grouping them is exactly what a
+// deeper write buffer buys (fewer read/write bus turnarounds).
+func (p *Port) WritePath(leaf uint64, deferred bool) { p.charge(leaf, nil, true, deferred) }
+
+// charge submits one stage's column accesses. Within the stage, requests
+// go through dram.System.AccessAll's per-channel in-order queue — a
+// controller issues a path's accesses one after another per channel, it
+// does not activate every bank of a path simultaneously — while the
+// arrival cycle of the whole stage is this port's modeled clock (or the
+// global frontier under Serialize).
+func (p *Port) charge(leaf uint64, skip []bool, write, deferred bool) {
+	b := p.bus
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	at := p.readyAt
+	if b.serialize && b.frontier > at {
+		at = b.frontier
+	}
+	g := uint64(b.sys.Geometry().AccessBytes)
+	reqs := p.reqBuf[:0]
+	for d := 0; d <= p.tree.LeafLevel(); d++ {
+		if skip != nil && skip[d] {
+			p.stats.SkippedBuckets++
+			continue
+		}
+		base := p.mapper.BucketAddr(p.tree.PathBucket(leaf, d))
+		for off := uint64(0); off < uint64(p.bucketBytes); off += g {
+			reqs = append(reqs, dram.Request{Addr: base + off, Write: write})
+		}
+	}
+	p.reqBuf = reqs
+	before := b.sys.Stats()
+	done := at
+	if len(reqs) > 0 {
+		done = b.sys.AccessAll(at, reqs)
+	}
+	after := b.sys.Stats()
+	p.readyAt = done
+	if done > b.frontier {
+		b.frontier = done
+	}
+	delta := after.Sub(before)
+	// The port's completion high-water mark is its own stage's completion,
+	// not the interval arithmetic (a fully skipped stage advances nothing).
+	delta.LastCompletionCycle = done
+	p.stats.DRAM = p.stats.DRAM.Merge(delta)
+	if p.stats.Cycles < done {
+		p.stats.Cycles = done
+	}
+	if write {
+		p.stats.PathWrites++
+		if deferred {
+			p.stats.DeferredWrites++
+		}
+		p.stats.WriteCycles += done - at
+	} else {
+		p.stats.PathReads++
+		p.stats.ReadCycles += done - at
+	}
+}

@@ -1,0 +1,250 @@
+package membus
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func newBus(t *testing.T, cfg Config) *Bus {
+	t.Helper()
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func attach(t *testing.T, b *Bus, leafLevel, bucketBytes int) *Port {
+	t.Helper()
+	p, err := b.AttachShard(leafLevel, bucketBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestDRAMBusPortStatsMergeToSystem pins the aggregation invariant the
+// serving layer depends on: merging every port's DRAM counters reproduces
+// the shared memory system's own totals exactly — per-shard attribution
+// loses nothing and double-counts nothing.
+func TestDRAMBusPortStatsMergeToSystem(t *testing.T) {
+	b := newBus(t, Config{Channels: 2})
+	ports := []*Port{
+		attach(t, b, 4, 256),
+		attach(t, b, 4, 256),
+		attach(t, b, 3, 512),
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		p := ports[rng.Intn(len(ports))]
+		leaf := rng.Uint64() % p.tree.NumLeaves()
+		if rng.Intn(2) == 0 {
+			p.ReadPath(leaf, nil)
+		} else {
+			p.WritePath(leaf, rng.Intn(2) == 0)
+		}
+	}
+	var merged dram.Stats
+	for _, st := range b.ShardStats() {
+		merged = merged.Merge(st.DRAM)
+	}
+	if sys := b.SystemStats(); merged != sys {
+		t.Errorf("merged port stats %+v != system stats %+v", merged, sys)
+	}
+	bus := b.Stats()
+	if bus.DRAM != b.SystemStats() {
+		t.Errorf("Bus.Stats DRAM side %+v != system %+v", bus.DRAM, b.SystemStats())
+	}
+	if bus.Cycles != b.Cycles() {
+		t.Errorf("merged Cycles %d != frontier %d", bus.Cycles, b.Cycles())
+	}
+	if bus.PathReads+bus.PathWrites != 200 {
+		t.Errorf("charged %d stages, want 200", bus.PathReads+bus.PathWrites)
+	}
+}
+
+// TestDRAMBusShardsGetDisjointAddressRegions checks the physical layout:
+// two attached shards must never map a bucket to overlapping byte ranges,
+// and the subtree layout must keep every bucket inside the shard's region.
+func TestDRAMBusShardsGetDisjointAddressRegions(t *testing.T) {
+	for _, layout := range []Layout{LayoutSubtree, LayoutNaive} {
+		b := newBus(t, Config{Channels: 2, Layout: layout})
+		p1 := attach(t, b, 5, 256)
+		p2 := attach(t, b, 5, 256)
+		hi1 := uint64(0)
+		for flat := uint64(0); flat < p1.tree.NumBuckets(); flat++ {
+			if end := p1.mapper.BucketAddr(flat) + uint64(p1.bucketBytes); end > hi1 {
+				hi1 = end
+			}
+		}
+		lo2 := ^uint64(0)
+		for flat := uint64(0); flat < p2.tree.NumBuckets(); flat++ {
+			if a := p2.mapper.BucketAddr(flat); a < lo2 {
+				lo2 = a
+			}
+		}
+		if hi1 > lo2 {
+			t.Errorf("layout %d: shard 0 region ends at %d, shard 1 starts at %d (overlap)", layout, hi1, lo2)
+		}
+	}
+}
+
+// TestDRAMBusSubtreeLayoutRaisesRowHits reproduces the Figure 11 premise
+// at the serving layer: the packed-subtree placement must achieve a
+// strictly higher row-buffer hit rate than the naive flat layout on the
+// same random path workload.
+func TestDRAMBusSubtreeLayoutRaisesRowHits(t *testing.T) {
+	run := func(layout Layout) float64 {
+		b := newBus(t, Config{Channels: 1, Layout: layout})
+		p := attach(t, b, 10, 256)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 400; i++ {
+			leaf := rng.Uint64() % p.tree.NumLeaves()
+			p.ReadPath(leaf, nil)
+			p.WritePath(leaf, false)
+		}
+		return b.Stats().RowHitRate()
+	}
+	naive, subtree := run(LayoutNaive), run(LayoutSubtree)
+	if subtree <= naive {
+		t.Errorf("subtree row-hit rate %.3f not above naive %.3f", subtree, naive)
+	}
+}
+
+// TestDRAMBusInterleaveBeatsSerialized is the intra-access-overlap
+// acceptance property: with two shards issuing identical stage streams,
+// the shared scheduler's per-port clocks (shard A's write-backs
+// overlapping shard B's reads in modeled time) must finish in fewer
+// cycles than the serialized baseline, which issues every stage at the
+// global completion frontier.
+func TestDRAMBusInterleaveBeatsSerialized(t *testing.T) {
+	run := func(serialize bool) uint64 {
+		b := newBus(t, Config{Channels: 2, Serialize: serialize})
+		ports := []*Port{attach(t, b, 8, 256), attach(t, b, 8, 256)}
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 100; i++ {
+			for _, p := range ports {
+				leaf := rng.Uint64() % p.tree.NumLeaves()
+				p.ReadPath(leaf, nil)
+				p.WritePath(leaf, false)
+			}
+		}
+		return b.Cycles()
+	}
+	overlapped, serialized := run(false), run(true)
+	if overlapped >= serialized {
+		t.Errorf("interleaved run took %d cycles, serialized baseline %d — no overlap win", overlapped, serialized)
+	}
+}
+
+// TestDRAMBusSkipMaskChargesNothing: buckets served from the write buffer
+// (skip flags) must generate no DRAM traffic, only a skip count.
+func TestDRAMBusSkipMaskChargesNothing(t *testing.T) {
+	b := newBus(t, Config{Channels: 1})
+	p := attach(t, b, 3, 256)
+	skip := []bool{true, true, true, true}
+	p.ReadPath(2, skip)
+	st := p.Stats()
+	if st.DRAM.Reads != 0 || st.DRAM.Writes != 0 {
+		t.Errorf("fully skipped path still moved data: %+v", st.DRAM)
+	}
+	if st.SkippedBuckets != 4 {
+		t.Errorf("SkippedBuckets = %d, want 4", st.SkippedBuckets)
+	}
+	if st.PathReads != 1 {
+		t.Errorf("PathReads = %d, want 1", st.PathReads)
+	}
+	// A partial skip charges only the unskipped levels.
+	p.ReadPath(2, []bool{false, true, true, true})
+	st = p.Stats()
+	perBucket := uint64(256 / b.Geometry().AccessBytes)
+	if st.DRAM.Reads != perBucket {
+		t.Errorf("partial skip read %d columns, want %d", st.DRAM.Reads, perBucket)
+	}
+}
+
+// TestDRAMBusStatsMergeAndDerived covers membus.Stats arithmetic: Merge
+// sums counters and maxes the frontier, and the derived rates stay sane.
+func TestDRAMBusStatsMergeAndDerived(t *testing.T) {
+	a := Stats{
+		DRAM:      dram.Stats{Reads: 8, Writes: 4, RowHits: 6, RowMisses: 6},
+		PathReads: 2, PathWrites: 1, DeferredWrites: 1, SkippedBuckets: 3,
+		ReadCycles: 200, WriteCycles: 100, Cycles: 500, AccessBytes: 64,
+	}
+	b := Stats{
+		DRAM:      dram.Stats{Reads: 2, Writes: 2, RowHits: 2, RowMisses: 2},
+		PathReads: 1, PathWrites: 2, ReadCycles: 50, WriteCycles: 150, Cycles: 400,
+	}
+	m := a.Merge(b)
+	if m.PathReads != 3 || m.PathWrites != 3 || m.DeferredWrites != 1 || m.SkippedBuckets != 3 {
+		t.Errorf("merged stage counters wrong: %+v", m)
+	}
+	if m.Cycles != 500 {
+		t.Errorf("Cycles = %d, want max 500", m.Cycles)
+	}
+	if m.AccessBytes != 64 {
+		t.Errorf("AccessBytes not carried: %d", m.AccessBytes)
+	}
+	if got, want := m.RowHitRate(), 0.5; got != want {
+		t.Errorf("RowHitRate = %v, want %v", got, want)
+	}
+	if got, want := m.BytesPerCycle(), float64(16*64)/500; got != want {
+		t.Errorf("BytesPerCycle = %v, want %v", got, want)
+	}
+	if got := m.MeanReadCycles(); got != 250.0/3 {
+		t.Errorf("MeanReadCycles = %v", got)
+	}
+	if got := m.MeanWriteCycles(); got != 250.0/3 {
+		t.Errorf("MeanWriteCycles = %v", got)
+	}
+	var zero Stats
+	if zero.BytesPerCycle() != 0 || zero.MeanReadCycles() != 0 || zero.MeanWriteCycles() != 0 {
+		t.Error("zero stats must derive zero rates")
+	}
+
+	// Delta inverts accumulation: (earlier snapshot).Merge-style growth
+	// diffed back out leaves exactly the interval's counters, with the
+	// frontier fields as advances.
+	later := a
+	later.DRAM.Reads += 10
+	later.DRAM.RowHits += 4
+	later.DRAM.RowMisses += 6
+	later.PathReads += 2
+	later.ReadCycles += 300
+	later.Cycles += 250
+	d := later.Delta(a)
+	if d.DRAM.Reads != 10 || d.DRAM.RowHits != 4 || d.DRAM.RowMisses != 6 {
+		t.Errorf("Delta DRAM counters wrong: %+v", d.DRAM)
+	}
+	if d.PathReads != 2 || d.ReadCycles != 300 || d.Cycles != 250 {
+		t.Errorf("Delta stage counters wrong: %+v", d)
+	}
+	if d.PathWrites != 0 || d.DeferredWrites != 0 || d.SkippedBuckets != 0 || d.WriteCycles != 0 {
+		t.Errorf("Delta invented counters: %+v", d)
+	}
+	if d.AccessBytes != 64 {
+		t.Errorf("Delta dropped AccessBytes: %d", d.AccessBytes)
+	}
+	if got, want := d.RowHitRate(), 0.4; got != want {
+		t.Errorf("interval RowHitRate = %v, want %v", got, want)
+	}
+	if d2 := a.Delta(a); d2 != (Stats{AccessBytes: 64}) {
+		t.Errorf("self-Delta not zero: %+v", d2)
+	}
+}
+
+// TestDRAMBusRejectsBadConfig covers construction errors.
+func TestDRAMBusRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{Layout: Layout(99)}); err == nil {
+		t.Error("unknown layout accepted")
+	}
+	b := newBus(t, Config{})
+	if b.Geometry().Channels != 2 {
+		t.Errorf("default channels = %d, want 2", b.Geometry().Channels)
+	}
+	if _, err := b.AttachShard(3, 0); err == nil {
+		t.Error("zero bucket size accepted")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/encrypt"
 	"repro/internal/integrity"
+	"repro/internal/membus"
 	"repro/internal/treemath"
 )
 
@@ -26,8 +27,42 @@ const (
 	EncryptNone
 )
 
+// Backend selects the storage backend behind each ORAM's bucket tree.
+type Backend int
+
+const (
+	// BackendMem is the untimed default: buckets live in Go memory and
+	// every access costs whatever the code costs. Right for functional
+	// use and for measuring the implementation itself.
+	BackendMem Backend = iota
+	// BackendDRAM charges every bucket read and write to a shared
+	// cycle-accurate DDR3 model (internal/membus + internal/dram): the
+	// serving layer then reports modeled hardware cycles — the paper's
+	// actual currency — alongside wall-clock numbers. Logical behavior is
+	// bit-identical to BackendMem (timing is observation-only); see
+	// DESIGN.md's "Timed serving layer".
+	BackendDRAM
+)
+
+// DRAMLayout selects the bucket-to-physical-address placement under
+// BackendDRAM (Section 3.3.4 of the paper).
+type DRAMLayout int
+
+const (
+	// LayoutSubtree packs k-level subtrees into row-buffer-sized nodes
+	// (Figure 6), raising the row-hit rate of path accesses. The default.
+	LayoutSubtree DRAMLayout = iota
+	// LayoutNaive stores buckets flat in heap order — the placement
+	// baseline.
+	LayoutNaive
+)
+
 // Stats re-exports the protocol counters.
 type Stats = core.Stats
+
+// TimingStats re-exports the modeled memory-timing counters
+// (internal/membus.Stats) reported by DRAM-backed ORAMs.
+type TimingStats = membus.Stats
 
 // Block is a prefetched super-block member returned by Load.
 type Block struct {
@@ -84,6 +119,36 @@ type Config struct {
 	// work piles up faster than idle time drains it, draining falls back
 	// inline, degrading to the synchronous protocol rather than failing.
 	AsyncEviction bool
+	// MaxDeferredWriteBacks caps the deferred write-back queue under
+	// AsyncEviction (default core.DefaultMaxDeferredWriteBacks). With
+	// BackendDRAM the queue is exactly the modeled memory controller's
+	// write buffer, so this knob is the write-buffer-depth experiment:
+	// deeper buffers group write-backs together (fewer read/write bus
+	// turnarounds, more write-buffer read hits) at the price of more
+	// pinned path copies. See EXPERIMENTS.md.
+	MaxDeferredWriteBacks int
+	// Backend selects the bucket storage backend (default BackendMem).
+	// BackendDRAM wraps the store in a timed layer charging a shared
+	// cycle-accurate DDR3 model; TimingStats then reports modeled cycles.
+	Backend Backend
+	// DRAMChannels is the number of independent DDR3 channels under
+	// BackendDRAM (default 2; the paper sweeps 1/2/4). Inside a
+	// ShardedConfig all shards share one memory system with this many
+	// channels.
+	DRAMChannels int
+	// DRAMLayout selects the bucket-to-row placement under BackendDRAM
+	// (default LayoutSubtree, the paper's packed-subtree layout).
+	DRAMLayout DRAMLayout
+	// DRAMSerialize is a modeling baseline: issue every shard's memory
+	// stages at the global completion frontier, forbidding any overlap
+	// between different shards' path reads and write-backs. It exists so
+	// the intra-access-overlap gain of the shared scheduler is measurable
+	// (EXPERIMENTS.md); leave it false for the actual model.
+	DRAMSerialize bool
+	// bus, when set, attaches this ORAM to an existing shared memory
+	// scheduler instead of creating one — NewSharded injects the bus it
+	// built so all shards contend for the same channels.
+	bus *membus.Bus
 	// Rand, when set, makes all randomness (leaf selection, per-block
 	// keys) deterministic for reproducible simulation. Production use
 	// must leave it nil: leaves then come from crypto/rand. NewSharded
@@ -134,6 +199,19 @@ func (c *Config) applyDefaults() error {
 	if c.BlockSize == 0 && c.Encryption != EncryptNone {
 		c.Encryption = EncryptNone
 	}
+	switch c.Backend {
+	case BackendMem, BackendDRAM:
+	default:
+		return fmt.Errorf("pathoram: unknown backend %d", c.Backend)
+	}
+	switch c.DRAMLayout {
+	case LayoutSubtree, LayoutNaive:
+	default:
+		return fmt.Errorf("pathoram: unknown DRAM layout %d", c.DRAMLayout)
+	}
+	if c.DRAMChannels < 0 {
+		return fmt.Errorf("pathoram: DRAMChannels=%d must be >= 1", c.DRAMChannels)
+	}
 	if c.Key == nil {
 		c.Key = make([]byte, encrypt.KeySize)
 		if _, err := crand.Read(c.Key); err != nil {
@@ -175,6 +253,54 @@ type ORAM struct {
 	inner *core.ORAM
 	auth  *integrity.Tree
 	store interface{ MemoryBytes() uint64 }
+	port  *membus.Port // BackendDRAM: this tree's window onto the shared bus
+}
+
+// modeledBucketBytes returns the byte footprint one bucket occupies on the
+// modeled memory bus: the actual external stride for encrypted stores, and
+// the plaintext serialization (padded to the DRAM access granularity) for
+// plain stores — metadata-only trees still move their headers.
+func (c *Config) modeledBucketBytes(scheme encrypt.Scheme) int {
+	if scheme != nil {
+		return encrypt.PaddedBucketBytes(scheme, c.Z, c.BlockSize)
+	}
+	raw := encrypt.PlainBucketBytes(c.Z, c.BlockSize)
+	if r := raw % encrypt.PadGranularity; r != 0 {
+		raw += encrypt.PadGranularity - r
+	}
+	return raw
+}
+
+// attachTiming wraps store in the timed layer, attaching to the injected
+// shared bus or — for a standalone DRAM-backed ORAM — a private one.
+func (c *Config) attachTiming(store core.PathStore, scheme encrypt.Scheme) (core.PathStore, *membus.Port, error) {
+	bus := c.bus
+	if bus == nil {
+		var err error
+		if bus, err = membus.New(membus.Config{
+			Channels:  c.DRAMChannels,
+			Layout:    c.DRAMLayout.membusLayout(),
+			Serialize: c.DRAMSerialize,
+		}); err != nil {
+			return nil, nil, err
+		}
+	}
+	port, err := bus.AttachShard(c.LeafLevel, c.modeledBucketBytes(scheme))
+	if err != nil {
+		return nil, nil, err
+	}
+	timed, err := core.NewTimedStore(store, port)
+	if err != nil {
+		return nil, nil, err
+	}
+	return timed, port, nil
+}
+
+func (l DRAMLayout) membusLayout() membus.Layout {
+	if l == LayoutNaive {
+		return membus.LayoutNaive
+	}
+	return membus.LayoutSubtree
 }
 
 // New builds an ORAM from the configuration.
@@ -187,6 +313,7 @@ func New(cfg Config) (*ORAM, error) {
 	}
 	tree := treemath.New(cfg.LeafLevel)
 	var store core.PathStore
+	var scheme encrypt.Scheme
 	var auth *integrity.Tree
 	var footprint interface{ MemoryBytes() uint64 }
 	if cfg.Encryption == EncryptNone {
@@ -196,8 +323,8 @@ func New(cfg Config) (*ORAM, error) {
 		}
 		store = ms
 	} else {
-		scheme, err := cfg.buildScheme(tree.NumBuckets())
-		if err != nil {
+		var err error
+		if scheme, err = cfg.buildScheme(tree.NumBuckets()); err != nil {
 			return nil, err
 		}
 		scfg := encrypt.StoreConfig{
@@ -215,16 +342,24 @@ func New(cfg Config) (*ORAM, error) {
 		store = es
 		footprint = es
 	}
+	var port *membus.Port
+	if cfg.Backend == BackendDRAM {
+		var err error
+		if store, port, err = cfg.attachTiming(store, scheme); err != nil {
+			return nil, err
+		}
+	}
 	src := cfg.leafSource()
 	params := core.Params{
-		LeafLevel:          cfg.LeafLevel,
-		Z:                  cfg.Z,
-		BlockBytes:         cfg.BlockSize,
-		Blocks:             cfg.Blocks,
-		StashCapacity:      cfg.StashCapacity,
-		SuperBlock:         cfg.SuperBlockSize,
-		BackgroundEviction: !cfg.DisableBackgroundEviction && cfg.StashCapacity > 0,
-		DeferWriteBack:     cfg.AsyncEviction,
+		LeafLevel:             cfg.LeafLevel,
+		Z:                     cfg.Z,
+		BlockBytes:            cfg.BlockSize,
+		Blocks:                cfg.Blocks,
+		StashCapacity:         cfg.StashCapacity,
+		SuperBlock:            cfg.SuperBlockSize,
+		BackgroundEviction:    !cfg.DisableBackgroundEviction && cfg.StashCapacity > 0,
+		DeferWriteBack:        cfg.AsyncEviction,
+		MaxDeferredWriteBacks: cfg.MaxDeferredWriteBacks,
 	}
 	if cfg.OnPathAccess != nil {
 		hook := cfg.OnPathAccess
@@ -238,7 +373,7 @@ func New(cfg Config) (*ORAM, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ORAM{cfg: cfg, inner: inner, auth: auth, store: footprint}, nil
+	return &ORAM{cfg: cfg, inner: inner, auth: auth, store: footprint, port: port}, nil
 }
 
 // Read returns a copy of the block at addr (zero-filled if never written).
@@ -317,6 +452,22 @@ func (o *ORAM) PendingWriteBacks() int { return o.inner.PendingWriteBacks() }
 
 // Stats returns the protocol counters.
 func (o *ORAM) Stats() Stats { return o.inner.Stats() }
+
+// TimingStats returns the modeled memory-timing counters of this tree's
+// port on the shared memory scheduler: DRAM traffic and row-hit counters,
+// stage-2/stage-5 path charges, and the modeled completion frontier in
+// DDR3 cycles. The bool is false under BackendMem (no model attached).
+// Implements shard.TimedEngine, so pools aggregate these like protocol
+// stats. Note the counters advance when I/O is *charged*: under
+// AsyncEviction a write-back's cycles land when the flush schedule issues
+// it, so snapshot after Flush (Sharded does this automatically) to see
+// access-complete totals.
+func (o *ORAM) TimingStats() (TimingStats, bool) {
+	if o.port == nil {
+		return TimingStats{}, false
+	}
+	return o.port.Stats(), true
+}
 
 // ResetStats clears the protocol counters (peak occupancy included).
 // BlocksInORAM is a live occupancy gauge, not a counter, and survives the

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/encrypt"
+	"repro/internal/membus"
 	"repro/internal/shard"
 )
 
@@ -49,7 +50,13 @@ type ShardedConfig struct {
 	// LeafLevel, for instance, sizes every shard's tree). Key is the
 	// master secret: each shard receives its own key derived from it, and
 	// Rand seeds an independent per-shard generator — neither is ever
-	// shared between shards (see NewSharded).
+	// shared between shards (see NewSharded). Exception: the timed
+	// backend. With Backend: BackendDRAM every shard attaches to ONE
+	// shared memory scheduler (DRAMChannels channels, DRAMLayout
+	// placement), so concurrent shards contend for the same modeled
+	// channels and banks — the multi-channel deployment the paper
+	// analyzes. TimingStats then reports modeled cycles for the whole
+	// fleet.
 	Config
 	// Shards is the number of independent Path ORAM instances, each owned
 	// by its own worker goroutine. Default 1. Must not exceed Blocks.
@@ -121,6 +128,8 @@ type Sharded struct {
 	padded    bool
 	// router is the block→shard position map (PartitionRandom only).
 	router *randomRouter
+	// bus is the shared memory-channel scheduler (BackendDRAM only).
+	bus *membus.Bus
 	// Range-partition geometry: the first `big` shards hold base+1 blocks,
 	// the rest hold base.
 	base, big uint64
@@ -188,6 +197,21 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 		padded:    cfg.Padded,
 		base:      cfg.Blocks / n,
 		big:       cfg.Blocks % n,
+	}
+	if cfg.Backend == BackendDRAM {
+		// One memory scheduler for the whole deployment: every shard's
+		// path reads and write-backs land on the same modeled channels, in
+		// shard order (the attach order fixes the physical address map).
+		bus, err := membus.New(membus.Config{
+			Channels:  cfg.DRAMChannels,
+			Layout:    cfg.DRAMLayout.membusLayout(),
+			Serialize: cfg.DRAMSerialize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg.bus = bus
+		s.bus = bus
 	}
 	engines := make([]shard.Engine, cfg.Shards)
 	for i := range s.orams {
@@ -521,6 +545,15 @@ type SchedulerStats = shard.Stats
 // SchedulerStats returns the request scheduler's own counters (ops,
 // batches, per-shard executed requests).
 func (s *Sharded) SchedulerStats() SchedulerStats { return s.pool.Stats() }
+
+// TimingStats returns the modeled memory-timing counters aggregated over
+// all shards (counters sum, the completion frontier takes the max —
+// membus.Stats.Merge semantics, exactly how protocol stats aggregate).
+// Snapshots are taken on the workers through the same serialized Inspect
+// path as Stats, and under AsyncEviction each shard flushes first, so the
+// returned cycle counts always include every write-back owed by the
+// traffic observed so far. The bool is false under BackendMem.
+func (s *Sharded) TimingStats() (TimingStats, bool) { return s.pool.TimingStats() }
 
 // Flush completes every shard's deferred write-backs and drains background
 // eviction, leaving all shards in a state the synchronous mode could have
