@@ -208,6 +208,45 @@ func BenchmarkShardedThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedHierarchy measures the unified composition the Open
+// constructor enables: sharded ORAMs whose position maps recurse
+// obliviously (one Hierarchy per shard). Each op walks a whole chain, so
+// absolute throughput sits well below the flat sweep — the shard scaling
+// and the per-op chain cost (the H× factor of Section 2.3) are the
+// numbers of interest. CI runs it once as the composition smoke test.
+func BenchmarkShardedHierarchy(b *testing.B) {
+	const blocks = 1 << 13
+	const blockSize = 32
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c, err := Open(Spec{
+				Blocks: blocks, BlockSize: blockSize, Shards: shards,
+				PosMap: PosMapRecursive, PosBlockSize: 32, OnChipPosMapMax: 4 << 10,
+				Encryption: EncryptNone,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			levels := c.(*Sharded).NumORAMs()
+			var seed atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(300 + seed.Add(1)))
+				for pb.Next() {
+					if _, err := c.Read(rng.Uint64() % blocks); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+			b.ReportMetric(float64(levels), "levels")
+		})
+	}
+}
+
 // BenchmarkShardedThroughputEncrypted is the same sweep with the
 // counter-based encryption on: per-shard AES work parallelizes across
 // workers, so sharding gains are larger than in the plaintext sweep.

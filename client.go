@@ -1,0 +1,349 @@
+package pathoram
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Client is the unified interface every top-level construction satisfies:
+// the flat ORAM, the hierarchical Hierarchy (recursive position map,
+// Section 2.3) and the sharded serving layer Sharded — and therefore every
+// point of the paper's design space reachable through Open. Code written
+// against Client composes the axes freely: the same workload runs against
+// a flat tree, a recursive chain, or a sharded fleet of either, timed or
+// untimed, by changing only the Spec that built the client.
+//
+// Concurrency: a Client built by Open is always safe for concurrent use
+// (Open returns the serving layer). The bare constructors New and
+// NewHierarchy return single-threaded Clients — one goroutine must own
+// them, which is exactly the ownership the serving layer enforces when it
+// uses them as shard engines.
+type Client interface {
+	// Read returns a copy of the block at addr (zero-filled if never
+	// written). One oblivious access — one path per ORAM the construction
+	// walks.
+	Read(addr uint64) ([]byte, error)
+	// Write replaces the block at addr. One oblivious access.
+	Write(addr uint64, data []byte) error
+	// Update applies fn to the block's content in place in one oblivious
+	// read-modify-write access.
+	Update(addr uint64, fn func(data []byte)) error
+	// Load is the exclusive read of Section 3.3.1: the block (and its
+	// resident super-block group) is removed and handed to the caller.
+	Load(addr uint64) (data []byte, found bool, group []Block, err error)
+	// Store returns a checked-out block — straight into a stash, no path
+	// access.
+	Store(addr uint64, data []byte) error
+	// ReadBatch reads every address in one submission; results stay in
+	// input order. Sharded clients fan batches out across shards.
+	ReadBatch(addrs []uint64) ([][]byte, error)
+	// WriteBatch writes data[i] to addrs[i] in one submission.
+	WriteBatch(addrs []uint64, data [][]byte) error
+	// PaddingAccess performs one scheduler-padding dummy access,
+	// indistinguishable on the memory bus from a real single operation.
+	PaddingAccess() error
+	// StepBackground performs one unit of deferred work (write-back
+	// completion, or background eviction when allowed) and reports which.
+	StepBackground(allowEviction bool) (BackgroundWork, error)
+	// Flush completes all deferred work, leaving a state the synchronous
+	// protocol could have produced.
+	Flush() error
+	// PendingWriteBacks counts deferred path write-backs not yet
+	// completed.
+	PendingWriteBacks() int
+	// Stats returns the aggregate protocol counters (merged across
+	// shards and hierarchy levels).
+	Stats() Stats
+	// ResetStats clears the protocol counters (occupancy gauges survive).
+	ResetStats()
+	// TimingStats returns the modeled memory-timing counters; the bool is
+	// false when the construction runs untimed (BackendMem).
+	TimingStats() (TimingStats, bool)
+	// StashSize returns the current stash occupancy in blocks, summed
+	// over every stash the construction owns.
+	StashSize() int
+	// ExternalMemoryBytes returns the external storage footprint.
+	ExternalMemoryBytes() uint64
+	// Close quiesces the client. Sharded clients drain in-flight work and
+	// stop their workers (further operations fail with ErrClosed);
+	// single-threaded clients flush and remain usable.
+	Close() error
+}
+
+// Every top-level construction satisfies Client.
+var (
+	_ Client = (*ORAM)(nil)
+	_ Client = (*Hierarchy)(nil)
+	_ Client = (*Sharded)(nil)
+)
+
+// validateAddrs is the shared up-front batch validation: an out-of-range
+// address fails the whole batch before any path is touched.
+func validateAddrs(addrs []uint64, blocks uint64) error {
+	for _, a := range addrs {
+		if a >= blocks {
+			return fmt.Errorf("pathoram: address %d out of range [0,%d)", a, blocks)
+		}
+	}
+	return nil
+}
+
+// serialReadBatch implements the single-threaded half of the shared batch
+// contract (ORAM and Hierarchy run requests back to back on the calling
+// goroutine; Sharded fans out instead): validate up front, then execute
+// every request, returning the first per-request failure with nil at
+// failed slots.
+func serialReadBatch(addrs []uint64, blocks uint64, read func(uint64) ([]byte, error)) ([][]byte, error) {
+	if len(addrs) == 0 {
+		return nil, nil
+	}
+	if err := validateAddrs(addrs, blocks); err != nil {
+		return nil, err
+	}
+	results := make([][]byte, len(addrs))
+	var first error
+	for i, a := range addrs {
+		out, err := read(a)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		results[i] = out
+	}
+	return results, first
+}
+
+// serialWriteBatch is serialReadBatch's write half: same validation and
+// error contract; later writes to a duplicated address win, matching
+// slice order.
+func serialWriteBatch(addrs []uint64, data [][]byte, blocks uint64, write func(uint64, []byte) error) error {
+	if len(addrs) != len(data) {
+		return fmt.Errorf("pathoram: %d addresses for %d payloads", len(addrs), len(data))
+	}
+	if err := validateAddrs(addrs, blocks); err != nil {
+		return err
+	}
+	var first error
+	for i, a := range addrs {
+		if err := write(a, data[i]); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// PosMapPolicy selects where a Spec's position map lives — the recursion
+// axis of the design space (Section 2.3).
+type PosMapPolicy int
+
+const (
+	// PosMapOnChip keeps each shard's whole position map in trusted
+	// memory: one flat Path ORAM per shard, 4 bytes of on-chip state per
+	// block. The default.
+	PosMapOnChip PosMapPolicy = iota
+	// PosMapRecursive stores each shard's position map in a second,
+	// smaller ORAM, recursively, until the final map fits in
+	// OnChipPosMapMax bytes: one Hierarchy per shard. Every access then
+	// walks the whole chain, smallest ORAM first — on-chip state shrinks
+	// from O(N) to the fixed cap at the price of H path accesses per
+	// operation.
+	PosMapRecursive
+)
+
+// Spec is the declarative construction specification consumed by Open:
+// one literal that composes the paper's design-space axes instead of
+// three incompatible constructors. The three composition axes are
+//
+//	Shards:  how many independent trees serve the address space (the
+//	         concurrency axis; 0/1 = a single tree behind the scheduler),
+//	PosMap:  where the position map lives (the recursion axis —
+//	         PosMapOnChip for flat trees, PosMapRecursive for a
+//	         hierarchy per shard),
+//	Backend: what the buckets cost (the timing axis — BackendMem for
+//	         untimed functional serving, BackendDRAM to charge every
+//	         bucket of every tree to one shared cycle-accurate DDR3
+//	         model).
+//
+// Everything else parameterizes the trees themselves (sizes, encryption,
+// integrity, the staged access path) or the scheduler (partition, queue
+// depth, padded batches). A sharded recursive spec builds one Hierarchy
+// per shard: per-shard keys derive from Key via the shard domain and
+// per-level keys from those via the hierarchy domain, so no two trees
+// anywhere share one-time pads; under BackendDRAM every level of every
+// shard attaches its own port (disjoint physical region) to one shared
+// memory bus.
+type Spec struct {
+	// Blocks is the total logical address space (required).
+	Blocks uint64
+	// BlockSize is the block payload in bytes (0 = metadata-only
+	// simulation mode).
+	BlockSize int
+
+	// Shards is the number of independent per-shard engines behind the
+	// request scheduler (default 1; must not exceed Blocks).
+	Shards int
+	// Partition selects the address split across shards (default
+	// PartitionStripe; PartitionRandom hides request routing).
+	Partition Partition
+	// Padded switches batches to the fixed-shape padded schedule (see
+	// ShardedConfig.Padded).
+	Padded bool
+	// QueueDepth is the per-shard request queue length (default 128).
+	QueueDepth int
+	// EvictionsPerIdle caps idle background evictions per gap (see
+	// ShardedConfig.EvictionsPerIdle; meaningful with AsyncEviction).
+	EvictionsPerIdle int
+
+	// PosMap selects the position-map policy (default PosMapOnChip).
+	PosMap PosMapPolicy
+	// PosBlockSize is the position-map ORAM block size under
+	// PosMapRecursive (default 32, the paper's practical choice).
+	PosBlockSize int
+	// OnChipPosMapMax bounds each shard's final on-chip map in bytes
+	// under PosMapRecursive (default 200 KB, Section 4.1.5; the bound is
+	// per shard).
+	OnChipPosMapMax uint64
+	// PosZ is the position-map ORAM bucket capacity under PosMapRecursive
+	// (default 3).
+	PosZ int
+
+	// Z is the (data) bucket capacity (default 3).
+	Z int
+	// Utilization sizes each data tree (default 0.5).
+	Utilization float64
+	// StashCapacity is C per ORAM in blocks (default 200).
+	StashCapacity int
+	// SuperBlockSize statically merges adjacent blocks (Section 3.2).
+	// Note super blocks group shard-local adjacency: combine with
+	// PartitionRange when they should capture program locality.
+	SuperBlockSize int
+	// Encryption selects the bucket encryption (default counter-based).
+	Encryption Encryption
+	// Integrity enables the Section 5 authentication tree per tree.
+	Integrity bool
+	// Key is the 16-byte master secret; every shard (and every hierarchy
+	// level within a shard) encrypts under an independently derived
+	// subkey. Random if nil.
+	Key []byte
+
+	// AsyncEviction enables the staged access path on every engine:
+	// respond after path read and merge, defer write-back I/O to idle
+	// time (see Config.AsyncEviction).
+	AsyncEviction bool
+	// MaxDeferredWriteBacks caps each tree's deferred write-back queue —
+	// under BackendDRAM, the modeled write-buffer depth.
+	MaxDeferredWriteBacks int
+
+	// Backend selects the storage cost model (default BackendMem).
+	Backend Backend
+	// DRAMChannels, DRAMLayout, DRAMSerialize parameterize the shared
+	// DDR3 model under BackendDRAM (see Config).
+	DRAMChannels  int
+	DRAMLayout    DRAMLayout
+	DRAMSerialize bool
+
+	// Rand makes the whole construction deterministic (simulation only);
+	// independent per-shard, router and padding streams are derived from
+	// it exactly as in NewSharded.
+	Rand *rand.Rand
+	// OnPathAccess, when set, observes every path every tree touches —
+	// the adversary's full view: shard is the serving shard, level the
+	// ORAM within its chain (0 = data ORAM; always 0 for PosMapOnChip).
+	// Called from the shard worker goroutines; distinct shards invoke it
+	// concurrently.
+	OnPathAccess func(shard, level int, leaf uint64)
+}
+
+// Open builds the serving layer described by spec and returns it as a
+// Client: N shards (flat trees or recursive hierarchies per PosMap)
+// behind the batched request scheduler, on an untimed or shared-timed
+// storage backend. Open is the one constructor that composes every axis;
+// the bare constructors (New, NewHierarchy, NewSharded) remain supported
+// for direct, single-construction use.
+func Open(spec Spec) (Client, error) {
+	cfg := ShardedConfig{
+		Shards:           spec.Shards,
+		Partition:        spec.Partition,
+		Padded:           spec.Padded,
+		QueueDepth:       spec.QueueDepth,
+		EvictionsPerIdle: spec.EvictionsPerIdle,
+		Config: Config{
+			Blocks:                spec.Blocks,
+			BlockSize:             spec.BlockSize,
+			Z:                     spec.Z,
+			Utilization:           spec.Utilization,
+			StashCapacity:         spec.StashCapacity,
+			SuperBlockSize:        spec.SuperBlockSize,
+			Encryption:            spec.Encryption,
+			Integrity:             spec.Integrity,
+			Key:                   spec.Key,
+			AsyncEviction:         spec.AsyncEviction,
+			MaxDeferredWriteBacks: spec.MaxDeferredWriteBacks,
+			Backend:               spec.Backend,
+			DRAMChannels:          spec.DRAMChannels,
+			DRAMLayout:            spec.DRAMLayout,
+			DRAMSerialize:         spec.DRAMSerialize,
+			Rand:                  spec.Rand,
+		},
+	}
+	// Reject knobs that would be silently inert on the selected axis
+	// values, so a design-space sweep never varies a field that changes
+	// nothing (non-default DRAM knobs need the timed backend; recursion
+	// knobs need the recursive position map).
+	if spec.Backend != BackendDRAM &&
+		(spec.DRAMChannels != 0 || spec.DRAMLayout != LayoutSubtree || spec.DRAMSerialize) {
+		return nil, fmt.Errorf("pathoram: DRAMChannels/DRAMLayout/DRAMSerialize parameterize the timed backend; set Backend: BackendDRAM")
+	}
+	switch spec.PosMap {
+	case PosMapOnChip:
+		if spec.PosBlockSize != 0 || spec.OnChipPosMapMax != 0 || spec.PosZ != 0 {
+			return nil, fmt.Errorf("pathoram: PosBlockSize/OnChipPosMapMax/PosZ parameterize the recursive position map; set PosMap: PosMapRecursive")
+		}
+		if spec.OnPathAccess != nil {
+			hook := spec.OnPathAccess
+			cfg.OnShardPathAccess = func(sh int, leaf uint64) { hook(sh, 0, leaf) }
+		}
+		return NewSharded(cfg)
+	case PosMapRecursive:
+		// Position-map levels always carry payloads, so encryption
+		// material is in play even for a metadata-only data ORAM.
+		needKeys := spec.Encryption != EncryptNone
+		return newSharded(cfg, needKeys, func(i int, sc Config) (clientEngine, error) {
+			hc := HierarchyConfig{
+				Blocks:                sc.Blocks,
+				BlockSize:             sc.BlockSize,
+				DataZ:                 sc.Z,
+				PosZ:                  spec.PosZ,
+				PosBlockSize:          spec.PosBlockSize,
+				OnChipPosMapMax:       spec.OnChipPosMapMax,
+				Utilization:           sc.Utilization,
+				SuperBlockSize:        sc.SuperBlockSize,
+				StashCapacity:         sc.StashCapacity,
+				Encryption:            sc.Encryption,
+				Key:                   sc.Key,
+				Integrity:             sc.Integrity,
+				AsyncEviction:         sc.AsyncEviction,
+				MaxDeferredWriteBacks: sc.MaxDeferredWriteBacks,
+				Backend:               sc.Backend,
+				DRAMChannels:          sc.DRAMChannels,
+				DRAMLayout:            sc.DRAMLayout,
+				DRAMSerialize:         sc.DRAMSerialize,
+				Rand:                  sc.Rand,
+				bus:                   sc.bus,
+			}
+			if spec.OnPathAccess != nil {
+				hook, sh := spec.OnPathAccess, i
+				hc.OnPathAccess = func(level int, leaf uint64) { hook(sh, level, leaf) }
+			}
+			h, err := NewHierarchy(hc)
+			if err != nil {
+				return nil, err
+			}
+			return hierarchyEngine{h}, nil
+		})
+	default:
+		return nil, fmt.Errorf("pathoram: unknown position-map policy %d", spec.PosMap)
+	}
+}

@@ -43,6 +43,9 @@ func main() {
 		encrypt   = flag.String("encrypt", "counter", "bucket encryption: none|counter|strawman")
 		integrity = flag.Bool("integrity", false, "enable the authentication tree")
 		partition = flag.String("partition", "stripe", "address partition: stripe|range|random (random hides request->shard routing)")
+		posmap    = flag.String("posmap", "flat", "position map: flat (on-chip, 4B/block) | recursive (per-shard hierarchical ORAM chain, Section 2.3)")
+		posBlock  = flag.Int("pos-block", 32, "position-map ORAM block size in bytes (with -posmap recursive)")
+		onchipMax = flag.Uint64("onchip-max", 200<<10, "per-shard bound on the final on-chip position map in bytes (with -posmap recursive)")
 		padded    = flag.Bool("padded", false, "padded batch mode: every batch touches every shard equally often (requires -batch > 0)")
 		queue     = flag.Int("queue", 128, "per-shard request queue depth")
 		seed      = flag.Int64("seed", 0, "deterministic ORAM randomness when != 0")
@@ -82,6 +85,14 @@ func main() {
 	if *padded && *batch <= 0 {
 		log.Fatal("-padded pads batch schedules; combine it with -batch > 0")
 	}
+	var recursive bool
+	switch *posmap {
+	case "flat":
+	case "recursive":
+		recursive = true
+	default:
+		log.Fatalf("unknown -posmap %q", *posmap)
+	}
 	// Knobs that would be silently inert in the selected mode are rejected,
 	// so a sweep never varies a flag that changes nothing.
 	explicit := map[string]bool{}
@@ -90,6 +101,13 @@ func main() {
 		for _, name := range []string{"channels", "layout", "dram-serialize"} {
 			if explicit[name] {
 				log.Fatalf("-%s only affects the timed backend; combine it with -backend dram", name)
+			}
+		}
+	}
+	if !recursive {
+		for _, name := range []string{"pos-block", "onchip-max"} {
+			if explicit[name] {
+				log.Fatalf("-%s parameterizes the recursive position map; combine it with -posmap recursive", name)
 			}
 		}
 	}
@@ -121,8 +139,11 @@ func main() {
 		log.Fatalf("parsing -shards: %v", err)
 	}
 
-	fmt.Printf("oram-serve: %d blocks x %dB, %s encryption, integrity=%v, partition=%s, padded=%v, async=%v\n",
-		*blocks, *blockSize, *encrypt, *integrity, *partition, *padded, *async)
+	fmt.Printf("oram-serve: %d blocks x %dB, %s encryption, integrity=%v, partition=%s, posmap=%s, padded=%v, async=%v\n",
+		*blocks, *blockSize, *encrypt, *integrity, *partition, *posmap, *padded, *async)
+	if recursive {
+		fmt.Printf("posmap: recursive (%dB posmap blocks, %dB on-chip bound per shard)\n", *posBlock, *onchipMax)
+	}
 	if back == pathoram.BackendDRAM {
 		depth := *maxDefer
 		if depth == 0 {
@@ -135,12 +156,13 @@ func main() {
 		*clients, *ops, *batch, *writeFrac, *think, runtime.GOMAXPROCS(0))
 
 	w := newTable(os.Stdout)
-	w.row("shards", "wall", "ops/s", "speedup", "p50", "p95", "p99", "dummy/real", "pad/real", "stash-peak", "imbalance", "row-hit", "B/cyc", "rd-cyc", "Mcycles")
+	w.row("shards", "levels", "posmap-B", "wall", "ops/s", "speedup", "p50", "p95", "p99", "dummy/real", "pad/real", "stash-peak", "imbalance", "row-hit", "B/cyc", "rd-cyc", "Mcycles")
 	var baseline float64
 	for _, n := range shardCounts {
 		res, err := runConfig(config{
 			blocks: *blocks, blockSize: *blockSize, shards: n, partition: part,
 			padded: *padded, encryption: enc, integrity: *integrity,
+			recursive: recursive, posBlock: *posBlock, onchipMax: *onchipMax,
 			queue: *queue, seed: *seed, async: *async, idleEvictions: *idleEv,
 			clients: *clients, ops: *ops, batch: *batch, writeFrac: *writeFrac,
 			think:   *think,
@@ -155,6 +177,8 @@ func main() {
 		}
 		w.row(
 			strconv.Itoa(n),
+			strconv.Itoa(res.levels),
+			strconv.FormatUint(res.posmapBytes, 10),
 			res.wall.Round(time.Millisecond).String(),
 			fmt.Sprintf("%.0f", res.opsPerSec),
 			fmt.Sprintf("%.2fx", res.opsPerSec/baseline),
@@ -169,7 +193,8 @@ func main() {
 		)
 	}
 	w.flush()
-	fmt.Println("\nimbalance = busiest shard's executed real requests / mean (1.00 is perfectly even)")
+	fmt.Println("\nlevels    = ORAMs per access chain (1 = flat on-chip posmap); posmap-B = summed on-chip posmap bytes")
+	fmt.Println("imbalance = busiest shard's executed real requests / mean (1.00 is perfectly even)")
 	fmt.Println("pad/real  = scheduler padding accesses per real access (padded batch overhead)")
 	fmt.Println("p50/p95/p99 = client-visible latency per submission (per op, or per batch with -batch)")
 	if back == pathoram.BackendDRAM {
@@ -185,6 +210,9 @@ type config struct {
 	shards        int
 	partition     pathoram.Partition
 	padded        bool
+	recursive     bool
+	posBlock      int
+	onchipMax     uint64
 	encryption    pathoram.Encryption
 	integrity     bool
 	queue         int
@@ -204,6 +232,8 @@ type config struct {
 }
 
 type result struct {
+	levels        int
+	posmapBytes   uint64
 	wall          time.Duration
 	opsPerSec     float64
 	p50, p95, p99 time.Duration
@@ -216,30 +246,36 @@ type result struct {
 }
 
 func runConfig(c config) (result, error) {
-	cfg := pathoram.ShardedConfig{
+	// One Spec literal covers the whole sweep: sharding, position-map
+	// recursion and the timed backend are axes of the same constructor.
+	spec := pathoram.Spec{
+		Blocks: c.blocks, BlockSize: c.blockSize,
 		Shards:           c.shards,
 		Partition:        c.partition,
 		Padded:           c.padded,
 		QueueDepth:       c.queue,
 		EvictionsPerIdle: c.idleEvictions,
-		Config: pathoram.Config{
-			Blocks: c.blocks, BlockSize: c.blockSize,
-			Encryption: c.encryption, Integrity: c.integrity,
-			AsyncEviction:         c.async,
-			MaxDeferredWriteBacks: c.maxDeferred,
-			Backend:               c.backend,
-			DRAMChannels:          c.channels,
-			DRAMLayout:            c.layout,
-			DRAMSerialize:         c.dramSerialize,
-		},
+		Encryption:       c.encryption, Integrity: c.integrity,
+		AsyncEviction:         c.async,
+		MaxDeferredWriteBacks: c.maxDeferred,
+		Backend:               c.backend,
+		DRAMChannels:          c.channels,
+		DRAMLayout:            c.layout,
+		DRAMSerialize:         c.dramSerialize,
+	}
+	if c.recursive {
+		spec.PosMap = pathoram.PosMapRecursive
+		spec.PosBlockSize = c.posBlock
+		spec.OnChipPosMapMax = c.onchipMax
 	}
 	if c.seed != 0 {
-		cfg.Rand = rand.New(rand.NewSource(c.seed))
+		spec.Rand = rand.New(rand.NewSource(c.seed))
 	}
-	s, err := pathoram.NewSharded(cfg)
+	client, err := pathoram.Open(spec)
 	if err != nil {
 		return result{}, err
 	}
+	s := client.(*pathoram.Sharded)
 	defer s.Close()
 
 	// Pre-fill so the measurement sees steady state, then reset clocks.
@@ -366,6 +402,8 @@ func runConfig(c config) (result, error) {
 	}
 	mean := float64(total) / float64(len(sched.ExecutedPerShard))
 	res := result{
+		levels:       s.NumORAMs(),
+		posmapBytes:  s.OnChipPositionMapBytes(),
 		wall:         wall,
 		opsPerSec:    float64(c.clients*perClient) / wall.Seconds(),
 		p50:          pct(0.50),

@@ -32,7 +32,15 @@
 //     behind a memory-channel scheduler, so the serving layer reports
 //     modeled hardware cycles, row-hit rates and bandwidth (TimingStats)
 //     — the paper's design-space currency — while staying bit-identical
-//     to the untimed backend.
+//     to the untimed backend;
+//   - a unified client API: the Client interface, satisfied by ORAM,
+//     Hierarchy and Sharded alike, and the Open(Spec) constructor whose
+//     declarative Spec composes the design-space axes — Shards: N,
+//     PosMap: OnChip|Recursive, Backend: mem|dram — so sharded ORAMs
+//     with recursive position maps on a shared timed memory bus are one
+//     config literal. Hierarchical shards attach one membus port per
+//     level, making the recursion's Figure 5 orderings and Table 2
+//     latencies come from live recursive traffic.
 //
 // # Architecture
 //
@@ -50,19 +58,23 @@
 //     (Sections 2.2.1 and 2.2.2) and the encrypting path store.
 //   - internal/integrity — the mirrored authentication tree (Section 5).
 //   - internal/hierarchy — the recursive position-map construction
-//     (Sections 2.3 and 3.3.3).
+//     (Sections 2.3 and 3.3.3), a full serving-layer engine: per-level
+//     deferred write-backs, chain-order padding accesses, coordinated
+//     background rounds.
 //   - internal/shard — the serving layer's worker pool and batched request
-//     scheduler: one goroutine per shard owning one engine exclusively,
-//     with first-class dummy requests for padded schedules.
+//     scheduler: one goroutine per shard owning one engine exclusively
+//     (flat trees and hierarchies alike), with first-class dummy requests
+//     for padded schedules and exclusive Load/Store ops.
 //   - internal/placement — bucket-to-DRAM address layouts, including the
 //     subtree packing of Section 3.3.4 (Figure 6).
 //   - internal/dram — an event-driven DDR3 timing model standing in for
 //     DRAMSim2 (Section 4.2, Figure 11).
 //   - internal/membus — the shared memory-channel scheduler of the timed
-//     serving layer: one dram.System for all shards, per-shard ports with
-//     their own modeled clocks and subtree/naive layouts, so different
-//     shards' path reads and write-backs interleave on the modeled
-//     channels (the Figure 5 orderings between shards).
+//     serving layer: one dram.System for all trees, per-tree ports with
+//     their own modeled clocks and subtree/naive layouts (one port per
+//     hierarchy level, chained within a shard), so different shards'
+//     path reads and write-backs interleave on the modeled channels
+//     (the Figure 5 orderings between shards).
 //   - internal/cache, internal/cpu — the processor model of Table 1: the
 //     exclusive L1/L2 hierarchy and the in-order core timing model whose
 //     line memory is DRAM or ORAM (Sections 3.3.1 and 4.3).

@@ -106,6 +106,39 @@ func ExampleNewSharded() {
 	// Output: 4 8
 }
 
+// Open composes the design space from one declarative Spec: the same
+// client code runs flat, sharded, recursive or timed constructions by
+// changing config fields. Here four shards each keep their position map
+// in a recursive ORAM chain instead of on-chip memory.
+func ExampleOpen() {
+	store, err := pathoram.Open(pathoram.Spec{
+		Blocks:          1 << 12,
+		BlockSize:       32,
+		Shards:          4,                        // concurrency axis
+		PosMap:          pathoram.PosMapRecursive, // recursion axis
+		Backend:         pathoram.BackendMem,      // timing axis (BackendDRAM = modeled cycles)
+		PosBlockSize:    16,
+		OnChipPosMapMax: 256, // per shard — forces a real chain at this size
+		Encryption:      pathoram.EncryptNone,
+		Rand:            rand.New(rand.NewSource(5)), // deterministic for the example only
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	if err := store.Write(1234, bytes.Repeat([]byte{9}, 32)); err != nil {
+		log.Fatal(err)
+	}
+	got, err := store.Read(1234)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sharded := store.(*pathoram.Sharded)
+	fmt.Println(got[0], sharded.NumShards(), sharded.NumORAMs() > 1)
+	// Output: 9 4 true
+}
+
 // A hierarchical ORAM keeps the position map oblivious too: H ORAMs are
 // accessed per request, smallest first (Section 2.3).
 func ExampleNewHierarchy() {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/encrypt"
 	"repro/internal/hierarchy"
+	"repro/internal/membus"
 	"repro/internal/treemath"
 )
 
@@ -42,20 +43,100 @@ type HierarchyConfig struct {
 	Key []byte
 	// Integrity enables a Section 5 authentication tree per level.
 	Integrity bool
+	// AsyncEviction enables the staged access path on every level of the
+	// chain: Read/Write/Update return once every level's path has been
+	// read and merged and its eviction placement computed; the write-back
+	// I/O of all levels is deferred onto bounded per-level queues, drained
+	// by StepBackground (shard workers call it automatically) and Flush.
+	// Stash and position-map state stay bit-identical to the synchronous
+	// protocol; logical contents are never stale.
+	AsyncEviction bool
+	// MaxDeferredWriteBacks caps each level's deferred write-back queue
+	// under AsyncEviction (default core.DefaultMaxDeferredWriteBacks).
+	// With BackendDRAM each level's queue is that tree's modeled
+	// write-buffer depth, exactly as for a flat ORAM.
+	MaxDeferredWriteBacks int
+	// Backend selects the bucket storage backend for every level (default
+	// BackendMem). BackendDRAM attaches one membus port per level — every
+	// ORAM of the chain owns a disjoint row-aligned region of one shared
+	// DDR3 model — so TimingStats reports modeled cycles for the live
+	// recursive traffic: H path reads and H write-backs per access, in
+	// chain order (the Figure 5(a) serialized ordering within an access;
+	// different shards of a sharded deployment still overlap).
+	Backend Backend
+	// DRAMChannels is the number of independent DDR3 channels under
+	// BackendDRAM (default 2). Inside a sharded deployment every shard —
+	// and every level of every shard — shares one memory system.
+	DRAMChannels int
+	// DRAMLayout selects the bucket-to-row placement under BackendDRAM
+	// (default LayoutSubtree).
+	DRAMLayout DRAMLayout
+	// DRAMSerialize is the no-overlap modeling baseline (see
+	// Config.DRAMSerialize).
+	DRAMSerialize bool
 	// Rand makes the construction deterministic (simulation only).
 	Rand *rand.Rand
+	// OnPathAccess, when set, observes every path access in the whole
+	// chain, in order: level 0 is the data ORAM, higher levels the
+	// recursively smaller position-map ORAMs. This is the adversary's
+	// full view of one hierarchy's traffic. It runs synchronously on the
+	// accessing goroutine.
+	OnPathAccess func(level int, leaf uint64)
+	// bus, when set, attaches every level to an existing shared memory
+	// scheduler instead of creating one — Open injects the bus it built so
+	// all shards (and all their levels) contend for the same channels.
+	bus *membus.Bus
 }
 
-// Hierarchy is a hierarchical Path ORAM.
+// Hierarchy is a hierarchical Path ORAM. Like ORAM it is single-threaded —
+// one goroutine owns it — and satisfies Client: the sharded serving layer
+// can run one Hierarchy per shard behind its request scheduler (see Open
+// with PosMap: PosMapRecursive).
 type Hierarchy struct {
 	inner *hierarchy.ORAM
 	cfg   HierarchyConfig
+	// ports holds one membus port per level under BackendDRAM (attach
+	// order: smallest position-map ORAM first, data ORAM last — the
+	// construction order of the chain).
+	ports []*membus.Port
+	// footprints collects the per-level external-memory accountants.
+	footprints []interface{ MemoryBytes() uint64 }
+}
+
+// levelTimer chains one hierarchy level's port onto the chain's shared
+// modeled clock: within one hierarchy, a level's path is named by the
+// position-map access that preceded it, so its stage must not arrive in
+// modeled time before the chain's previous stage completed — even though
+// every level keeps its own port (and physical region). Flat shards get
+// the same serialization for free from their single port's readyAt; this
+// is the multi-port generalization. The chain pointer is owned by the
+// hierarchy's single goroutine; the port methods take the bus lock.
+type levelTimer struct {
+	port  *membus.Port
+	chain *uint64
+}
+
+func (t levelTimer) ReadPath(leaf uint64, skip []bool) {
+	t.port.AdvanceTo(*t.chain)
+	t.port.ReadPath(leaf, skip)
+	if r := t.port.ReadyAt(); r > *t.chain {
+		*t.chain = r
+	}
+}
+
+func (t levelTimer) WritePath(leaf uint64, deferred bool) {
+	t.port.AdvanceTo(*t.chain)
+	t.port.WritePath(leaf, deferred)
+	if r := t.port.ReadyAt(); r > *t.chain {
+		*t.chain = r
+	}
 }
 
 // NewHierarchy builds the chain. Every ORAM in it — the data ORAM and all
 // position-map ORAMs — gets its own store with the configured encryption
 // and (optionally) integrity layer, and background eviction is coordinated
-// across the chain exactly as in Section 3.1.1.
+// across the chain exactly as in Section 3.1.1. Under BackendDRAM every
+// level also gets its own port on the (shared or private) memory bus.
 func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 	if cfg.Blocks == 0 {
 		return nil, fmt.Errorf("pathoram: Blocks must be >= 1")
@@ -75,11 +156,23 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 	if cfg.Integrity && cfg.Encryption == EncryptNone {
 		return nil, fmt.Errorf("pathoram: integrity verification requires encryption")
 	}
+	switch cfg.Backend {
+	case BackendMem, BackendDRAM:
+	default:
+		return nil, fmt.Errorf("pathoram: unknown backend %d", cfg.Backend)
+	}
+	switch cfg.DRAMLayout {
+	case LayoutSubtree, LayoutNaive:
+	default:
+		return nil, fmt.Errorf("pathoram: unknown DRAM layout %d", cfg.DRAMLayout)
+	}
 	if cfg.Key == nil {
 		cfg.Key = make([]byte, encrypt.KeySize)
 		if _, err := crand.Read(cfg.Key); err != nil {
 			return nil, fmt.Errorf("pathoram: drawing key: %w", err)
 		}
+	} else {
+		cfg.Key = append([]byte(nil), cfg.Key...)
 	}
 	var leaves core.LeafSource
 	if cfg.Rand != nil {
@@ -87,53 +180,98 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 	} else {
 		leaves = core.NewCryptoLeafSource()
 	}
-	factory := hierarchy.MemStoreFactory
-	if cfg.Encryption != EncryptNone {
-		factory = func(level int, leafLevel, z, blockBytes int) (core.PathStore, error) {
-			if blockBytes == 0 {
-				// Metadata-only data ORAM: nothing to encrypt.
-				return core.NewMemStore(leafLevel, z, blockBytes)
-			}
-			key, err := deriveKey(cfg.Key, level)
-			if err != nil {
-				return nil, err
-			}
-			sub := Config{
-				Encryption: cfg.Encryption,
-				Key:        key,
-				Rand:       cfg.Rand,
-			}
-			scheme, err := sub.buildScheme(treemath.New(leafLevel).NumBuckets())
-			if err != nil {
-				return nil, err
-			}
-			scfg := encrypt.StoreConfig{
-				LeafLevel: leafLevel, Z: z, BlockBytes: blockBytes, Scheme: scheme,
-			}
-			if cfg.Integrity {
-				scfg.Auth = encrypt.NewAuthTree(leafLevel, z, blockBytes, scheme)
-			}
-			return encrypt.NewStore(scfg)
+
+	h := &Hierarchy{cfg: cfg}
+
+	// makeStore builds one level's bucket store and reports the byte
+	// footprint a bucket occupies on the modeled memory bus.
+	makeStore := func(level int, leafLevel, z, blockBytes int) (core.PathStore, int, error) {
+		if cfg.Encryption == EncryptNone || blockBytes == 0 {
+			// Metadata-only data ORAMs have nothing to encrypt; plain
+			// stores still move their headers over the modeled bus.
+			ms, err := core.NewMemStore(leafLevel, z, blockBytes)
+			return ms, modeledBucketBytes(nil, z, blockBytes), err
+		}
+		key, err := deriveKey(cfg.Key, level)
+		if err != nil {
+			return nil, 0, err
+		}
+		sub := Config{Encryption: cfg.Encryption, Key: key, Rand: cfg.Rand}
+		scheme, err := sub.buildScheme(treemath.New(leafLevel).NumBuckets())
+		if err != nil {
+			return nil, 0, err
+		}
+		scfg := encrypt.StoreConfig{
+			LeafLevel: leafLevel, Z: z, BlockBytes: blockBytes, Scheme: scheme,
+		}
+		if cfg.Integrity {
+			scfg.Auth = encrypt.NewAuthTree(leafLevel, z, blockBytes, scheme)
+		}
+		es, err := encrypt.NewStore(scfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		h.footprints = append(h.footprints, es)
+		return es, modeledBucketBytes(scheme, z, blockBytes), nil
+	}
+
+	// Under BackendDRAM, wrap every level's store in a timed layer with
+	// its own port on one shared bus: an injected one (sharded
+	// deployments) or a private one (standalone hierarchy).
+	bus := cfg.bus
+	if cfg.Backend == BackendDRAM && bus == nil {
+		var err error
+		if bus, err = membus.New(membus.Config{
+			Channels:  cfg.DRAMChannels,
+			Layout:    cfg.DRAMLayout.membusLayout(),
+			Serialize: cfg.DRAMSerialize,
+		}); err != nil {
+			return nil, err
 		}
 	}
-	inner, err := hierarchy.New(hierarchy.Config{
-		Blocks:             cfg.Blocks,
-		DataBlockBytes:     cfg.BlockSize,
-		DataZ:              cfg.DataZ,
-		PosZ:               cfg.PosZ,
-		DataUtilization:    cfg.Utilization,
-		PosBlockBytes:      cfg.PosBlockSize,
-		OnChipPosMapMax:    cfg.OnChipPosMapMax,
-		SuperBlock:         cfg.SuperBlockSize,
-		StashCapacity:      cfg.StashCapacity,
-		BackgroundEviction: true,
-		NewStore:           factory,
-		Leaves:             leaves,
-	})
+	var chain uint64
+	factory := func(level int, leafLevel, z, blockBytes int) (core.PathStore, error) {
+		store, busBytes, err := makeStore(level, leafLevel, z, blockBytes)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Backend != BackendDRAM {
+			return store, nil
+		}
+		port, err := bus.AttachShard(leafLevel, busBytes)
+		if err != nil {
+			return nil, err
+		}
+		h.ports = append(h.ports, port)
+		return core.NewTimedStore(store, levelTimer{port: port, chain: &chain})
+	}
+
+	hcfg := hierarchy.Config{
+		Blocks:                cfg.Blocks,
+		DataBlockBytes:        cfg.BlockSize,
+		DataZ:                 cfg.DataZ,
+		PosZ:                  cfg.PosZ,
+		DataUtilization:       cfg.Utilization,
+		PosBlockBytes:         cfg.PosBlockSize,
+		OnChipPosMapMax:       cfg.OnChipPosMapMax,
+		SuperBlock:            cfg.SuperBlockSize,
+		StashCapacity:         cfg.StashCapacity,
+		BackgroundEviction:    true,
+		DeferWriteBack:        cfg.AsyncEviction,
+		MaxDeferredWriteBacks: cfg.MaxDeferredWriteBacks,
+		NewStore:              factory,
+		Leaves:                leaves,
+	}
+	if cfg.OnPathAccess != nil {
+		hook := cfg.OnPathAccess
+		hcfg.OnPathAccess = func(level int, leaf uint64, _ core.AccessKind) { hook(level, leaf) }
+	}
+	inner, err := hierarchy.New(hcfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Hierarchy{inner: inner, cfg: cfg}, nil
+	h.inner = inner
+	return h, nil
 }
 
 // deriveKey expands the master key into an independent per-level key
@@ -178,6 +316,52 @@ func (h *Hierarchy) Store(addr uint64, data []byte) error {
 	return h.inner.Store(addr, data)
 }
 
+// ReadBatch reads every address, back to back on the calling goroutine (a
+// single chain has no intra-batch parallelism; Sharded fans hierarchies
+// out across shards), under the shared batch contract (see
+// serialReadBatch).
+func (h *Hierarchy) ReadBatch(addrs []uint64) ([][]byte, error) {
+	return serialReadBatch(addrs, h.cfg.Blocks, h.Read)
+}
+
+// WriteBatch writes data[i] to addrs[i], back to back on the calling
+// goroutine, under the shared batch contract (see serialWriteBatch).
+func (h *Hierarchy) WriteBatch(addrs []uint64, data [][]byte) error {
+	return serialWriteBatch(addrs, data, h.cfg.Blocks, h.Write)
+}
+
+// PaddingAccess performs one dummy-shaped access through the whole chain:
+// one freshly drawn uniform path read and written back in every ORAM,
+// smallest first — the same ORAMs in the same order as a real access, so
+// an observer of the memory traffic cannot tell them apart. Counted as
+// scheduler padding in every level's Stats.PaddingAccesses.
+func (h *Hierarchy) PaddingAccess() error { return h.inner.PaddingAccess() }
+
+// StepBackground performs one unit of deferred work — completing one
+// pending path write-back on some level, or (when allowEviction is set
+// and some stash sits above the idle low-water mark) issuing one
+// coordinated dummy round through the whole chain — and reports which.
+// Under AsyncEviction, call it whenever the hierarchy would otherwise sit
+// idle; inside a Sharded the shard workers call it for you.
+func (h *Hierarchy) StepBackground(allowEviction bool) (BackgroundWork, error) {
+	return h.inner.StepBackground(allowEviction)
+}
+
+// Flush completes every level's deferred write-backs and fully drains
+// coordinated background eviction, leaving the chain in a state the
+// synchronous protocol could have produced. A no-op without
+// AsyncEviction.
+func (h *Hierarchy) Flush() error { return h.inner.Flush() }
+
+// PendingWriteBacks returns the total deferred path write-backs across
+// all levels not yet completed (always 0 without AsyncEviction).
+func (h *Hierarchy) PendingWriteBacks() int { return h.inner.PendingWriteBacks() }
+
+// Close quiesces the hierarchy (Flush). Like ORAM.Close it does not
+// invalidate the receiver — the chain owns no goroutines; Close is the
+// Client interface's quiesce point.
+func (h *Hierarchy) Close() error { return h.inner.Flush() }
+
 // NumORAMs returns H, the number of ORAMs in the chain.
 func (h *Hierarchy) NumORAMs() int { return h.inner.NumORAMs() }
 
@@ -186,6 +370,55 @@ func (h *Hierarchy) OnChipPositionMapBytes() uint64 { return h.inner.OnChipPosMa
 
 // LevelStats returns per-level protocol counters (index 0 = data ORAM).
 func (h *Hierarchy) LevelStats() []Stats { return h.inner.Stats() }
+
+// Stats returns the aggregate protocol counters of the whole chain: every
+// level's counters merged with core.Stats.Merge semantics (counters sum,
+// stash peaks take the worst level). One program access contributes H
+// RealAccesses — one per level — so DummyPerReal on the merged view is
+// the per-path-access rate; DummyRounds/DummyPerReal report the paper's
+// per-program-access Equation 2 factor.
+func (h *Hierarchy) Stats() Stats {
+	var merged Stats
+	for _, s := range h.inner.Stats() {
+		merged = merged.Merge(s)
+	}
+	return merged
+}
+
+// ResetStats clears every level's protocol counters and the coordinated
+// dummy-round count (peak occupancies included; the BlocksInORAM gauges
+// survive, as on ORAM).
+func (h *Hierarchy) ResetStats() { h.inner.ResetStats() }
+
+// StashSize returns the summed stash occupancy over every level.
+func (h *Hierarchy) StashSize() int { return h.inner.StashSize() }
+
+// ExternalMemoryBytes returns the summed external storage footprint of
+// every level (0 for plain in-memory stores).
+func (h *Hierarchy) ExternalMemoryBytes() uint64 {
+	var total uint64
+	for _, f := range h.footprints {
+		total += f.MemoryBytes()
+	}
+	return total
+}
+
+// TimingStats returns the modeled memory-timing counters merged over the
+// chain's per-level ports (counters sum, the completion frontier takes
+// the max). The bool is false under BackendMem. Under AsyncEviction
+// deferred write-back charges land on the flush schedule; snapshot after
+// Flush for access-complete totals (Sharded's snapshots do this
+// automatically).
+func (h *Hierarchy) TimingStats() (TimingStats, bool) {
+	if len(h.ports) == 0 {
+		return TimingStats{}, false
+	}
+	var merged TimingStats
+	for _, p := range h.ports {
+		merged = merged.Merge(p.Stats())
+	}
+	return merged, true
+}
 
 // DummyRounds returns the number of coordinated background-eviction rounds.
 func (h *Hierarchy) DummyRounds() uint64 { return h.inner.DummyRounds() }

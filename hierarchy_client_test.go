@@ -1,0 +1,276 @@
+package pathoram
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Tests for the Hierarchy side of the unified Client API: the
+// observability surface (aggregate stats, stash size), padding, the
+// staged access path through the chain, and the per-level timed backend.
+// Named TestHierarchy* for the CI `-run 'Client|Hierarchy'` shard.
+
+func testHierarchy(t *testing.T, mutate func(*HierarchyConfig)) *Hierarchy {
+	t.Helper()
+	cfg := HierarchyConfig{
+		Blocks: 2048, BlockSize: 16,
+		PosBlockSize: 16, OnChipPosMapMax: 256,
+		Encryption: EncryptNone,
+		Rand:       rand.New(rand.NewSource(21)),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestHierarchyAggregateStats pins the new observability surface:
+// Stats() is the core.Stats.Merge of LevelStats (counters sum, peaks take
+// the worst level), ResetStats clears every level, and StashSize sums the
+// chain's stashes.
+func TestHierarchyAggregateStats(t *testing.T) {
+	h := testHierarchy(t, nil)
+	if h.NumORAMs() < 2 {
+		t.Fatalf("want a real chain, got %d ORAMs", h.NumORAMs())
+	}
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 300; i++ {
+		if err := h.Write(rng.Uint64()%2048, make([]byte, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want Stats
+	for _, s := range h.LevelStats() {
+		want = want.Merge(s)
+	}
+	if got := h.Stats(); got != want {
+		t.Errorf("Stats() = %+v, merged LevelStats = %+v", got, want)
+	}
+	// One program access = one real access per level.
+	if got := h.Stats().RealAccesses; got != uint64(300*h.NumORAMs()) {
+		t.Errorf("merged RealAccesses = %d, want %d", got, 300*h.NumORAMs())
+	}
+	var stash int
+	for i := 0; i < h.NumORAMs(); i++ {
+		stash += h.inner.Level(i).StashSize()
+	}
+	if got := h.StashSize(); got != stash {
+		t.Errorf("StashSize() = %d, summed levels = %d", got, stash)
+	}
+	blocksBefore := h.Stats().BlocksInORAM
+	h.ResetStats()
+	after := h.Stats()
+	if after.RealAccesses != 0 || after.DummyAccesses != 0 || after.StashPeak != 0 {
+		t.Errorf("ResetStats left counters: %+v", after)
+	}
+	if after.BlocksInORAM != blocksBefore {
+		t.Errorf("ResetStats clobbered the occupancy gauge: %d -> %d", blocksBefore, after.BlocksInORAM)
+	}
+	if h.DummyRounds() != 0 {
+		t.Error("ResetStats left dummy rounds")
+	}
+}
+
+// TestHierarchyPaddingTouchesEveryLevel pins the engine-conformance
+// property the padded batch mode needs: one PaddingAccess walks the whole
+// chain — exactly one padding access per level, in the same smallest-first
+// order as a real access — so on the wire it is indistinguishable from
+// real traffic.
+func TestHierarchyPaddingTouchesEveryLevel(t *testing.T) {
+	var order []int
+	h := testHierarchy(t, func(cfg *HierarchyConfig) {
+		cfg.OnPathAccess = func(level int, _ uint64) { order = append(order, level) }
+	})
+	hn := h.NumORAMs()
+	order = order[:0]
+	if err := h.PaddingAccess(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != hn {
+		t.Fatalf("padding touched %d ORAMs, want %d", len(order), hn)
+	}
+	for i, lvl := range order {
+		if want := hn - 1 - i; lvl != want {
+			t.Errorf("padding access %d hit level %d, want %d (smallest first)", i, lvl, want)
+		}
+	}
+	for lvl, s := range h.LevelStats() {
+		if s.PaddingAccesses != 1 {
+			t.Errorf("level %d counted %d padding accesses, want 1", lvl, s.PaddingAccesses)
+		}
+		if s.RealAccesses != 0 {
+			t.Errorf("level %d counted padding as real", lvl)
+		}
+	}
+	if got := h.Stats().PaddingAccesses; got != uint64(hn) {
+		t.Errorf("merged PaddingAccesses = %d, want %d", got, hn)
+	}
+}
+
+// TestHierarchyAsyncBitIdenticalToSync is the staged-chain acceptance
+// test: the same seeded workload through a synchronous and an
+// async-eviction hierarchy must touch identical per-level leaf sequences
+// and — after the async chain flushes — leave every level's tree
+// byte-identical. Write-back deferral through the whole chain changes
+// when I/O happens, never what state results.
+func TestHierarchyAsyncBitIdenticalToSync(t *testing.T) {
+	type access struct {
+		level int
+		leaf  uint64
+	}
+	run := func(async bool) (*Hierarchy, *[]access) {
+		log := &[]access{}
+		h := testHierarchy(t, func(cfg *HierarchyConfig) {
+			cfg.AsyncEviction = async
+			cfg.MaxDeferredWriteBacks = 3 // small: exercise the cap drain
+			cfg.Rand = rand.New(rand.NewSource(33))
+			cfg.OnPathAccess = func(level int, leaf uint64) {
+				*log = append(*log, access{level, leaf})
+			}
+		})
+		rng := rand.New(rand.NewSource(34))
+		for i := 0; i < 600; i++ {
+			addr := rng.Uint64() % 2048
+			if rng.Intn(2) == 0 {
+				d := make([]byte, 16)
+				rng.Read(d)
+				if err := h.Write(addr, d); err != nil {
+					t.Fatal(err)
+				}
+			} else if _, err := h.Read(addr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return h, log
+	}
+	syncH, syncLog := run(false)
+	asyncH, asyncLog := run(true)
+	if asyncH.PendingWriteBacks() == 0 {
+		t.Error("async chain deferred nothing; the test exercised no staged path")
+	}
+	// Drain partly through the background pump, the rest through Flush.
+	for i := 0; i < 5; i++ {
+		if _, err := asyncH.StepBackground(false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := asyncH.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if asyncH.PendingWriteBacks() != 0 {
+		t.Fatalf("pending write-backs after Flush: %d", asyncH.PendingWriteBacks())
+	}
+	if len(*syncLog) != len(*asyncLog) {
+		t.Fatalf("access counts diverge: sync %d, async %d", len(*syncLog), len(*asyncLog))
+	}
+	for i := range *syncLog {
+		if (*syncLog)[i] != (*asyncLog)[i] {
+			t.Fatalf("access sequences diverge at %d: sync %+v async %+v", i, (*syncLog)[i], (*asyncLog)[i])
+		}
+	}
+	for lvl := 0; lvl < syncH.NumORAMs(); lvl++ {
+		st := treeSnapshot(memTreeOf(t, syncH.inner.Level(lvl).BucketStore()))
+		at := treeSnapshot(memTreeOf(t, asyncH.inner.Level(lvl).BucketStore()))
+		if len(st) != len(at) {
+			t.Fatalf("level %d: block counts diverge (sync %d, async %d)", lvl, len(st), len(at))
+		}
+		for j := range st {
+			if st[j] != at[j] {
+				t.Fatalf("level %d: trees diverge at block %d: sync %q async %q", lvl, j, st[j], at[j])
+			}
+		}
+	}
+}
+
+// TestHierarchyTimedBackend covers the standalone timed hierarchy: one
+// port per level on one bus, chain-serialized modeled time, and charges
+// that account for every level's traffic.
+func TestHierarchyTimedBackend(t *testing.T) {
+	h := testHierarchy(t, func(cfg *HierarchyConfig) {
+		cfg.Backend = BackendDRAM
+		cfg.DRAMChannels = 2
+	})
+	if len(h.ports) != h.NumORAMs() {
+		t.Fatalf("%d ports for %d levels", len(h.ports), h.NumORAMs())
+	}
+	rng := rand.New(rand.NewSource(44))
+	for i := 0; i < 200; i++ {
+		if err := h.Write(rng.Uint64()%2048, make([]byte, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts, ok := h.TimingStats()
+	if !ok {
+		t.Fatal("timed hierarchy reported no timing stats")
+	}
+	st := h.Stats()
+	wantReads := st.RealAccesses + st.DummyAccesses + st.PaddingAccesses
+	if ts.PathReads != wantReads {
+		t.Errorf("PathReads=%d, per-level protocol accesses=%d", ts.PathReads, wantReads)
+	}
+	if ts.PathWrites != wantReads {
+		t.Errorf("PathWrites=%d, want %d (sync mode writes back every path)", ts.PathWrites, wantReads)
+	}
+	if ts.DRAM.Reads == 0 || ts.Cycles == 0 {
+		t.Fatalf("timing stats flat: %+v", ts)
+	}
+	// Chain serialization: every level's port clock is bounded by the
+	// shared frontier, and the per-level regions are disjoint (attach
+	// order fixed), so the merged DRAM view reproduces the bus totals.
+	var merged TimingStats
+	for _, p := range h.ports {
+		merged = merged.Merge(p.Stats())
+	}
+	if merged.DRAM != ts.DRAM {
+		t.Errorf("merged port DRAM stats %+v != TimingStats %+v", merged.DRAM, ts.DRAM)
+	}
+	// Untimed hierarchies report none.
+	h2 := testHierarchy(t, nil)
+	if _, ok := h2.TimingStats(); ok {
+		t.Error("mem-backend hierarchy claimed timing stats")
+	}
+}
+
+// TestHierarchyReadYourWritesEncrypted smoke-checks the chain with real
+// encryption and integrity on every level under the unified constructor
+// defaults (counter scheme, derived per-level keys).
+func TestHierarchyReadYourWritesEncrypted(t *testing.T) {
+	h, err := NewHierarchy(HierarchyConfig{
+		Blocks: 512, BlockSize: 16,
+		PosBlockSize: 16, OnChipPosMapMax: 128,
+		Encryption: EncryptCounter, Integrity: true,
+		Key:  bytes.Repeat([]byte{7}, 16),
+		Rand: rand.New(rand.NewSource(55)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ExternalMemoryBytes() == 0 {
+		t.Error("encrypted chain reported no external footprint")
+	}
+	shadow := map[uint64]byte{}
+	rng := rand.New(rand.NewSource(56))
+	for i := 0; i < 400; i++ {
+		addr := rng.Uint64() % 512
+		if rng.Intn(2) == 0 {
+			b := byte(rng.Intn(256))
+			if err := h.Write(addr, bytes.Repeat([]byte{b}, 16)); err != nil {
+				t.Fatal(err)
+			}
+			shadow[addr] = b
+		} else {
+			got, err := h.Read(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0] != shadow[addr] {
+				t.Fatalf("step %d addr %d: got %d want %d", i, addr, got[0], shadow[addr])
+			}
+		}
+	}
+}

@@ -63,6 +63,17 @@ type Config struct {
 	BackgroundEviction bool
 	// MaxDummyRun bounds consecutive dummy rounds (livelock guard).
 	MaxDummyRun int
+	// DeferWriteBack enables the staged access path on every level of the
+	// chain (core.Params.DeferWriteBack): each level's path write-back I/O
+	// is queued on that level's own bounded FIFO and completed later by
+	// StepBackground, Flush or the queue-full inline drain. Stash and
+	// position-map state stay bit-identical to the synchronous protocol;
+	// someone must drain (shard workers, or the owner calling
+	// StepBackground/Flush).
+	DeferWriteBack bool
+	// MaxDeferredWriteBacks caps each level's deferred FIFO when positive
+	// (default core.DefaultMaxDeferredWriteBacks).
+	MaxDeferredWriteBacks int
 	// NewStore builds each level's bucket store (default MemStoreFactory).
 	NewStore StoreFactory
 	// Leaves supplies leaf randomness for every level (required).
@@ -172,7 +183,9 @@ func New(cfg Config) (*ORAM, error) {
 			StashCapacity: cfg.StashCapacity,
 			SuperBlock:    superBlock,
 			// The hierarchy coordinates eviction itself.
-			BackgroundEviction: false,
+			BackgroundEviction:    false,
+			DeferWriteBack:        cfg.DeferWriteBack,
+			MaxDeferredWriteBacks: cfg.MaxDeferredWriteBacks,
 		}
 		if i > 0 {
 			// Position-map blocks must read as "unassigned" until written.
@@ -320,6 +333,103 @@ func (h *ORAM) Store(addr uint64, data []byte) error {
 		return err
 	}
 	return h.drain()
+}
+
+// PaddingAccess performs one dummy-shaped access through the whole chain:
+// every ORAM, smallest first, reads and writes back one freshly drawn
+// uniform path — on the wire indistinguishable from a real access, since a
+// real access touches exactly the same ORAMs in exactly the same order —
+// counted as scheduler padding (Stats.PaddingAccesses per level). The
+// sharded serving layer's padded batch mode fills the dummy slots of its
+// fixed-shape schedule with these.
+func (h *ORAM) PaddingAccess() error {
+	for i := len(h.levels) - 1; i >= 0; i-- {
+		if err := h.levels[i].PaddingAccess(); err != nil {
+			return err
+		}
+	}
+	return h.drain()
+}
+
+// StashSize returns the summed stash occupancy over every level.
+func (h *ORAM) StashSize() int {
+	var total int
+	for _, o := range h.levels {
+		total += o.StashSize()
+	}
+	return total
+}
+
+// PendingWriteBacks returns the total deferred path write-backs across all
+// levels that have not yet been completed (always 0 without
+// Config.DeferWriteBack).
+func (h *ORAM) PendingWriteBacks() int {
+	var total int
+	for _, o := range h.levels {
+		total += o.PendingWriteBacks()
+	}
+	return total
+}
+
+// StepBackground performs one unit of deferred work: completing one
+// pending path write-back (levels drain smallest-ORAM first, matching the
+// access order their traffic arrived in), or — when no write-backs are
+// pending, allowEviction is set and some level's stash sits above the idle
+// low-water mark (half its inline threshold) — issuing one coordinated
+// dummy round, one dummy access to every ORAM in normal access order.
+// core.BgNone means there is nothing useful to do right now.
+func (h *ORAM) StepBackground(allowEviction bool) (core.BackgroundWork, error) {
+	for i := len(h.levels) - 1; i >= 0; i-- {
+		if h.levels[i].PendingWriteBacks() > 0 {
+			return h.levels[i].StepBackground(false)
+		}
+	}
+	if allowEviction && h.cfg.BackgroundEviction && h.needsIdleEviction() {
+		for i := len(h.levels) - 1; i >= 0; i-- {
+			if err := h.levels[i].DummyAccess(); err != nil {
+				return core.BgEviction, err
+			}
+		}
+		h.dummyRounds++
+		return core.BgEviction, nil
+	}
+	return core.BgNone, nil
+}
+
+// needsIdleEviction reports whether any level's stash is above half its
+// inline eviction threshold — the same low-water mark core.StepBackground
+// uses, so a burst of subsequent accesses has headroom before any of them
+// pays for inline draining.
+func (h *ORAM) needsIdleEviction() bool {
+	for _, o := range h.levels {
+		if t := o.Params().EvictionThreshold(); t >= 0 && o.StashSize() > t/2 {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush completes every level's pending write-backs and fully drains
+// coordinated background eviction, leaving the chain in a state the
+// synchronous protocol could have produced: no deferred I/O anywhere,
+// every stash at or below its threshold.
+func (h *ORAM) Flush() error {
+	for _, o := range h.levels {
+		if err := o.Flush(); err != nil {
+			return err
+		}
+	}
+	// Coordinated draining issues dummy accesses whose write-backs are
+	// themselves deferred in staged mode; flush those too.
+	if err := h.drain(); err != nil {
+		return err
+	}
+	for _, o := range h.levels {
+		if err := o.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // drain coordinates background eviction: while any stash exceeds its

@@ -1,10 +1,21 @@
 // Package membus is the shared memory-channel scheduler of the timed
 // serving layer: one DDR3 timing model (internal/dram) owned by a Bus,
-// with one Port per ORAM shard. Each port lays its shard's bucket tree out
-// in the shared physical address space (naive or packed-subtree placement,
-// Section 3.3.4 of the paper) and charges the shard's path reads and
+// with one Port per ORAM tree. Each port lays its tree's buckets out in
+// the shared physical address space (naive or packed-subtree placement,
+// Section 3.3.4 of the paper) and charges the tree's path reads and
 // write-backs — at column-access granularity — onto the shared channels
 // and banks.
+//
+// A flat shard attaches exactly one port. A hierarchical shard (recursive
+// position map, Section 2.3) attaches one port per level of its chain, so
+// every ORAM of the hierarchy owns a disjoint row-aligned region of the
+// same physical address space and the chain's recursive traffic contends
+// on the shared banks like any other tree's. Levels of one hierarchy
+// chain their ports (AdvanceTo/ReadyAt): a level's path is named by the
+// position-map level before it, so its stage may not arrive earlier in
+// modeled time than the chain's previous stage completed — the serialized
+// Figure 5(a) ordering within one access, while different shards'
+// accesses still interleave freely.
 //
 // Time is modeled, not measured: every port carries its own modeled clock
 // (the completion cycle of its last submitted stage), and a stage's
@@ -207,11 +218,13 @@ func New(cfg Config) (*Bus, error) {
 func (b *Bus) Geometry() dram.Geometry { return b.sys.Geometry() }
 
 // AttachShard carves out the next region of the physical address space for
-// a shard's bucket tree (leafLevel levels, bucketBytes per bucket on the
-// bus) and returns the shard's port. The region starts on an aggregate-row
-// boundary so the subtree layout's nodes align with row buffers. Attach
-// every shard before traffic starts; construction order fixes the address
-// map, so a fixed shard order gives a reproducible layout.
+// one bucket tree (leafLevel levels, bucketBytes per bucket on the bus)
+// and returns the tree's port. The region starts on an aggregate-row
+// boundary so the subtree layout's nodes align with row buffers. Flat
+// shards attach once; hierarchical shards attach once per level of the
+// chain, giving every level its own disjoint region. Attach every tree
+// before traffic starts; construction order fixes the address map, so a
+// fixed shard (and per-shard level) order gives a reproducible layout.
 func (b *Bus) AttachShard(leafLevel, bucketBytes int) (*Port, error) {
 	if bucketBytes < 1 {
 		return nil, fmt.Errorf("membus: bucket size %d must be >= 1", bucketBytes)
@@ -298,6 +311,27 @@ type Port struct {
 
 // Shard returns the port's attach index.
 func (p *Port) Shard() int { return p.shard }
+
+// ReadyAt returns the port's modeled clock: the completion cycle of its
+// last charged stage (0 before any traffic).
+func (p *Port) ReadyAt() uint64 {
+	p.bus.mu.Lock()
+	defer p.bus.mu.Unlock()
+	return p.readyAt
+}
+
+// AdvanceTo raises the port's modeled clock to at least cycle: the next
+// charged stage arrives no earlier. Hierarchies use it to chain their
+// levels' ports — a level's path address comes out of the preceding
+// position-map access, so its stage must not be charged before that
+// access's completion even though each level keeps its own port.
+func (p *Port) AdvanceTo(cycle uint64) {
+	p.bus.mu.Lock()
+	defer p.bus.mu.Unlock()
+	if p.readyAt < cycle {
+		p.readyAt = cycle
+	}
+}
 
 // Stats returns a snapshot of this port's counters.
 func (p *Port) Stats() Stats {

@@ -48,6 +48,15 @@ type Engine interface {
 	Write(addr uint64, data []byte) error
 	// Update applies fn to the block in one read-modify-write access.
 	Update(addr uint64, fn func(data []byte)) error
+	// Load is the exclusive read of Section 3.3.1: one oblivious access
+	// that removes the block (and its resident super-block group members)
+	// from the engine and hands them to the caller. Addresses are
+	// engine-local; the serving layer translates group members back to
+	// global addresses.
+	Load(addr uint64) (data []byte, found bool, group []core.Slot, err error)
+	// Store returns a checked-out block straight into the engine's stash —
+	// no path access.
+	Store(addr uint64, data []byte) error
 	// PaddingAccess performs one dummy access that is indistinguishable
 	// from a real one to an observer of the engine's memory traffic. The
 	// padded batch mode fills its fixed-shape schedule with these.
@@ -84,6 +93,11 @@ const (
 	OpWrite
 	// OpUpdate applies Fn to Addr in a single oblivious access.
 	OpUpdate
+	// OpLoad is the exclusive read: the block (and its super-block group)
+	// is removed from the engine; results land in Out, Found and Group.
+	OpLoad
+	// OpStore returns a checked-out block (Data) to Addr's stash slot.
+	OpStore
 	// OpPadding performs one dummy access (Engine.PaddingAccess): a real
 	// random-path access that touches no block. Padded batches use it to
 	// fill the dummy slots of their fixed shard schedule, so an observer
@@ -104,14 +118,16 @@ var ErrClosed = errors.New("shard: pool is closed")
 // worker and must only be read after Do/DoBatch returns.
 type Request struct {
 	Op   Op
-	Addr uint64            // engine-local address (OpRead/OpWrite/OpUpdate)
-	Data []byte            // OpWrite payload
+	Addr uint64            // engine-local address (OpRead/OpWrite/OpUpdate/OpLoad/OpStore)
+	Data []byte            // OpWrite/OpStore payload
 	Fn   func(data []byte) // OpUpdate mutator
 	Run  func()            // OpInspect body
 	Peek bool              // OpInspect: skip the consistency flush (observe deferred state as-is)
 
-	Out []byte // OpRead result
-	Err error  // operation outcome
+	Out   []byte      // OpRead/OpLoad result
+	Found bool        // OpLoad: the block had been written before
+	Group []core.Slot // OpLoad: checked-out super-block group members (engine-local addresses)
+	Err   error       // operation outcome
 
 	wg *sync.WaitGroup
 }
@@ -258,6 +274,10 @@ func (p *Pool) handle(i int, e Engine, req *Request) {
 		req.Err = e.Write(req.Addr, req.Data)
 	case OpUpdate:
 		req.Err = e.Update(req.Addr, req.Fn)
+	case OpLoad:
+		req.Out, req.Found, req.Group, req.Err = e.Load(req.Addr)
+	case OpStore:
+		req.Err = e.Store(req.Addr, req.Data)
 	case OpPadding:
 		req.Err = e.PaddingAccess()
 		p.paddingOps.Add(1)
@@ -443,8 +463,16 @@ func (p *Pool) DoBatch(shards []int, reqs []*Request) error {
 // shard's request stream, giving fn exclusive access to the engine. If the
 // pool is closed it waits for the workers to exit and then runs fn
 // directly — the engine is quiescent either way.
-func (p *Pool) Inspect(s int, fn func()) error {
-	req := &Request{Op: OpInspect, Run: fn}
+func (p *Pool) Inspect(s int, fn func()) error { return p.inspect(s, fn, false) }
+
+// Peek is Inspect without the idle-work consistency flush: fn observes
+// (and may advance, e.g. via StepBackground) the engine's deferred state
+// as-is. Background pumps and backlog gauges use it so observing the
+// pipeline does not drain it.
+func (p *Pool) Peek(s int, fn func()) error { return p.inspect(s, fn, true) }
+
+func (p *Pool) inspect(s int, fn func(), peek bool) error {
+	req := &Request{Op: OpInspect, Run: fn, Peek: peek}
 	err := p.Do(s, req)
 	if errors.Is(err, ErrClosed) {
 		if s < 0 || s >= len(p.engines) {

@@ -64,6 +64,22 @@ func (e *fakeEngine) Update(addr uint64, fn func([]byte)) error {
 	return nil
 }
 
+func (e *fakeEngine) Load(addr uint64) ([]byte, bool, []core.Slot, error) {
+	e.noteOp(addr)
+	if e.hasFail && addr == e.failAddr {
+		return nil, false, nil, errFake
+	}
+	d, ok := e.blocks[addr]
+	delete(e.blocks, addr)
+	return append([]byte(nil), d...), ok, nil, nil
+}
+
+func (e *fakeEngine) Store(addr uint64, data []byte) error {
+	e.noteOp(addr)
+	e.blocks[addr] = append([]byte(nil), data...)
+	return nil
+}
+
 func (e *fakeEngine) PaddingAccess() error {
 	if e.delay > 0 {
 		time.Sleep(e.delay)
@@ -385,6 +401,76 @@ func TestInspectSerializesWithRequests(t *testing.T) {
 	cwg.Wait()
 	if counter != 400 {
 		t.Errorf("post-close inspectors raced: counter = %d, want 400", counter)
+	}
+}
+
+// TestLoadStoreOps covers the exclusive-checkout scheduler ops: OpLoad
+// removes the block (results in Out/Found/Group) and OpStore returns it,
+// both executing on the worker and counting as real traffic.
+func TestLoadStoreOps(t *testing.T) {
+	p, fakes := newTestPool(t, 2, 8)
+	defer p.Close()
+	if err := p.Do(1, &Request{Op: OpWrite, Addr: 5, Data: val(5)}); err != nil {
+		t.Fatal(err)
+	}
+	load := &Request{Op: OpLoad, Addr: 5}
+	if err := p.Do(1, load); err != nil {
+		t.Fatal(err)
+	}
+	if !load.Found || string(load.Out) != string(val(5)) {
+		t.Fatalf("load: found=%v out=%x", load.Found, load.Out)
+	}
+	// The fake engine removed the block; a second load finds nothing.
+	reload := &Request{Op: OpLoad, Addr: 5}
+	if err := p.Do(1, reload); err != nil {
+		t.Fatal(err)
+	}
+	if reload.Found {
+		t.Error("load after checkout still found the block")
+	}
+	if err := p.Do(1, &Request{Op: OpStore, Addr: 5, Data: load.Out}); err != nil {
+		t.Fatal(err)
+	}
+	back := &Request{Op: OpRead, Addr: 5}
+	if err := p.Do(1, back); err != nil {
+		t.Fatal(err)
+	}
+	if string(back.Out) != string(val(5)) {
+		t.Fatalf("read after store: %x", back.Out)
+	}
+	st := p.Stats()
+	if st.ExecutedPerShard[1] != 5 {
+		t.Errorf("executed on shard 1 = %d, want 5 (load/store count as real traffic)", st.ExecutedPerShard[1])
+	}
+	if len(fakes[0].ops) != 0 {
+		t.Error("shard 0 saw traffic")
+	}
+}
+
+// TestPeekSkipsConsistencyFlush pins the difference between Inspect and
+// Peek on an idle-work pool: Inspect flushes the engine first, Peek
+// observes the deferred state as-is.
+func TestPeekSkipsConsistencyFlush(t *testing.T) {
+	p, fakes := newConfiguredPool(t, 1, Config{QueueDepth: 4, IdleWork: true, EvictionsPerIdle: -1})
+	defer p.Close()
+	fakes[0].deferring = true
+	// Submit work and immediately peek: the flush count must not move.
+	if err := p.Do(0, &Request{Op: OpWrite, Addr: 1, Data: val(1)}); err != nil {
+		t.Fatal(err)
+	}
+	var flushesAtPeek int
+	if err := p.Peek(0, func() { flushesAtPeek = fakes[0].flushes }); err != nil {
+		t.Fatal(err)
+	}
+	if flushesAtPeek != 0 {
+		t.Errorf("peek triggered %d flushes", flushesAtPeek)
+	}
+	var flushesAtInspect int
+	if err := p.Inspect(0, func() { flushesAtInspect = fakes[0].flushes }); err != nil {
+		t.Fatal(err)
+	}
+	if flushesAtInspect == 0 {
+		t.Error("inspect did not flush first")
 	}
 }
 

@@ -248,10 +248,15 @@ func (c *Config) buildScheme(numBuckets uint64) (encrypt.Scheme, error) {
 }
 
 // ORAM is a single Path ORAM with a private, oblivious block interface.
+// It is single-threaded: one goroutine owns it (the sharded serving layer
+// enforces exactly that ownership for its engines). It satisfies Client;
+// the batch operations run their requests back to back on the calling
+// goroutine.
 type ORAM struct {
 	cfg   Config
 	inner *core.ORAM
 	auth  *integrity.Tree
+	pos   *core.OnChipPositionMap
 	store interface{ MemoryBytes() uint64 }
 	port  *membus.Port // BackendDRAM: this tree's window onto the shared bus
 }
@@ -260,11 +265,11 @@ type ORAM struct {
 // modeled memory bus: the actual external stride for encrypted stores, and
 // the plaintext serialization (padded to the DRAM access granularity) for
 // plain stores — metadata-only trees still move their headers.
-func (c *Config) modeledBucketBytes(scheme encrypt.Scheme) int {
+func modeledBucketBytes(scheme encrypt.Scheme, z, blockBytes int) int {
 	if scheme != nil {
-		return encrypt.PaddedBucketBytes(scheme, c.Z, c.BlockSize)
+		return encrypt.PaddedBucketBytes(scheme, z, blockBytes)
 	}
-	raw := encrypt.PlainBucketBytes(c.Z, c.BlockSize)
+	raw := encrypt.PlainBucketBytes(z, blockBytes)
 	if r := raw % encrypt.PadGranularity; r != 0 {
 		raw += encrypt.PadGranularity - r
 	}
@@ -285,7 +290,7 @@ func (c *Config) attachTiming(store core.PathStore, scheme encrypt.Scheme) (core
 			return nil, nil, err
 		}
 	}
-	port, err := bus.AttachShard(c.LeafLevel, c.modeledBucketBytes(scheme))
+	port, err := bus.AttachShard(c.LeafLevel, modeledBucketBytes(scheme, c.Z, c.BlockSize))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -373,7 +378,7 @@ func New(cfg Config) (*ORAM, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ORAM{cfg: cfg, inner: inner, auth: auth, store: footprint, port: port}, nil
+	return &ORAM{cfg: cfg, inner: inner, auth: auth, pos: pos, store: footprint, port: port}, nil
 }
 
 // Read returns a copy of the block at addr (zero-filled if never written).
@@ -412,6 +417,20 @@ func (o *ORAM) Load(addr uint64) (data []byte, found bool, group []Block, err er
 // stash — no path access (Section 3.3.1).
 func (o *ORAM) Store(addr uint64, data []byte) error {
 	return o.inner.Store(addr, data)
+}
+
+// ReadBatch reads every address, back to back on the calling goroutine
+// (a single tree has no intra-batch parallelism to exploit — Sharded
+// does), under the shared batch contract (see serialReadBatch).
+func (o *ORAM) ReadBatch(addrs []uint64) ([][]byte, error) {
+	return serialReadBatch(addrs, o.cfg.Blocks, o.Read)
+}
+
+// WriteBatch writes data[i] to addrs[i] for every i, back to back on the
+// calling goroutine, under the shared batch contract (see
+// serialWriteBatch).
+func (o *ORAM) WriteBatch(addrs []uint64, data [][]byte) error {
+	return serialWriteBatch(addrs, data, o.cfg.Blocks, o.Write)
 }
 
 // PaddingAccess performs one dummy path access — a freshly drawn uniform
@@ -479,6 +498,22 @@ func (o *ORAM) StashSize() int { return o.inner.StashSize() }
 
 // LeafLevel returns L; the tree has L+1 levels.
 func (o *ORAM) LeafLevel() int { return o.cfg.LeafLevel }
+
+// NumORAMs returns the number of ORAMs an access walks: 1 — a flat ORAM
+// keeps its whole position map on chip. (Hierarchy returns the chain
+// length H; the accessor exists on both so the serving layer can report
+// the recursion depth uniformly.)
+func (o *ORAM) NumORAMs() int { return 1 }
+
+// OnChipPositionMapBytes returns the on-chip position-map footprint at
+// 4 bytes per entry — for a flat ORAM, the whole map.
+func (o *ORAM) OnChipPositionMapBytes() uint64 { return o.pos.SizeBits(32) / 8 }
+
+// Close quiesces the ORAM: every deferred write-back is completed and
+// background eviction fully drained (Flush). A standalone ORAM owns no
+// goroutines or external handles, so unlike Sharded.Close it does not
+// invalidate the receiver — it is the Client interface's quiesce point.
+func (o *ORAM) Close() error { return o.inner.Flush() }
 
 // ExternalMemoryBytes returns the external storage footprint (0 for plain
 // in-memory stores).

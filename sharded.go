@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/encrypt"
@@ -119,7 +120,7 @@ type ShardedConfig struct {
 // deployment guidance (uniform partitioning, padding batches with dummy
 // accesses when request-to-shard routing itself must be hidden).
 type Sharded struct {
-	orams     []*ORAM
+	engines   []clientEngine
 	pool      *shard.Pool
 	blocks    uint64
 	blockSize int
@@ -128,12 +129,55 @@ type Sharded struct {
 	padded    bool
 	// router is the block→shard position map (PartitionRandom only).
 	router *randomRouter
+	// padDraws picks the uniform target shard of a single PaddingAccess.
+	padDraws *shardDrawer
+	// bgCursor rotates StepBackground's scan start across shards.
+	bgCursor atomic.Uint64
 	// bus is the shared memory-channel scheduler (BackendDRAM only).
 	bus *membus.Bus
 	// Range-partition geometry: the first `big` shards hold base+1 blocks,
 	// the rest hold base.
 	base, big uint64
 }
+
+// clientEngine is what the serving layer needs from one per-shard engine:
+// the scheduler interface plus the Client observability surface. Flat
+// ORAMs and Hierarchies both qualify (via thin adapters reconciling
+// Load's public Block group type with the scheduler's core.Slot).
+type clientEngine interface {
+	shard.Engine
+	Stats() Stats
+	ResetStats()
+	StashSize() int
+	PendingWriteBacks() int
+	ExternalMemoryBytes() uint64
+	NumORAMs() int
+	OnChipPositionMapBytes() uint64
+	TimingStats() (TimingStats, bool)
+}
+
+// oramEngine adapts a flat *ORAM to clientEngine: the scheduler's Load
+// speaks core.Slot (engine-local addresses), the public ORAM.Load speaks
+// Block. Everything else is promoted.
+type oramEngine struct{ *ORAM }
+
+func (e oramEngine) Load(addr uint64) ([]byte, bool, []core.Slot, error) {
+	return e.ORAM.inner.Load(addr)
+}
+
+// hierarchyEngine adapts a *Hierarchy the same way.
+type hierarchyEngine struct{ *Hierarchy }
+
+func (e hierarchyEngine) Load(addr uint64) ([]byte, bool, []core.Slot, error) {
+	return e.Hierarchy.inner.Load(addr)
+}
+
+// engineFactory builds shard i's engine from its fully specialized
+// per-shard Config (Blocks narrowed to the shard's slice, Key and Rand
+// independently derived, the shared bus injected, hooks wrapped). Open
+// supplies a factory that builds hierarchies; NewSharded's builds flat
+// ORAMs.
+type engineFactory func(i int, sc Config) (clientEngine, error)
 
 // NewSharded builds the sharded ORAM. Per-shard derivations keep the
 // shards cryptographically and statistically independent:
@@ -148,6 +192,24 @@ type Sharded struct {
 //     math/rand generators are not goroutine-safe; sharing one across
 //     workers would be a data race.
 func NewSharded(cfg ShardedConfig) (*Sharded, error) {
+	// Flat shards derive per-shard keys only when encryption is actually
+	// in use (BlockSize 0 forces EncryptNone in applyDefaults): an unused
+	// Key of arbitrary length must not fail a plaintext simulation.
+	needKeys := cfg.Encryption != EncryptNone && cfg.BlockSize > 0
+	return newSharded(cfg, needKeys, func(_ int, sc Config) (clientEngine, error) {
+		o, err := New(sc)
+		if err != nil {
+			return nil, err
+		}
+		return oramEngine{o}, nil
+	})
+}
+
+// newSharded is the shared serving-layer builder: it validates the
+// config, derives the per-shard key/randomness material, builds the
+// shared memory bus when the backend is timed, constructs one engine per
+// shard through the factory, and starts the worker pool.
+func newSharded(cfg ShardedConfig, needKeys bool, build engineFactory) (*Sharded, error) {
 	if cfg.Shards == 0 {
 		cfg.Shards = 1
 	}
@@ -165,13 +227,13 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 	default:
 		return nil, fmt.Errorf("pathoram: unknown partition %d", cfg.Partition)
 	}
-	// Derive per-shard keys only when encryption is actually in use
-	// (BlockSize 0 forces EncryptNone in applyDefaults): an unused Key of
-	// arbitrary length must not fail a plaintext simulation. The master
-	// must be exactly 16 bytes — AES-KDF subkeys are AES-128, and quietly
-	// accepting a 32-byte master would downgrade an intended AES-256 setup.
+	// The master must be exactly 16 bytes — AES-KDF subkeys are AES-128,
+	// and quietly accepting a 32-byte master would downgrade an intended
+	// AES-256 setup. needKeys is the construction's own rule for whether
+	// encryption material is in play (hierarchies encrypt their
+	// position-map levels even when the data ORAM is metadata-only).
 	var keys [][]byte
-	if cfg.Encryption != EncryptNone && cfg.BlockSize > 0 {
+	if needKeys {
 		master := cfg.Key
 		if master == nil {
 			master = make([]byte, encrypt.KeySize)
@@ -189,7 +251,7 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 	}
 	n := uint64(cfg.Shards)
 	s := &Sharded{
-		orams:     make([]*ORAM, cfg.Shards),
+		engines:   make([]clientEngine, cfg.Shards),
 		blocks:    cfg.Blocks,
 		blockSize: cfg.BlockSize,
 		n:         n,
@@ -214,7 +276,7 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 		s.bus = bus
 	}
 	engines := make([]shard.Engine, cfg.Shards)
-	for i := range s.orams {
+	for i := range s.engines {
 		sc := cfg.Config
 		sc.Blocks = s.shardBlocks(i)
 		if keys != nil {
@@ -232,12 +294,12 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 				hook(i, leaf)
 			}
 		}
-		o, err := New(sc)
+		e, err := build(i, sc)
 		if err != nil {
 			return nil, fmt.Errorf("pathoram: building shard %d: %w", i, err)
 		}
-		s.orams[i] = o
-		engines[i] = o
+		s.engines[i] = e
+		engines[i] = e
 	}
 	pool, err := shard.NewPool(engines, shard.Config{
 		QueueDepth:       cfg.QueueDepth,
@@ -260,6 +322,16 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 		}
 		s.router = newRandomRouter(cfg.Blocks, newShardDrawer(src, cfg.Shards))
 	}
+	// The single-operation PaddingAccess targets a uniformly drawn shard;
+	// its draws get their own source, derived last so the per-shard and
+	// router streams of existing seeded simulations stay unchanged.
+	var padSrc core.LeafSource
+	if cfg.Rand != nil {
+		padSrc = core.NewMathLeafSource(rand.New(rand.NewSource(cfg.Rand.Int63())))
+	} else {
+		padSrc = core.NewCryptoLeafSource()
+	}
+	s.padDraws = newShardDrawer(padSrc, cfg.Shards)
 	return s, nil
 }
 
@@ -333,6 +405,17 @@ func (s *Sharded) shardOf(addr uint64) (int, uint64) {
 	return int(addr % s.n), addr / s.n
 }
 
+// globalOf inverts shardOf: the logical address of shard sh's local addr.
+func (s *Sharded) globalOf(sh int, local uint64) uint64 {
+	if s.partition == PartitionRange {
+		if uint64(sh) < s.big {
+			return uint64(sh)*(s.base+1) + local
+		}
+		return s.big*(s.base+1) + (uint64(sh)-s.big)*s.base + local
+	}
+	return local*s.n + uint64(sh)
+}
+
 func (s *Sharded) checkAddr(addr uint64) error {
 	if addr >= s.blocks {
 		return fmt.Errorf("pathoram: address %d out of range [0,%d)", addr, s.blocks)
@@ -341,10 +424,35 @@ func (s *Sharded) checkAddr(addr uint64) error {
 }
 
 // NumShards returns the number of independent ORAM shards.
-func (s *Sharded) NumShards() int { return len(s.orams) }
+func (s *Sharded) NumShards() int { return len(s.engines) }
 
 // Blocks returns the total logical address-space size.
 func (s *Sharded) Blocks() uint64 { return s.blocks }
+
+// NumORAMs returns the number of ORAMs one access walks within its shard:
+// 1 for flat shards, the recursion depth H for hierarchical shards (the
+// deepest shard, should the partition sizes make chains differ).
+func (s *Sharded) NumORAMs() int {
+	max := 0
+	for _, e := range s.engines {
+		if n := e.NumORAMs(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// OnChipPositionMapBytes returns the summed on-chip position-map
+// footprint across shards: the whole map per shard for flat shards, the
+// final (smallest) map per shard for hierarchical ones. Fixed at
+// construction, so it reads without serializing against traffic.
+func (s *Sharded) OnChipPositionMapBytes() uint64 {
+	var total uint64
+	for _, e := range s.engines {
+		total += e.OnChipPositionMapBytes()
+	}
+	return total
+}
 
 // Read returns a copy of the block at addr (zero-filled if never written).
 // One oblivious path access on the owning shard — two under
@@ -395,6 +503,104 @@ func (s *Sharded) Update(addr uint64, fn func(data []byte)) error {
 	}
 	sh, local := s.shardOf(addr)
 	return s.pool.Do(sh, &shard.Request{Op: shard.OpUpdate, Addr: local, Fn: fn})
+}
+
+// errRandomExclusive documents the one Client operation the oblivious
+// routing mode cannot serve: exclusive checkout pins a block to the
+// processor across accesses, while PartitionRandom must relocate a block
+// to a fresh uniform shard on every touch — the two ownership disciplines
+// do not compose (yet; an eviction-pool design could reconcile them).
+var errRandomExclusive = fmt.Errorf("pathoram: Load/Store (exclusive checkout) is not supported under PartitionRandom")
+
+// Load is the exclusive read of Section 3.3.1 through the serving layer:
+// one oblivious access on the owning shard removes the block — and, with
+// super blocks, its resident group members — from that shard and hands
+// them to the caller, with group addresses translated back to logical
+// addresses. Note super blocks group *shard-local* adjacency: under
+// PartitionStripe the returned group members are stride-N logical
+// neighbors, under PartitionRange true neighbors. Not supported under
+// PartitionRandom (see errRandomExclusive). Blocks stay checked out until
+// Store returns them.
+func (s *Sharded) Load(addr uint64) (data []byte, found bool, group []Block, err error) {
+	if s.partition == PartitionRandom {
+		return nil, false, nil, errRandomExclusive
+	}
+	if err := s.checkAddr(addr); err != nil {
+		return nil, false, nil, err
+	}
+	sh, local := s.shardOf(addr)
+	req := shard.Request{Op: shard.OpLoad, Addr: local}
+	if err := s.pool.Do(sh, &req); err != nil {
+		return nil, false, nil, err
+	}
+	for _, sl := range req.Group {
+		group = append(group, Block{Addr: s.globalOf(sh, sl.Addr), Data: sl.Data})
+	}
+	return req.Out, req.Found, group, nil
+}
+
+// Store returns a previously loaded block. It inserts straight into the
+// owning shard's stash — no path access (Section 3.3.1).
+func (s *Sharded) Store(addr uint64, data []byte) error {
+	if s.partition == PartitionRandom {
+		return errRandomExclusive
+	}
+	if err := s.checkAddr(addr); err != nil {
+		return err
+	}
+	sh, local := s.shardOf(addr)
+	return s.pool.Do(sh, &shard.Request{Op: shard.OpStore, Addr: local, Data: data})
+}
+
+// PaddingAccess performs one scheduler-padding dummy operation shaped
+// exactly like a real single operation, so an observer of the shard
+// schedule and the memory bus cannot tell them apart: under the fixed
+// partitions one dummy path access on a uniformly drawn shard (touching
+// every level of a hierarchical shard); under PartitionRandom a two-leg
+// pair on two independently drawn uniform shards, mirroring the
+// fetch + relocate shape every real operation has there. Padded batches
+// inject their padding themselves; the single-op form exists so callers
+// can run their own cover-traffic schedules.
+func (s *Sharded) PaddingAccess() error {
+	if s.partition == PartitionRandom {
+		legs := s.padDraws.drawMany(2)
+		for _, sh := range legs {
+			if err := s.pool.Do(sh, &shard.Request{Op: shard.OpPadding}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return s.pool.Do(s.padDraws.draw(), &shard.Request{Op: shard.OpPadding})
+}
+
+// StepBackground performs one unit of deferred work on some shard:
+// scanning from a rotating start, it asks each shard's engine in turn —
+// serialized with that shard's request stream, without the snapshot
+// consistency flush — for one pending write-back completion or (when
+// allowEviction is set) one background-eviction dummy access, returning
+// the first unit performed. BgNone means no shard has anything useful to
+// do. With AsyncEviction the shard workers already do this in idle queue
+// time; the manual pump exists for Client-interface parity and for pools
+// running with idle work disabled.
+func (s *Sharded) StepBackground(allowEviction bool) (BackgroundWork, error) {
+	n := len(s.engines)
+	start := int(s.bgCursor.Add(1)-1) % n
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		var w BackgroundWork
+		var err error
+		if perr := s.pool.Peek(i, func() { w, err = s.engines[i].StepBackground(allowEviction) }); perr != nil {
+			return BgNone, perr
+		}
+		if err != nil {
+			return w, err
+		}
+		if w != BgNone {
+			return w, nil
+		}
+	}
+	return BgNone, nil
 }
 
 // ReadBatch reads every address in one submission: requests fan out to
@@ -513,8 +719,8 @@ func (s *Sharded) Stats() Stats {
 // fanned out in parallel (after Close they read the quiescent shards
 // directly).
 func (s *Sharded) ShardStats() []Stats {
-	out := make([]Stats, len(s.orams))
-	_ = s.pool.InspectAll(s.inspectors(func(i int, o *ORAM) { out[i] = o.Stats() }))
+	out := make([]Stats, len(s.engines))
+	_ = s.pool.InspectAll(s.inspectors(func(i int, e clientEngine) { out[i] = e.Stats() }))
 	return out
 }
 
@@ -523,14 +729,14 @@ func (s *Sharded) ShardStats() []Stats {
 // occupancy gauge, not a counter, and survives the reset. The scheduler's
 // own counters are cumulative; diff SchedulerStats snapshots instead.
 func (s *Sharded) ResetStats() {
-	_ = s.pool.InspectAll(s.inspectors(func(_ int, o *ORAM) { o.ResetStats() }))
+	_ = s.pool.InspectAll(s.inspectors(func(_ int, e clientEngine) { e.ResetStats() }))
 }
 
 // inspectors adapts a per-shard closure to the pool's fan-out form.
-func (s *Sharded) inspectors(fn func(i int, o *ORAM)) []func() {
-	fns := make([]func(), len(s.orams))
-	for i, o := range s.orams {
-		fns[i] = func() { fn(i, o) }
+func (s *Sharded) inspectors(fn func(i int, e clientEngine)) []func() {
+	fns := make([]func(), len(s.engines))
+	for i, e := range s.engines {
+		fns[i] = func() { fn(i, e) }
 	}
 	return fns
 }
@@ -561,7 +767,7 @@ func (s *Sharded) TimingStats() (TimingStats, bool) { return s.pool.TimingStats(
 // traffic keeps flowing; requests accepted before the flush are included).
 // A no-op barrier without AsyncEviction.
 func (s *Sharded) Flush() error {
-	return s.pool.InspectAll(s.inspectors(func(int, *ORAM) {}))
+	return s.pool.InspectAll(s.inspectors(func(int, clientEngine) {}))
 }
 
 // PendingWriteBacks returns the total number of deferred path write-backs
@@ -570,8 +776,8 @@ func (s *Sharded) Flush() error {
 // backlog, so it rides the pool's peek path. Always 0 without
 // AsyncEviction, and after Close or Flush.
 func (s *Sharded) PendingWriteBacks() int {
-	counts := make([]int, len(s.orams))
-	_ = s.pool.PeekAll(s.inspectors(func(i int, o *ORAM) { counts[i] = o.PendingWriteBacks() }))
+	counts := make([]int, len(s.engines))
+	_ = s.pool.PeekAll(s.inspectors(func(i int, e clientEngine) { counts[i] = e.PendingWriteBacks() }))
 	var total int
 	for _, n := range counts {
 		total += n
@@ -581,8 +787,8 @@ func (s *Sharded) PendingWriteBacks() int {
 
 // StashSize returns the summed stash occupancy over all shards.
 func (s *Sharded) StashSize() int {
-	sizes := make([]int, len(s.orams))
-	_ = s.pool.InspectAll(s.inspectors(func(i int, o *ORAM) { sizes[i] = o.StashSize() }))
+	sizes := make([]int, len(s.engines))
+	_ = s.pool.InspectAll(s.inspectors(func(i int, e clientEngine) { sizes[i] = e.StashSize() }))
 	var total int
 	for _, n := range sizes {
 		total += n
@@ -593,8 +799,8 @@ func (s *Sharded) StashSize() int {
 // ExternalMemoryBytes returns the summed external storage footprint of all
 // shards (0 for plain in-memory stores).
 func (s *Sharded) ExternalMemoryBytes() uint64 {
-	sizes := make([]uint64, len(s.orams))
-	_ = s.pool.InspectAll(s.inspectors(func(i int, o *ORAM) { sizes[i] = o.ExternalMemoryBytes() }))
+	sizes := make([]uint64, len(s.engines))
+	_ = s.pool.InspectAll(s.inspectors(func(i int, e clientEngine) { sizes[i] = e.ExternalMemoryBytes() }))
 	var total uint64
 	for _, n := range sizes {
 		total += n

@@ -42,7 +42,11 @@ func dramConfig(shards int, blocks uint64, part Partition, async bool, seed int6
 // MemStore (EncryptNone configs only).
 func memTree(t *testing.T, o *ORAM) *core.MemStore {
 	t.Helper()
-	store := o.inner.BucketStore()
+	return memTreeOf(t, o.inner.BucketStore())
+}
+
+func memTreeOf(t *testing.T, store core.PathStore) *core.MemStore {
+	t.Helper()
 	if ts, ok := store.(*core.TimedStore); ok {
 		store = ts.Inner()
 	}
@@ -51,6 +55,16 @@ func memTree(t *testing.T, o *ORAM) *core.MemStore {
 		t.Fatalf("shard store is %T, want *core.MemStore", store)
 	}
 	return ms
+}
+
+// shardORAM unwraps shard i's engine as a flat *ORAM (flat configs only).
+func shardORAM(t *testing.T, s *Sharded, i int) *ORAM {
+	t.Helper()
+	e, ok := s.engines[i].(oramEngine)
+	if !ok {
+		t.Fatalf("shard %d engine is %T, want a flat ORAM", i, s.engines[i])
+	}
+	return e.ORAM
 }
 
 // treeSnapshot serializes a MemStore's full contents (level, position,
@@ -142,8 +156,8 @@ func TestDRAMEquivalenceReplay(t *testing.T) {
 				}
 				// Trees must be byte-identical, shard by shard.
 				for i := 0; i < shards; i++ {
-					mt := treeSnapshot(memTree(t, memS.orams[i]))
-					dt := treeSnapshot(memTree(t, dramS.orams[i]))
+					mt := treeSnapshot(memTree(t, shardORAM(t, memS, i)))
+					dt := treeSnapshot(memTree(t, shardORAM(t, dramS, i)))
 					if len(mt) != len(dt) {
 						t.Fatalf("shard %d: block counts diverge (mem %d, dram %d)", i, len(mt), len(dt))
 					}

@@ -320,7 +320,7 @@ func (s *Sharded) randomBatch(addrs []uint64, data [][]byte, op shard.Op) ([][]b
 // under PartitionRandom, where demand is a function of uniform coins — the
 // whole shape is independent of the requested addresses.
 func (s *Sharded) padSchedule(shards []int, reqs []*shard.Request, batchSize int) ([]int, []*shard.Request) {
-	n := len(s.orams)
+	n := len(s.engines)
 	demand := make([]int, n)
 	for _, sh := range shards {
 		demand[sh]++
