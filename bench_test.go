@@ -39,9 +39,14 @@ func benchORAM(b *testing.B, cfg Config) {
 			b.Fatal(err)
 		}
 	}
+	// ReadInto with a reused destination measures the serving path
+	// itself: steady state must be allocation-free (the gate in
+	// cmd/oram-benchjson holds these benches to an allocs/op budget).
+	dst := make([]byte, cfg.BlockSize)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := o.Read(rng.Uint64() % cfg.Blocks); err != nil {
+		if _, err := o.ReadInto(rng.Uint64()%cfg.Blocks, dst); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -70,6 +75,19 @@ func BenchmarkAccessCounterWithIntegrity(b *testing.B) {
 
 func BenchmarkAccessSuperBlock2(b *testing.B) {
 	benchORAM(b, Config{Blocks: 1 << 12, BlockSize: 128, Encryption: EncryptNone, SuperBlockSize: 2, Z: 4})
+}
+
+// BenchmarkAccessConstantTimeStash prices the fixed-length masked stash
+// scans against the default early-exit scans (BenchmarkAccessPlaintext /
+// BenchmarkAccessCounterEncrypted are the baselines): every scan touches
+// the full scan window regardless of where — or whether — the block sits.
+func BenchmarkAccessConstantTimeStash(b *testing.B) {
+	b.Run("plaintext", func(b *testing.B) {
+		benchORAM(b, Config{Blocks: 1 << 12, BlockSize: 128, Encryption: EncryptNone, ConstantTimeStash: true})
+	})
+	b.Run("counter", func(b *testing.B) {
+		benchORAM(b, Config{Blocks: 1 << 12, BlockSize: 128, Encryption: EncryptCounter, ConstantTimeStash: true})
+	})
 }
 
 func BenchmarkHierarchyAccess(b *testing.B) {
@@ -184,7 +202,7 @@ func newBenchSharded(b *testing.B, cfg ShardedConfig) *Sharded {
 func BenchmarkShardedThroughput(b *testing.B) {
 	const blocks = 1 << 14
 	const blockSize = 64
-	for _, shards := range []int{1, 2, 4, 8} {
+	for _, shards := range []int{1, 4, 8, 16} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			s := newBenchSharded(b, ShardedConfig{
 				Shards: shards,
@@ -192,11 +210,13 @@ func BenchmarkShardedThroughput(b *testing.B) {
 			})
 			defer s.Close()
 			var seed atomic.Int64
+			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				rng := rand.New(rand.NewSource(100 + seed.Add(1)))
+				dst := make([]byte, blockSize)
 				for pb.Next() {
-					if _, err := s.Read(rng.Uint64() % blocks); err != nil {
+					if _, err := s.ReadInto(rng.Uint64()%blocks, dst); err != nil {
 						b.Error(err)
 						return
 					}
@@ -253,7 +273,7 @@ func BenchmarkShardedHierarchy(b *testing.B) {
 func BenchmarkShardedThroughputEncrypted(b *testing.B) {
 	const blocks = 1 << 13
 	const blockSize = 64
-	for _, shards := range []int{1, 4} {
+	for _, shards := range []int{1, 4, 8, 16} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			s := newBenchSharded(b, ShardedConfig{
 				Shards: shards,
@@ -261,11 +281,13 @@ func BenchmarkShardedThroughputEncrypted(b *testing.B) {
 			})
 			defer s.Close()
 			var seed atomic.Int64
+			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				rng := rand.New(rand.NewSource(200 + seed.Add(1)))
+				dst := make([]byte, blockSize)
 				for pb.Next() {
-					if _, err := s.Read(rng.Uint64() % blocks); err != nil {
+					if _, err := s.ReadInto(rng.Uint64()%blocks, dst); err != nil {
 						b.Error(err)
 						return
 					}
@@ -286,7 +308,7 @@ func BenchmarkShardedThroughputEncrypted(b *testing.B) {
 func BenchmarkShardedDRAM(b *testing.B) {
 	const blocks = 1 << 12
 	const blockSize = 64
-	for _, shards := range []int{1, 2, 4} {
+	for _, shards := range []int{1, 4, 8, 16} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			s := newBenchSharded(b, ShardedConfig{
 				Shards: shards,
@@ -300,11 +322,13 @@ func BenchmarkShardedDRAM(b *testing.B) {
 			defer s.Close()
 			pre, _ := s.TimingStats()
 			var seed atomic.Int64
+			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				rng := rand.New(rand.NewSource(300 + seed.Add(1)))
+				dst := make([]byte, blockSize)
 				for pb.Next() {
-					if _, err := s.Read(rng.Uint64() % blocks); err != nil {
+					if _, err := s.ReadInto(rng.Uint64()%blocks, dst); err != nil {
 						b.Error(err)
 						return
 					}

@@ -23,6 +23,12 @@ type Client interface {
 	// written). One oblivious access — one path per ORAM the construction
 	// walks.
 	Read(addr uint64) ([]byte, error)
+	// ReadInto reads the block at addr into the caller-provided dst
+	// (BlockBytes long), avoiding Read's per-call result allocation —
+	// this is the allocation-free hot-path read. found reports whether
+	// the block was ever written (always true under PartitionRandom,
+	// whose relocation leg materializes every block it touches).
+	ReadInto(addr uint64, dst []byte) (found bool, err error)
 	// Write replaces the block at addr. One oblivious access.
 	Write(addr uint64, data []byte) error
 	// Update applies fn to the block's content in place in one oblivious
@@ -215,6 +221,11 @@ type Spec struct {
 	Utilization float64
 	// StashCapacity is C per ORAM in blocks (default 200).
 	StashCapacity int
+	// ConstantTimeStash makes every stash scan fixed-length and
+	// branchless-masked on every tree in the construction, closing the
+	// stash timing side channel (see Config.ConstantTimeStash). Results
+	// are bit-identical to the default mode.
+	ConstantTimeStash bool
 	// SuperBlockSize statically merges adjacent blocks (Section 3.2).
 	// Note super blocks group shard-local adjacency: combine with
 	// PartitionRange when they should capture program locality.
@@ -275,6 +286,7 @@ func Open(spec Spec) (Client, error) {
 			Z:                     spec.Z,
 			Utilization:           spec.Utilization,
 			StashCapacity:         spec.StashCapacity,
+			ConstantTimeStash:     spec.ConstantTimeStash,
 			SuperBlockSize:        spec.SuperBlockSize,
 			Encryption:            spec.Encryption,
 			Integrity:             spec.Integrity,
@@ -321,6 +333,7 @@ func Open(spec Spec) (Client, error) {
 				Utilization:           sc.Utilization,
 				SuperBlockSize:        sc.SuperBlockSize,
 				StashCapacity:         sc.StashCapacity,
+				ConstantTimeStash:     sc.ConstantTimeStash,
 				Encryption:            sc.Encryption,
 				Key:                   sc.Key,
 				Integrity:             sc.Integrity,

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -57,6 +58,9 @@ func main() {
 		layout    = flag.String("layout", "subtree", "bucket-to-row placement: subtree|naive (with -backend dram)")
 		dramSer   = flag.Bool("dram-serialize", false, "modeling baseline: forbid inter-shard overlap on the memory channels (with -backend dram)")
 		maxDefer  = flag.Int("max-deferred", 0, "deferred write-back queue depth = modeled write-buffer depth (0 = default 8; with -async)")
+		ctStash   = flag.Bool("ct-stash", false, "constant-time stash scans: fixed-length masked lookups on every tree (closes the stash timing channel)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the measured load phase (pre-fill excluded) to this file")
+		memProf   = flag.String("memprofile", "", "write an allocation profile taken after the measured load phase to this file")
 	)
 	flag.Parse()
 
@@ -138,6 +142,9 @@ func main() {
 	if err != nil {
 		log.Fatalf("parsing -shards: %v", err)
 	}
+	if (*cpuProf != "" || *memProf != "") && len(shardCounts) > 1 {
+		log.Fatal("-cpuprofile/-memprofile capture one configuration; pass a single -shards value")
+	}
 
 	fmt.Printf("oram-serve: %d blocks x %dB, %s encryption, integrity=%v, partition=%s, posmap=%s, padded=%v, async=%v\n",
 		*blocks, *blockSize, *encrypt, *integrity, *partition, *posmap, *padded, *async)
@@ -168,6 +175,7 @@ func main() {
 			think:   *think,
 			backend: back, channels: *channels, layout: lay,
 			dramSerialize: *dramSer, maxDeferred: *maxDefer,
+			ctStash: *ctStash, cpuProfile: *cpuProf, memProfile: *memProf,
 		})
 		if err != nil {
 			log.Fatalf("shards=%d: %v", n, err)
@@ -229,6 +237,9 @@ type config struct {
 	layout        pathoram.DRAMLayout
 	dramSerialize bool
 	maxDeferred   int
+	ctStash       bool
+	cpuProfile    string
+	memProfile    string
 }
 
 type result struct {
@@ -256,12 +267,17 @@ func runConfig(c config) (result, error) {
 		QueueDepth:       c.queue,
 		EvictionsPerIdle: c.idleEvictions,
 		Encryption:       c.encryption, Integrity: c.integrity,
+		ConstantTimeStash:     c.ctStash,
 		AsyncEviction:         c.async,
 		MaxDeferredWriteBacks: c.maxDeferred,
 		Backend:               c.backend,
-		DRAMChannels:          c.channels,
-		DRAMLayout:            c.layout,
-		DRAMSerialize:         c.dramSerialize,
+	}
+	if c.backend == pathoram.BackendDRAM {
+		// The DRAM knobs ride along only on the timed backend; Open
+		// rejects them (even at their flag defaults) under -backend mem.
+		spec.DRAMChannels = c.channels
+		spec.DRAMLayout = c.layout
+		spec.DRAMSerialize = c.dramSerialize
 	}
 	if c.recursive {
 		spec.PosMap = pathoram.PosMapRecursive
@@ -308,6 +324,20 @@ func runConfig(c config) (result, error) {
 	}
 	if perClient == 0 {
 		return result{}, fmt.Errorf("-ops %d spread over %d clients leaves no work per client", c.ops, c.clients)
+	}
+	// Profiles cover exactly the measured load phase: the CPU profile
+	// starts here (after pre-fill and counter reset) and the allocation
+	// profile is written right after the clients drain.
+	if c.cpuProfile != "" {
+		f, err := os.Create(c.cpuProfile)
+		if err != nil {
+			return result{}, err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return result{}, err
+		}
+		defer pprof.StopCPUProfile()
 	}
 	var wg sync.WaitGroup
 	errs := make(chan error, c.clients)
@@ -373,6 +403,21 @@ func runConfig(c config) (result, error) {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	if c.cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if c.memProfile != "" {
+		f, err := os.Create(c.memProfile)
+		if err != nil {
+			return result{}, err
+		}
+		runtime.GC() // flush pending frees so the profile shows live + cumulative allocs accurately
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			f.Close()
+			return result{}, err
+		}
+		f.Close()
+	}
 	select {
 	case err := <-errs:
 		return result{}, err

@@ -43,6 +43,9 @@ type HierarchyConfig struct {
 	Key []byte
 	// Integrity enables a Section 5 authentication tree per level.
 	Integrity bool
+	// ConstantTimeStash enables fixed-length masked stash scans on every
+	// level of the chain (see Config.ConstantTimeStash).
+	ConstantTimeStash bool
 	// AsyncEviction enables the staged access path on every level of the
 	// chain: Read/Write/Update return once every level's path has been
 	// read and merged and its eviction placement computed; the write-back
@@ -259,6 +262,7 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 		BackgroundEviction:    true,
 		DeferWriteBack:        cfg.AsyncEviction,
 		MaxDeferredWriteBacks: cfg.MaxDeferredWriteBacks,
+		ConstantTimeStash:     cfg.ConstantTimeStash,
 		NewStore:              factory,
 		Leaves:                leaves,
 	}
@@ -285,6 +289,13 @@ func deriveKey(master []byte, level int) ([]byte, error) {
 // ORAM of the chain (position-map ORAMs first, Section 2.3).
 func (h *Hierarchy) Read(addr uint64) ([]byte, error) {
 	return h.inner.Access(addr, core.OpRead, nil)
+}
+
+// ReadInto reads the data block at addr into the caller-provided dst
+// (BlockSize bytes), avoiding the per-read result allocation of Read.
+// found reports whether the block was ever written.
+func (h *Hierarchy) ReadInto(addr uint64, dst []byte) (found bool, err error) {
+	return h.inner.ReadInto(addr, dst)
 }
 
 // Write replaces the data block at addr.

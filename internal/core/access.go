@@ -50,21 +50,14 @@ func (o *ORAM) Access(addr uint64, op Op, data []byte) ([]byte, error) {
 	}
 	var result []byte
 	err := o.realAccess(addr, KindReal, func(newLeaf uint32) error {
-		i := o.stash.find(addr)
 		switch op {
 		case OpRead:
-			if i >= 0 {
-				result = append([]byte(nil), o.stash.entries[i].Data...)
-			} else {
-				result = o.freshData()
+			if o.p.BlockBytes > 0 {
+				result = make([]byte, o.p.BlockBytes)
 			}
+			o.stashReadInto(addr, result)
 		case OpWrite:
-			if i >= 0 {
-				o.stash.entries[i].Data = copyData(o.stash.entries[i].Data, data)
-			} else {
-				o.stash.add(Slot{Addr: addr, Leaf: newLeaf, Data: copyData(nil, data)})
-				o.stats.BlocksInORAM++
-			}
+			o.stashWrite(addr, newLeaf, data)
 		default:
 			return fmt.Errorf("core: unknown op %d", op)
 		}
@@ -74,6 +67,32 @@ func (o *ORAM) Access(addr uint64, op Op, data []byte) ([]byte, error) {
 		return nil, err
 	}
 	return result, o.drainBackground()
+}
+
+// ReadInto performs the same oblivious access as Access(addr, OpRead, nil)
+// but writes the block's content into the caller-provided dst (which must be
+// BlockBytes long, or nil in metadata-only mode) instead of allocating a
+// result — the allocation-free form of the hot-path read. found reports
+// whether the block had ever been written; on a miss dst holds the
+// deterministic fresh-fill pattern.
+func (o *ORAM) ReadInto(addr uint64, dst []byte) (found bool, err error) {
+	if err := o.checkAddr(addr); err != nil {
+		return false, err
+	}
+	if _, out := o.checkedOut[addr]; out {
+		return false, fmt.Errorf("core: address %d is checked out; use Store to return it", addr)
+	}
+	if err := o.checkData(dst); err != nil {
+		return false, err
+	}
+	err = o.realAccess(addr, KindReal, func(uint32) error {
+		found = o.stashReadInto(addr, dst)
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	return found, o.drainBackground()
 }
 
 // Update performs a read-modify-write in a single oblivious access: fn
@@ -92,13 +111,18 @@ func (o *ORAM) Update(addr uint64, fn func(data []byte)) error {
 		return fmt.Errorf("core: address %d is checked out; use Store to return it", addr)
 	}
 	err := o.realAccess(addr, KindReal, func(newLeaf uint32) error {
-		if i := o.stash.find(addr); i >= 0 {
+		// The hit/miss branch is public here: whether a block exists is
+		// revealed to the caller anyway (see SECURITY.md on the residual
+		// Update channel); the lookup itself still uses the fixed-length
+		// scan in constant-time mode.
+		if i := o.stashFind(addr); i >= 0 {
 			fn(o.stash.entries[i].Data)
 			return nil
 		}
-		d := o.freshData()
+		d := o.stash.take()
+		o.fillFresh(d)
 		fn(d)
-		o.stash.add(Slot{Addr: addr, Leaf: newLeaf, Data: d})
+		o.stash.insert(addr, newLeaf, d)
 		o.stats.BlocksInORAM++
 		return nil
 	})
@@ -123,13 +147,12 @@ func (o *ORAM) Load(addr uint64) (data []byte, found bool, group []Slot, err err
 	}
 	lo, hi := o.groupRange(o.group(addr))
 	err = o.realAccess(addr, KindReal, func(newLeaf uint32) error {
-		for i := 0; i < o.stash.len(); {
-			e := o.stash.entries[i]
-			if e.Addr < lo || e.Addr >= hi {
-				i++
-				continue
-			}
-			o.stash.removeAt(i)
+		// A single stable sweep (extractRange) removes every resident group
+		// member; the earlier index-walk over removeAt's swap-delete could
+		// skip entries when removal moved an unvisited group member into the
+		// just-vacated index. The extracted payloads leave stash ownership
+		// and travel to the processor with the checked-out blocks.
+		o.stash.extractRange(lo, hi, func(e Slot) {
 			o.checkedOut[e.Addr] = struct{}{}
 			o.stats.BlocksInORAM--
 			if e.Addr == addr {
@@ -137,7 +160,7 @@ func (o *ORAM) Load(addr uint64) (data []byte, found bool, group []Slot, err err
 			} else {
 				group = append(group, e)
 			}
-		}
+		})
 		return nil
 	})
 	if err != nil {
@@ -170,7 +193,7 @@ func (o *ORAM) Store(addr uint64, data []byte) error {
 	if !ok {
 		return fmt.Errorf("core: no position for checked-out address %d", addr)
 	}
-	o.stash.add(Slot{Addr: addr, Leaf: leaf, Data: copyData(nil, data)})
+	o.stash.addCopy(addr, leaf, data)
 	delete(o.checkedOut, addr)
 	o.stats.Stores++
 	o.stats.BlocksInORAM++
@@ -234,9 +257,13 @@ func (o *ORAM) realAccess(addr uint64, kind AccessKind, fn func(newLeaf uint32) 
 	}
 	lo, hi := o.groupRange(g)
 	err = o.pathAccess(uint64(oldLeaf), kind, func() error {
-		for i := range o.stash.entries {
-			if e := &o.stash.entries[i]; e.Addr >= lo && e.Addr < hi {
-				e.Leaf = newLeaf
+		if o.stash.ct {
+			o.stash.ctRemapRange(lo, hi, newLeaf)
+		} else {
+			for i := range o.stash.entries {
+				if e := &o.stash.entries[i]; e.Addr >= lo && e.Addr < hi {
+					e.Leaf = newLeaf
+				}
 			}
 		}
 		return fn(newLeaf)
@@ -321,19 +348,24 @@ func (o *ORAM) readPathIntoStash(leaf uint64) error {
 		if skip != nil && skip[d] {
 			ref := o.overlay[o.tree.PathBucket(leaf, d)]
 			pb := ref.entry.buckets[ref.level]
-			for _, sl := range pb {
-				o.stash.add(sl)
+			for i := range pb {
+				o.stash.addCopy(pb[i].Addr, pb[i].Leaf, pb[i].Data)
 			}
 			// The pending bucket's blocks now live in the stash; emptying
 			// it keeps the eventual flush from writing duplicates. The
+			// truncation keeps the entry-owned payload buffers in the
+			// backing capacity for the next deferWriteBack copy. The
 			// overlay keeps redirecting reads of this bucket to the (now
 			// empty) pending content until this access's own write-back —
 			// which covers the same bucket — supersedes it.
 			ref.entry.buckets[ref.level] = pb[:0]
 			continue
 		}
-		for _, sl := range bucket {
-			o.stash.add(sl)
+		// Copy at the ownership boundary: the store's Slot.Data slices
+		// alias its decode arena and are only valid until its next
+		// operation; the stash copies them into its own recycled buffers.
+		for i := range bucket {
+			o.stash.addCopy(bucket[i].Addr, bucket[i].Leaf, bucket[i].Data)
 		}
 	}
 	return nil
@@ -363,7 +395,7 @@ func (o *ORAM) writeBack(leaf uint64) error {
 			idx := pool[len(pool)-1]
 			pool = pool[:len(pool)-1]
 			o.bucketBuf[d] = append(o.bucketBuf[d], o.stash.entries[idx])
-			placed[idx] = true
+			placed[idx] = 1
 		}
 	}
 	o.poolBuf = pool[:0]
@@ -374,7 +406,21 @@ func (o *ORAM) writeBack(leaf uint64) error {
 	} else if err := o.store.WritePath(leaf, o.bucketBuf); err != nil {
 		return err
 	}
-	o.stash.compact(placed)
+	// The store serialized (or the pending entry copied) every placed
+	// payload above, so the stash-owned buffers can go back on the freelist
+	// before compaction drops their entries.
+	for d := range o.bucketBuf {
+		for i := range o.bucketBuf[d] {
+			o.stash.recycle(o.bucketBuf[d][i].Data)
+			o.bucketBuf[d][i] = Slot{}
+		}
+		o.bucketBuf[d] = o.bucketBuf[d][:0]
+	}
+	if o.stash.ct {
+		o.stash.compactCT(placed)
+	} else {
+		o.stash.compact(placed)
+	}
 	return nil
 }
 
@@ -466,7 +512,7 @@ const (
 // Entries are recycled through a freelist (the staged hot path must not
 // generate steady-state garbage the synchronous path does not).
 func (o *ORAM) deferWriteBack(leaf uint64) error {
-	for len(o.pending) >= o.maxDefer {
+	for o.pendingLen() >= o.maxDefer {
 		if err := o.completeOldestWriteBack(); err != nil {
 			return err
 		}
@@ -480,15 +526,24 @@ func (o *ORAM) deferWriteBack(leaf uint64) error {
 	} else {
 		e = &pendingPath{leaf: leaf, buckets: make([][]Slot, len(o.bucketBuf))}
 	}
+	// Deep-copy the eviction into entry-owned payload buffers: the slots in
+	// bucketBuf alias stash-owned buffers that writeBack recycles as soon as
+	// this call returns. appendSlotCopy reuses buffers retained in the
+	// bucket's backing capacity, so the steady state copies without
+	// allocating.
 	for d, b := range o.bucketBuf {
-		e.buckets[d] = append(e.buckets[d][:0], b...)
+		dst := e.buckets[d][:0]
+		for i := range b {
+			dst = appendSlotCopy(dst, b[i], o.p.BlockBytes)
+		}
+		e.buckets[d] = dst
 	}
 	o.pending = append(o.pending, e)
 	for d := range e.buckets {
 		o.overlay[o.tree.PathBucket(leaf, d)] = overlayRef{entry: e, level: d}
 	}
 	o.stats.DeferredWriteBacks++
-	if n := len(o.pending); n > o.stats.PendingWriteBackPeak {
+	if n := o.pendingLen(); n > o.stats.PendingWriteBackPeak {
 		o.stats.PendingWriteBackPeak = n
 	}
 	return nil
@@ -499,7 +554,7 @@ func (o *ORAM) deferWriteBack(leaf uint64) error {
 // store copy is fresh from here on. (An overlay entry superseded by a
 // later pending path stays, so reads keep seeing the newest content.)
 func (o *ORAM) completeOldestWriteBack() error {
-	e := o.pending[0]
+	e := o.pending[o.pendingHead]
 	var err error
 	if o.deferredStore != nil {
 		err = o.deferredStore.WritePathDeferred(e.leaf, e.buckets)
@@ -509,10 +564,13 @@ func (o *ORAM) completeOldestWriteBack() error {
 	if err != nil {
 		return err
 	}
-	o.pending[0] = nil
-	o.pending = o.pending[1:]
-	if len(o.pending) == 0 {
-		o.pending = nil // let the backing array go; it regrows cheaply
+	// Ring pop: advance the head instead of reslicing, so the backing array
+	// is reused instead of regrown; reset once the ring empties.
+	o.pending[o.pendingHead] = nil
+	o.pendingHead++
+	if o.pendingHead == len(o.pending) {
+		o.pending = o.pending[:0]
+		o.pendingHead = 0
 	}
 	for d := range e.buckets {
 		b := o.tree.PathBucket(e.leaf, d)
@@ -520,15 +578,11 @@ func (o *ORAM) completeOldestWriteBack() error {
 			delete(o.overlay, b)
 		}
 	}
-	// Recycle: zero the slots — full capacity, since overlay reads may
-	// have truncated a bucket past stale entries — so retained capacity
-	// does not pin payload buffers, then park the entry for reuse.
-	for d, bkt := range e.buckets {
-		bkt = bkt[:cap(bkt)]
-		for i := range bkt {
-			bkt[i] = Slot{}
-		}
-		e.buckets[d] = bkt[:0]
+	// Recycle: truncate each bucket but keep the entry-owned payload
+	// buffers in the backing capacity — appendSlotCopy reuses them on the
+	// next deferWriteBack, so the staged steady state allocates nothing.
+	for d := range e.buckets {
+		e.buckets[d] = e.buckets[d][:0]
 	}
 	o.freePending = append(o.freePending, e)
 	return nil
@@ -548,7 +602,7 @@ func (o *ORAM) completeOldestWriteBack() error {
 // so the background path sequence leaks nothing beyond uniformly random
 // leaves (see SECURITY.md).
 func (o *ORAM) StepBackground(allowEviction bool) (BackgroundWork, error) {
-	if len(o.pending) > 0 {
+	if o.pendingLen() > 0 {
 		return BgWriteBack, o.completeOldestWriteBack()
 	}
 	// Idle eviction exists only for the paper's secure scheme: under
@@ -570,7 +624,7 @@ func (o *ORAM) StepBackground(allowEviction bool) (BackgroundWork, error) {
 // eviction, leaving the ORAM in a state a synchronous engine could have
 // reached: no deferred I/O, stash at or below the eviction threshold.
 func (o *ORAM) Flush() error {
-	for len(o.pending) > 0 {
+	for o.pendingLen() > 0 {
 		if err := o.completeOldestWriteBack(); err != nil {
 			return err
 		}
@@ -581,7 +635,7 @@ func (o *ORAM) Flush() error {
 		if err := o.drainBackground(); err != nil {
 			return err
 		}
-		for len(o.pending) > 0 {
+		for o.pendingLen() > 0 {
 			if err := o.completeOldestWriteBack(); err != nil {
 				return err
 			}
@@ -629,30 +683,100 @@ func (o *ORAM) notePeak() {
 	}
 }
 
-// placedBuf returns a zeroed []bool of length n, reusing prior capacity.
-func (o *ORAM) placedBuf(n int) []bool {
+// placedBuf returns a zeroed placement mask of length n, reusing prior
+// capacity. Mask form (0/1 ints, not bools) so the constant-time compaction
+// can consume it without branching on its values.
+func (o *ORAM) placedBuf(n int) []int {
 	if cap(o.placed) < n {
-		o.placed = make([]bool, n)
+		o.placed = make([]int, n)
 	}
 	o.placed = o.placed[:n]
 	for i := range o.placed {
-		o.placed[i] = false
+		o.placed[i] = 0
 	}
 	return o.placed
 }
 
-// copyData copies src into dst (reusing dst's storage when possible).
-// A nil src yields nil, preserving metadata-only mode.
-func copyData(dst, src []byte) []byte {
-	if src == nil {
-		return nil
+// stashFind dispatches to the fixed-window scan in constant-time mode.
+func (o *ORAM) stashFind(addr uint64) int {
+	if o.stash.ct {
+		return o.stash.ctFind(addr)
 	}
-	if cap(dst) < len(src) {
-		dst = make([]byte, len(src))
+	return o.stash.find(addr)
+}
+
+// stashReadInto writes the stash-resident content of addr into dst, or the
+// fresh-fill pattern on a miss, and reports whether the block existed. In
+// constant-time mode dst is prefilled and then masked-copied over, so hit
+// and miss execute identically.
+func (o *ORAM) stashReadInto(addr uint64, dst []byte) bool {
+	if o.stash.ct {
+		o.fillFresh(dst)
+		return o.stash.ctReadInto(addr, dst) == 1
 	}
-	dst = dst[:len(src)]
-	copy(dst, src)
-	return dst
+	if i := o.stash.find(addr); i >= 0 {
+		copy(dst, o.stash.entries[i].Data)
+		return true
+	}
+	o.fillFresh(dst)
+	return false
+}
+
+// stashWrite replaces the content of addr in the stash, inserting a new
+// entry (mapped to leaf) if the block is absent. Occupancy changes are
+// public, so the append-on-miss branch is fine in constant-time mode; the
+// lookup itself is the fixed-length masked scan there.
+func (o *ORAM) stashWrite(addr uint64, leaf uint32, data []byte) {
+	if o.stash.ct {
+		if o.stash.ctWriteData(addr, data) == 0 {
+			o.stash.addCopy(addr, leaf, data)
+			o.stats.BlocksInORAM++
+		}
+		return
+	}
+	if i := o.stash.find(addr); i >= 0 {
+		copy(o.stash.entries[i].Data, data)
+		return
+	}
+	o.stash.addCopy(addr, leaf, data)
+	o.stats.BlocksInORAM++
+}
+
+// fillFresh sets every byte of d to the fresh-fill pattern.
+func (o *ORAM) fillFresh(d []byte) {
+	if o.p.FreshFill == 0 {
+		for i := range d {
+			d[i] = 0
+		}
+		return
+	}
+	for i := range d {
+		d[i] = o.p.FreshFill
+	}
+}
+
+// pendingLen returns the live length of the deferred write-back ring.
+func (o *ORAM) pendingLen() int { return len(o.pending) - o.pendingHead }
+
+// appendSlotCopy appends a deep copy of s to dst, reusing a payload buffer
+// retained in dst's backing capacity when one is there (the pending-entry
+// recycling protocol: truncation keeps the buffers, this put-back reuses
+// them).
+func appendSlotCopy(dst []Slot, s Slot, blockBytes int) []Slot {
+	var buf []byte
+	if n := len(dst); n < cap(dst) {
+		buf = dst[: n+1 : cap(dst)][n].Data
+	}
+	if s.Data != nil {
+		if cap(buf) < blockBytes {
+			buf = make([]byte, blockBytes)
+		}
+		buf = buf[:blockBytes]
+		copy(buf, s.Data)
+	} else {
+		buf = nil
+	}
+	return append(dst, Slot{Addr: s.Addr, Leaf: s.Leaf, Data: buf})
 }
 
 // uniformIndex draws a uniform index in [0, n) from a power-of-two

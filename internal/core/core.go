@@ -124,6 +124,15 @@ type Params struct {
 	// and the memory it pins — stays bounded even under sustained load
 	// with no idle time.
 	MaxDeferredWriteBacks int
+	// ConstantTimeStash replaces the stash's early-return scans with
+	// fixed-length masked scans over a preallocated window (see
+	// stash_ct.go and SECURITY.md): hit position and hit-vs-miss change
+	// neither the instruction count nor the memory-touch count of the
+	// lookup, write and group-remap scans, closing the stash timing
+	// channel of the secure-processor threat model. Requires a bounded
+	// stash (StashCapacity > 0) to size the window. The stash evolves
+	// bit-identically to the default mode; only how scans execute differs.
+	ConstantTimeStash bool
 }
 
 // GroupSize returns the effective super block size (at least 1).
@@ -173,6 +182,9 @@ func (p Params) Validate() error {
 			return fmt.Errorf("core: stash capacity %d leaves no headroom above Z(L+1)=%d",
 				p.StashCapacity, p.Z*(p.LeafLevel+1))
 		}
+	}
+	if p.ConstantTimeStash && p.StashCapacity == 0 {
+		return fmt.Errorf("core: constant-time stash scans need a bounded stash to size their fixed window")
 	}
 	return nil
 }
@@ -285,11 +297,15 @@ type ORAM struct {
 	stats Stats
 
 	// Deferred write-back state (staged mode, Params.DeferWriteBack).
-	// pending is the FIFO of computed-but-unwritten paths; overlay maps a
-	// bucket's flat tree index to the pending entry holding its live
-	// content, so path reads never see the store's stale copy.
+	// pending is the FIFO of computed-but-unwritten paths, stored as a
+	// head-indexed ring over one backing slice (bounded by maxDefer, so
+	// popping advances pendingHead instead of reslicing — no regrow churn
+	// on the hot path); overlay maps a bucket's flat tree index to the
+	// pending entry holding its live content, so path reads never see the
+	// store's stale copy.
 	maxDefer    int
 	pending     []*pendingPath
+	pendingHead int
 	freePending []*pendingPath // recycled entries; bounded by maxDefer+1
 	overlay     map[uint64]overlayRef
 
@@ -298,7 +314,7 @@ type ORAM struct {
 	readBuf   [][]Slot
 	byDepth   [][]int
 	poolBuf   []int
-	placed    []bool
+	placed    []int
 	skipBuf   []bool
 }
 
@@ -339,6 +355,20 @@ func New(p Params, store PathStore, pos PositionMap, leaves LeafSource) (*ORAM, 
 	for i := range o.bucketBuf {
 		o.bucketBuf[i] = make([]Slot, 0, p.Z)
 	}
+	o.stash.blockBytes = p.BlockBytes
+	if p.StashCapacity > 0 {
+		// Worst mid-access occupancy: a full stash plus one whole path.
+		window := p.StashCapacity + p.Z*(p.LeafLevel+1)
+		if p.ConstantTimeStash {
+			o.stash.initCT(window)
+		}
+		// Presize the eviction scratch so the hot path never grows it.
+		for d := range o.byDepth {
+			o.byDepth[d] = make([]int, 0, window)
+		}
+		o.poolBuf = make([]int, 0, window)
+		o.placed = make([]int, window)
+	}
 	return o, nil
 }
 
@@ -367,7 +397,7 @@ func (o *ORAM) StashSize() int { return o.stash.len() }
 
 // PendingWriteBacks returns the number of path write-backs whose I/O has
 // been deferred and not yet completed (always 0 outside staged mode).
-func (o *ORAM) PendingWriteBacks() int { return len(o.pending) }
+func (o *ORAM) PendingWriteBacks() int { return o.pendingLen() }
 
 // group returns the position-map entry index for a program address.
 func (o *ORAM) group(addr uint64) uint64 {

@@ -44,7 +44,13 @@ type PathStore interface {
 // MemStore is the plain in-memory PathStore: no serialization, no
 // encryption. It backs the design-space simulations, where only metadata
 // matters, and the fast functional tests. Slot storage is flat (two parallel
-// arrays plus an optional payload array) to keep paper-scale trees tractable.
+// arrays plus one payload arena) to keep paper-scale trees tractable.
+//
+// Ownership contract (shared with the encrypting store): WritePath copies
+// incoming payloads into the store's arena, so callers keep — and may
+// immediately recycle — their buffers; ReadPath emits Slot.Data slices that
+// alias the arena and stay valid only until a later WritePath overwrites
+// that slot.
 type MemStore struct {
 	tree treemath.Tree
 	z    int
@@ -53,7 +59,10 @@ type MemStore struct {
 	// gives us a zero-initialized empty tree).
 	addr1  []uint64
 	leaves []uint32
-	data   [][]byte // nil in metadata-only mode
+	// arena holds blockBytes of payload per slot, flat over all slots
+	// (nil in metadata-only mode).
+	arena      []byte
+	blockBytes int
 }
 
 // NewMemStore allocates an empty tree with the given leaf level and bucket
@@ -72,9 +81,20 @@ func NewMemStore(leafLevel, z, blockBytes int) (*MemStore, error) {
 		leaves: make([]uint32, slots),
 	}
 	if blockBytes > 0 {
-		s.data = make([][]byte, slots)
+		s.blockBytes = blockBytes
+		s.arena = make([]byte, slots*uint64(blockBytes))
 	}
 	return s, nil
+}
+
+// slotData returns the arena sub-slice of slot idx (nil in metadata-only
+// mode).
+func (s *MemStore) slotData(idx uint64) []byte {
+	if s.blockBytes == 0 {
+		return nil
+	}
+	off := idx * uint64(s.blockBytes)
+	return s.arena[off : off+uint64(s.blockBytes) : off+uint64(s.blockBytes)]
 }
 
 // ReadPath implements PathStore.
@@ -93,11 +113,11 @@ func (s *MemStore) ReadPath(leaf uint64, skip []bool, dst [][]Slot) ([][]Slot, e
 		base := s.tree.PathBucket(leaf, d) * uint64(s.z)
 		for i := uint64(0); i < uint64(s.z); i++ {
 			if a := s.addr1[base+i]; a != 0 {
-				slot := Slot{Addr: a - 1, Leaf: s.leaves[base+i]}
-				if s.data != nil {
-					slot.Data = s.data[base+i]
-				}
-				dst[d] = append(dst[d], slot)
+				dst[d] = append(dst[d], Slot{
+					Addr: a - 1,
+					Leaf: s.leaves[base+i],
+					Data: s.slotData(base + i),
+				})
 			}
 		}
 	}
@@ -143,15 +163,12 @@ func (s *MemStore) WritePath(leaf uint64, buckets [][]Slot) error {
 				b := buckets[d][i]
 				s.addr1[idx] = b.Addr + 1
 				s.leaves[idx] = b.Leaf
-				if s.data != nil {
-					s.data[idx] = b.Data
-				}
+				copy(s.slotData(idx), b.Data)
 			} else {
+				// Empty slots are never emitted (addr1 == 0), so their
+				// stale arena bytes need no scrub.
 				s.addr1[idx] = 0
 				s.leaves[idx] = 0
-				if s.data != nil {
-					s.data[idx] = nil
-				}
 			}
 		}
 	}
@@ -177,9 +194,10 @@ func (s *MemStore) ForEachBlock(fn func(slot Slot, level int, bucketPos uint64))
 		base := flat * uint64(s.z)
 		for i := 0; i < s.z; i++ {
 			if a := s.addr1[base+uint64(i)]; a != 0 {
-				slot := Slot{Addr: a - 1, Leaf: s.leaves[base+uint64(i)]}
-				if s.data != nil {
-					slot.Data = s.data[base+uint64(i)]
+				slot := Slot{
+					Addr: a - 1,
+					Leaf: s.leaves[base+uint64(i)],
+					Data: s.slotData(base + uint64(i)),
 				}
 				fn(slot, s.tree.LevelOf(flat), s.tree.PosOf(flat))
 			}

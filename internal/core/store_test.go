@@ -260,9 +260,9 @@ func TestLeafSourceUniformity(t *testing.T) {
 
 func TestStash(t *testing.T) {
 	var s stash
-	s.add(Slot{Addr: 1})
-	s.add(Slot{Addr: 2})
-	s.add(Slot{Addr: 3})
+	s.insert(1, 0, nil)
+	s.insert(2, 0, nil)
+	s.insert(3, 0, nil)
 	if s.len() != 3 {
 		t.Fatalf("len=%d want 3", s.len())
 	}
@@ -273,7 +273,7 @@ func TestStash(t *testing.T) {
 	if got.Addr != 2 || s.len() != 2 || s.find(2) >= 0 {
 		t.Error("removeAt misbehaves")
 	}
-	placed := []bool{true, false}
+	placed := []int{1, 0}
 	s.compact(placed)
 	if s.len() != 1 {
 		t.Errorf("compact left %d entries want 1", s.len())

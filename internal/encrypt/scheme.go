@@ -36,6 +36,16 @@ type Scheme interface {
 	// Open decrypts ct into out, which must be exactly
 	// len(ct)-Overhead(z) bytes.
 	Open(bucketID uint64, ct []byte, z int, out []byte) error
+	// SealPath seals one bucket per path level in a single call: ids[d],
+	// plain[d] and out[d] describe level d, with the same per-bucket size
+	// contract as Seal. A path-granularity call lets the scheme derive its
+	// cipher state once per path instead of once per bucket, and is the
+	// allocation-free entry point the hot access path uses.
+	SealPath(ids []uint64, plain [][]byte, z int, out [][]byte) error
+	// OpenPath decrypts one bucket per level: ct[d] into out[d]. A nil
+	// out[d] skips level d entirely (the caller already holds that bucket,
+	// e.g. in its deferred-write-back overlay); ct[d] is not touched.
+	OpenPath(ids []uint64, ct [][]byte, z int, out [][]byte) error
 }
 
 // CounterScheme is the counter-based scheme of Section 2.2.2: one 64-bit
@@ -48,6 +58,12 @@ type Scheme interface {
 type CounterScheme struct {
 	block    cipher.Block
 	counters []uint64
+	// seed/pad are xorPad's AES input/output scratch. Passing stack
+	// arrays through the cipher.Block interface makes them escape — two
+	// heap allocations per bucket — so the scheme owns them instead.
+	// This makes CounterScheme single-goroutine, matching the ownership
+	// of every other per-shard container on the hot path.
+	seed, pad [aes.BlockSize]byte
 }
 
 // NewCounterScheme builds the scheme for a tree of numBuckets buckets under
@@ -99,9 +115,41 @@ func (s *CounterScheme) Open(bucketID uint64, ct []byte, z int, out []byte) erro
 	return nil
 }
 
+// SealPath implements Scheme: one Seal per level, through the concrete
+// receiver (no per-bucket interface dispatch). The AES key schedule is
+// shared across the whole path — it lives in s.block — and xorPad streams
+// the pad word-wise, so the call allocates nothing.
+func (s *CounterScheme) SealPath(ids []uint64, plain [][]byte, z int, out [][]byte) error {
+	if len(plain) != len(ids) || len(out) != len(ids) {
+		return fmt.Errorf("encrypt: seal path of %d ids, %d plain, %d out", len(ids), len(plain), len(out))
+	}
+	for d := range ids {
+		if err := s.Seal(ids[d], plain[d], z, out[d]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OpenPath implements Scheme; out[d] == nil skips level d.
+func (s *CounterScheme) OpenPath(ids []uint64, ct [][]byte, z int, out [][]byte) error {
+	if len(ct) != len(ids) || len(out) != len(ids) {
+		return fmt.Errorf("encrypt: open path of %d ids, %d ct, %d out", len(ids), len(ct), len(out))
+	}
+	for d := range ids {
+		if out[d] == nil {
+			continue
+		}
+		if err := s.Open(ids[d], ct[d], z, out[d]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // xorPad XORs src with the OTP stream AES_K(bucketID || ctr || i) into dst.
 func (s *CounterScheme) xorPad(bucketID, ctr uint64, src, dst []byte) {
-	var seed, pad [aes.BlockSize]byte
+	seed, pad := s.seed[:], s.pad[:]
 	// 6 bytes of bucket ID (trees are capped well below 2^48 buckets),
 	// 8 bytes of counter, 2 bytes of chunk index.
 	seed[0] = byte(bucketID)
@@ -111,14 +159,21 @@ func (s *CounterScheme) xorPad(bucketID, ctr uint64, src, dst []byte) {
 	seed[4] = byte(bucketID >> 32)
 	seed[5] = byte(bucketID >> 40)
 	binary.LittleEndian.PutUint64(seed[6:14], ctr)
-	for off, i := 0, uint16(0); off < len(src); off, i = off+aes.BlockSize, i+1 {
+	// Full blocks XOR 8 bytes at a time; the pad byte stream is identical
+	// to a per-byte XOR, only the grouping changes.
+	off, i := 0, uint16(0)
+	for ; off+aes.BlockSize <= len(src); off, i = off+aes.BlockSize, i+1 {
 		binary.LittleEndian.PutUint16(seed[14:16], i)
 		s.block.Encrypt(pad[:], seed[:])
-		n := len(src) - off
-		if n > aes.BlockSize {
-			n = aes.BlockSize
-		}
-		for j := 0; j < n; j++ {
+		lo := binary.LittleEndian.Uint64(src[off:]) ^ binary.LittleEndian.Uint64(pad[:8])
+		hi := binary.LittleEndian.Uint64(src[off+8:]) ^ binary.LittleEndian.Uint64(pad[8:])
+		binary.LittleEndian.PutUint64(dst[off:], lo)
+		binary.LittleEndian.PutUint64(dst[off+8:], hi)
+	}
+	if off < len(src) {
+		binary.LittleEndian.PutUint16(seed[14:16], i)
+		s.block.Encrypt(pad[:], seed[:])
+		for j := 0; off+j < len(src); j++ {
 			dst[off+j] = src[off+j] ^ pad[j]
 		}
 	}
@@ -197,6 +252,39 @@ func (s *StrawmanScheme) Open(_ uint64, ct []byte, z int, out []byte) error {
 			return err
 		}
 		otp(blk, src[16:16+slot], out[i*slot:(i+1)*slot])
+	}
+	return nil
+}
+
+// SealPath implements Scheme by looping Seal. The strawman re-derives a
+// fresh per-block key schedule on every slot by construction (that is the
+// scheme), so a path-granularity call cannot amortize anything; it exists
+// for interface completeness and is excluded from the zero-allocation
+// target.
+func (s *StrawmanScheme) SealPath(ids []uint64, plain [][]byte, z int, out [][]byte) error {
+	if len(plain) != len(ids) || len(out) != len(ids) {
+		return fmt.Errorf("encrypt: seal path of %d ids, %d plain, %d out", len(ids), len(plain), len(out))
+	}
+	for d := range ids {
+		if err := s.Seal(ids[d], plain[d], z, out[d]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OpenPath implements Scheme by looping Open; out[d] == nil skips level d.
+func (s *StrawmanScheme) OpenPath(ids []uint64, ct [][]byte, z int, out [][]byte) error {
+	if len(ct) != len(ids) || len(out) != len(ids) {
+		return fmt.Errorf("encrypt: open path of %d ids, %d ct, %d out", len(ids), len(ct), len(out))
+	}
+	for d := range ids {
+		if out[d] == nil {
+			continue
+		}
+		if err := s.Open(ids[d], ct[d], z, out[d]); err != nil {
+			return err
+		}
 	}
 	return nil
 }

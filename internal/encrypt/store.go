@@ -58,9 +58,18 @@ type Store struct {
 	// still enforce.
 	outstanding map[uint64]int
 
-	// reusable buffers
-	plainBuf []byte
-	ctRefs   [][]byte
+	// Reusable per-path scratch, sized once at construction. plainPath
+	// holds one plaintext bucket per level: ReadPath decodes into it and
+	// the Slots it returns alias it (valid until the next store
+	// operation); WritePath serializes into it before sealing. openRefs
+	// selects which levels OpenPath decrypts (nil = skip); idsBuf carries
+	// the flat bucket IDs of the current path; reachBuf backs
+	// pathReachability when there is no auth tree.
+	plainPath [][]byte
+	openRefs  [][]byte
+	idsBuf    []uint64
+	reachBuf  []bool
+	ctRefs    [][]byte
 
 	bucketReads, bucketWrites uint64
 }
@@ -118,7 +127,14 @@ func NewStore(cfg StoreConfig) (*Store, error) {
 	s.mem = make([]byte, tree.NumBuckets()*uint64(s.stride))
 	s.written = make([]bool, tree.NumBuckets())
 	s.outstanding = make(map[uint64]int)
-	s.plainBuf = make([]byte, s.pbytes)
+	s.plainPath = make([][]byte, tree.Levels())
+	plainArena := make([]byte, tree.Levels()*s.pbytes)
+	for d := range s.plainPath {
+		s.plainPath[d] = plainArena[d*s.pbytes : (d+1)*s.pbytes : (d+1)*s.pbytes]
+	}
+	s.openRefs = make([][]byte, tree.Levels())
+	s.idsBuf = make([]uint64, tree.Levels())
+	s.reachBuf = make([]bool, tree.Levels())
 	s.ctRefs = make([][]byte, tree.Levels())
 	if cfg.RandomizeMemory != nil {
 		if _, err := io.ReadFull(cfg.RandomizeMemory, s.mem); err != nil {
@@ -145,6 +161,10 @@ func (s *Store) bucketSlice(flat uint64) []byte {
 // authentication — but not decrypted or emitted: the caller holds their
 // live content in a pending deferred write-back, so the store copy is
 // stale.
+//
+// The returned Slot.Data slices alias the store's per-level decode arena
+// and stay valid only until the next ReadPath or WritePath on this store;
+// callers that keep block contents longer must copy them out.
 func (s *Store) ReadPath(leaf uint64, skip []bool, dst [][]core.Slot) ([][]core.Slot, error) {
 	var err error
 	if dst, err = core.PrepareReadBuf(dst, s.tree.Levels()); err != nil {
@@ -156,6 +176,7 @@ func (s *Store) ReadPath(leaf uint64, skip []bool, dst [][]core.Slot) ([][]core.
 	reach := s.pathReachability(leaf)
 	for d := 0; d <= s.tree.LeafLevel(); d++ {
 		flat := s.tree.PathBucket(leaf, d)
+		s.idsBuf[d] = flat
 		s.ctRefs[d] = s.bucketSlice(flat)
 		s.noteAccess(flat, false)
 	}
@@ -165,28 +186,35 @@ func (s *Store) ReadPath(leaf uint64, skip []bool, dst [][]core.Slot) ([][]core.
 		}
 	}
 	for d := 0; d <= s.tree.LeafLevel(); d++ {
-		if !reach[d] {
-			continue // never written: only garbage (or zeroes) there
+		switch {
+		case !reach[d]:
+			// Never written: only garbage (or zeroes) there.
+			s.openRefs[d] = nil
+		case skip != nil && skip[d]:
+			// Live content is in the caller's write buffer.
+			s.openRefs[d] = nil
+		default:
+			s.openRefs[d] = s.plainPath[d]
 		}
-		if skip != nil && skip[d] {
-			continue // live content is in the caller's write buffer
-		}
-		flat := s.tree.PathBucket(leaf, d)
-		if err := s.cfg.Scheme.Open(flat, s.ctRefs[d], s.z, s.plainBuf); err != nil {
-			return dst, err
+	}
+	if err := s.cfg.Scheme.OpenPath(s.idsBuf, s.ctRefs, s.z, s.openRefs); err != nil {
+		return dst, err
+	}
+	slotBytes := slotHeaderBytes + s.cfg.BlockBytes
+	for d := 0; d <= s.tree.LeafLevel(); d++ {
+		if s.openRefs[d] == nil {
+			continue
 		}
 		for i := 0; i < s.z; i++ {
-			rec := s.plainBuf[i*(slotHeaderBytes+s.cfg.BlockBytes):]
+			rec := s.plainPath[d][i*slotBytes : (i+1)*slotBytes]
 			addr1 := binary.LittleEndian.Uint64(rec[:8])
 			if addr1 == 0 {
 				continue // dummy block
 			}
-			data := make([]byte, s.cfg.BlockBytes)
-			copy(data, rec[slotHeaderBytes:slotHeaderBytes+s.cfg.BlockBytes])
 			dst[d] = append(dst[d], core.Slot{
 				Addr: addr1 - 1,
 				Leaf: binary.LittleEndian.Uint32(rec[8:12]),
-				Data: data,
+				Data: rec[slotHeaderBytes:slotBytes:slotBytes],
 			})
 		}
 	}
@@ -195,16 +223,18 @@ func (s *Store) ReadPath(leaf uint64, skip []bool, dst [][]core.Slot) ([][]core.
 }
 
 // pathReachability reports, per level, whether the bucket on the path to
-// leaf has meaningful (ever-written) content right now.
+// leaf has meaningful (ever-written) content right now. The result aliases
+// reachBuf (valid until the next path operation) unless the auth tree
+// answers, which allocates per call — the integrity configuration is not
+// part of the zero-allocation target.
 func (s *Store) pathReachability(leaf uint64) []bool {
 	if s.cfg.Auth != nil {
-		return s.cfg.Auth.PathReachability(leaf) // freshly allocated per call
+		return s.cfg.Auth.PathReachability(leaf)
 	}
-	reach := make([]bool, s.tree.Levels())
 	for d := 0; d <= s.tree.LeafLevel(); d++ {
-		reach[d] = s.written[s.tree.PathBucket(leaf, d)]
+		s.reachBuf[d] = s.written[s.tree.PathBucket(leaf, d)]
 	}
-	return reach
+	return s.reachBuf
 }
 
 // WritePath implements core.PathStore: serialize, pad with dummies,
@@ -224,13 +254,15 @@ func (s *Store) WritePath(leaf uint64, buckets [][]core.Slot) error {
 	if s.outstanding[leaf]--; s.outstanding[leaf] == 0 {
 		delete(s.outstanding, leaf)
 	}
+	slotBytes := slotHeaderBytes + s.cfg.BlockBytes
 	for d := 0; d <= s.tree.LeafLevel(); d++ {
 		if len(buckets[d]) > s.z {
 			return fmt.Errorf("encrypt: bucket at level %d overfull (%d > %d)", d, len(buckets[d]), s.z)
 		}
-		flat := s.tree.PathBucket(leaf, d)
+		s.idsBuf[d] = s.tree.PathBucket(leaf, d)
+		plain := s.plainPath[d]
 		for i := 0; i < s.z; i++ {
-			rec := s.plainBuf[i*(slotHeaderBytes+s.cfg.BlockBytes):]
+			rec := plain[i*slotBytes : (i+1)*slotBytes]
 			if i < len(buckets[d]) {
 				b := buckets[d][i]
 				binary.LittleEndian.PutUint64(rec[:8], b.Addr+1)
@@ -238,22 +270,25 @@ func (s *Store) WritePath(leaf uint64, buckets [][]core.Slot) error {
 				if len(b.Data) != s.cfg.BlockBytes {
 					return fmt.Errorf("encrypt: block %d payload %dB, want %dB", b.Addr, len(b.Data), s.cfg.BlockBytes)
 				}
-				copy(rec[slotHeaderBytes:slotHeaderBytes+s.cfg.BlockBytes], b.Data)
+				copy(rec[slotHeaderBytes:slotBytes], b.Data)
 			} else {
 				// Dummy block: zero header; zero payload keeps plaintext
 				// deterministic, the randomized encryption hides it.
-				for j := 0; j < slotHeaderBytes+s.cfg.BlockBytes; j++ {
+				for j := 0; j < slotBytes; j++ {
 					rec[j] = 0
 				}
 			}
 		}
-		ct := s.bucketSlice(flat)
-		if err := s.cfg.Scheme.Seal(flat, s.plainBuf, s.z, ct); err != nil {
-			return err
-		}
-		s.written[flat] = true
-		s.ctRefs[d] = ct
-		s.noteAccess(flat, true)
+		s.ctRefs[d] = s.bucketSlice(s.idsBuf[d])
+	}
+	// Seal the whole path in one call into the in-place ciphertext slices,
+	// then account for the bucket writes.
+	if err := s.cfg.Scheme.SealPath(s.idsBuf, s.plainPath, s.z, s.ctRefs); err != nil {
+		return err
+	}
+	for d := 0; d <= s.tree.LeafLevel(); d++ {
+		s.written[s.idsBuf[d]] = true
+		s.noteAccess(s.idsBuf[d], true)
 	}
 	if s.cfg.Auth != nil {
 		return s.cfg.Auth.UpdatePath(leaf, s.ctRefs, reach)

@@ -327,12 +327,16 @@ func TestDeferredWriteBackInterleavingWithAuth(t *testing.T) {
 	if len(got[4]) != 1 || !bytes.Equal(got[4][0].Data, fill(0xAB, 8)) {
 		t.Fatalf("seeded block lost before deferral: %v", got)
 	}
+	// ReadPath results alias the store's decode arena and go stale at the
+	// next path operation; copy the block out the way the stash would.
+	carried := got[4][0]
+	carried.Data = append([]byte(nil), carried.Data...)
 	read(12)
 	read(5)
 	write(3, nil)
 	write(12, nil)
 	relocated := make([][]core.Slot, 5)
-	relocated[0] = got[4] // move the block to the shared root bucket
+	relocated[0] = []core.Slot{carried} // move the block to the shared root bucket
 	write(5, relocated)
 
 	// The root bucket is on every path; the block must be visible — and

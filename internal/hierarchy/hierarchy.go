@@ -74,6 +74,9 @@ type Config struct {
 	// MaxDeferredWriteBacks caps each level's deferred FIFO when positive
 	// (default core.DefaultMaxDeferredWriteBacks).
 	MaxDeferredWriteBacks int
+	// ConstantTimeStash enables fixed-length masked stash scans on every
+	// level (core.Params.ConstantTimeStash).
+	ConstantTimeStash bool
 	// NewStore builds each level's bucket store (default MemStoreFactory).
 	NewStore StoreFactory
 	// Leaves supplies leaf randomness for every level (required).
@@ -186,6 +189,7 @@ func New(cfg Config) (*ORAM, error) {
 			BackgroundEviction:    false,
 			DeferWriteBack:        cfg.DeferWriteBack,
 			MaxDeferredWriteBacks: cfg.MaxDeferredWriteBacks,
+			ConstantTimeStash:     cfg.ConstantTimeStash,
 		}
 		if i > 0 {
 			// Position-map blocks must read as "unassigned" until written.
@@ -307,6 +311,16 @@ func (h *ORAM) Access(addr uint64, op core.Op, data []byte) ([]byte, error) {
 		return nil, err
 	}
 	return out, h.drain()
+}
+
+// ReadInto reads a data block into the caller-provided dst through the
+// whole hierarchy, avoiding the per-read result allocation of Access.
+func (h *ORAM) ReadInto(addr uint64, dst []byte) (found bool, err error) {
+	found, err = h.levels[0].ReadInto(addr, dst)
+	if err != nil {
+		return false, err
+	}
+	return found, h.drain()
 }
 
 // Update performs a read-modify-write of a data block.

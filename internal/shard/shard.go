@@ -44,6 +44,11 @@ import (
 type Engine interface {
 	// Read returns a copy of the block at addr.
 	Read(addr uint64) ([]byte, error)
+	// ReadInto reads the block at addr into the caller-provided dst,
+	// avoiding Read's per-result allocation; found reports whether the
+	// block was ever written. The worker writes into dst before completing
+	// the request, so the caller may reuse dst as soon as Do returns.
+	ReadInto(addr uint64, dst []byte) (found bool, err error)
 	// Write replaces the block at addr.
 	Write(addr uint64, data []byte) error
 	// Update applies fn to the block in one read-modify-write access.
@@ -120,12 +125,13 @@ type Request struct {
 	Op   Op
 	Addr uint64            // engine-local address (OpRead/OpWrite/OpUpdate/OpLoad/OpStore)
 	Data []byte            // OpWrite/OpStore payload
+	Dst  []byte            // OpRead: when set, the result is written here (Engine.ReadInto) and Out stays nil
 	Fn   func(data []byte) // OpUpdate mutator
 	Run  func()            // OpInspect body
 	Peek bool              // OpInspect: skip the consistency flush (observe deferred state as-is)
 
 	Out   []byte      // OpRead/OpLoad result
-	Found bool        // OpLoad: the block had been written before
+	Found bool        // OpRead with Dst, OpLoad: the block had been written before
 	Group []core.Slot // OpLoad: checked-out super-block group members (engine-local addresses)
 	Err   error       // operation outcome
 
@@ -269,7 +275,11 @@ func (p *Pool) NumShards() int { return len(p.engines) }
 func (p *Pool) handle(i int, e Engine, req *Request) {
 	switch req.Op {
 	case OpRead:
-		req.Out, req.Err = e.Read(req.Addr)
+		if req.Dst != nil {
+			req.Found, req.Err = e.ReadInto(req.Addr, req.Dst)
+		} else {
+			req.Out, req.Err = e.Read(req.Addr)
+		}
 	case OpWrite:
 		req.Err = e.Write(req.Addr, req.Data)
 	case OpUpdate:
@@ -406,9 +416,18 @@ func (p *Pool) submit(s int, req *Request) error {
 // ErrClosed if the pool no longer accepts work.
 func (p *Pool) Do(s int, req *Request) error {
 	var wg sync.WaitGroup
+	return p.DoWith(s, req, &wg)
+}
+
+// DoWith is Do with a caller-supplied WaitGroup: throughput-sensitive
+// callers recycle the request and its wait state together (e.g. through a
+// sync.Pool), making single-operation submission allocation-free. wg must
+// be idle (its counter at zero) and is left idle again on return.
+func (p *Pool) DoWith(s int, req *Request, wg *sync.WaitGroup) error {
 	wg.Add(1)
-	req.wg = &wg
+	req.wg = wg
 	if err := p.submit(s, req); err != nil {
+		wg.Done()
 		req.Err = err
 		return err
 	}

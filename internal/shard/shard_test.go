@@ -47,6 +47,16 @@ func (e *fakeEngine) Read(addr uint64) ([]byte, error) {
 	return append([]byte(nil), e.blocks[addr]...), nil
 }
 
+func (e *fakeEngine) ReadInto(addr uint64, dst []byte) (bool, error) {
+	e.noteOp(addr)
+	if e.hasFail && addr == e.failAddr {
+		return false, errFake
+	}
+	d, ok := e.blocks[addr]
+	copy(dst, d)
+	return ok, nil
+}
+
 func (e *fakeEngine) Write(addr uint64, data []byte) error {
 	e.noteOp(addr)
 	if e.hasFail && addr == e.failAddr {

@@ -127,6 +127,16 @@ type Config struct {
 	// turnarounds, more write-buffer read hits) at the price of more
 	// pinned path copies. See EXPERIMENTS.md.
 	MaxDeferredWriteBacks int
+	// ConstantTimeStash replaces the stash's early-return lookup scans with
+	// fixed-length masked scans (crypto/subtle) over a preallocated window,
+	// so where — and whether — a block sits in the stash changes neither the
+	// instruction count nor the memory-touch count of an access. This closes
+	// the stash timing side channel of the secure-processor threat model
+	// (see SECURITY.md); the ORAM's observable behavior is otherwise
+	// bit-identical. Requires a bounded stash (the default StashCapacity
+	// qualifies). Costs a full-window scan per lookup: with the default
+	// C=200 stash this is a modest constant per access.
+	ConstantTimeStash bool
 	// Backend selects the bucket storage backend (default BackendMem).
 	// BackendDRAM wraps the store in a timed layer charging a shared
 	// cycle-accurate DDR3 model; TimingStats then reports modeled cycles.
@@ -365,6 +375,7 @@ func New(cfg Config) (*ORAM, error) {
 		BackgroundEviction:    !cfg.DisableBackgroundEviction && cfg.StashCapacity > 0,
 		DeferWriteBack:        cfg.AsyncEviction,
 		MaxDeferredWriteBacks: cfg.MaxDeferredWriteBacks,
+		ConstantTimeStash:     cfg.ConstantTimeStash,
 	}
 	if cfg.OnPathAccess != nil {
 		hook := cfg.OnPathAccess
@@ -385,6 +396,15 @@ func New(cfg Config) (*ORAM, error) {
 // One oblivious path access.
 func (o *ORAM) Read(addr uint64) ([]byte, error) {
 	return o.inner.Access(addr, core.OpRead, nil)
+}
+
+// ReadInto reads the block at addr into the caller-provided dst (which
+// must be BlockSize bytes), avoiding the per-read result allocation of
+// Read — the hot-path form for throughput-sensitive callers. found reports
+// whether the block was ever written; on a miss dst is zero-filled. One
+// oblivious path access.
+func (o *ORAM) ReadInto(addr uint64, dst []byte) (found bool, err error) {
+	return o.inner.ReadInto(addr, dst)
 }
 
 // Write replaces the block at addr. One oblivious path access.

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Runs the hot-path benchmark sweep and holds it to the zero-allocation
+# contract: the serving path (core access -> encrypt -> store, and the
+# sharded single-op path) must not allocate in steady state. The sweep's
+# parsed results land in BENCH_pr6.json (or $1); the gate fails the build
+# if any gated benchmark reports more than the budget below.
+#
+# Budget 1 (not 0): ultra-short CI runs can round pool warm-up and
+# RunParallel goroutine setup to 1 alloc/op; anything above that is a real
+# per-operation allocation on the hot path. BenchmarkAccessStrawmanEncrypted
+# is deliberately outside the gate — the Section 2.2.1 strawman allocates
+# per block by design.
+set -eu
+
+out="${1:-BENCH_pr6.json}"
+benchtime="${BENCHTIME:-2000x}"
+
+go test -run xxx \
+  -bench 'BenchmarkAccessMetadataOnly|BenchmarkAccessPlaintext|BenchmarkAccessCounterEncrypted|BenchmarkAccessConstantTimeStash|BenchmarkShardedThroughput$|BenchmarkShardedThroughputEncrypted|BenchmarkShardedDRAM' \
+  -benchtime "$benchtime" -benchmem . |
+  go run ./cmd/oram-benchjson -out "$out" \
+    -gate 'BenchmarkAccessPlaintext|BenchmarkAccessCounterEncrypted|BenchmarkAccessConstantTimeStash|BenchmarkShardedThroughput' \
+    -max-allocs 1
+
+echo "wrote $out"

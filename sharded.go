@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -454,6 +455,32 @@ func (s *Sharded) OnChipPositionMapBytes() uint64 {
 	return total
 }
 
+// reqAndWait pairs one single-operation request with its wait state so both
+// recycle together through reqPool: steady-state single operations then
+// submit without allocating (the batch paths allocate per batch, which
+// amortizes; the single-op path has nothing to amortize over).
+type reqAndWait struct {
+	req shard.Request
+	wg  sync.WaitGroup
+}
+
+var reqPool = sync.Pool{New: func() any { return new(reqAndWait) }}
+
+// doPooled submits one single-op request built by build through recycled
+// request/wait state, returning the result fields the single-op surface
+// needs. The request is scrubbed before going back in the pool so payload
+// and result buffers aren't pinned.
+func (s *Sharded) doPooled(sh int, build func(r *shard.Request)) (out []byte, found bool, err error) {
+	rw := reqPool.Get().(*reqAndWait)
+	rw.req = shard.Request{}
+	build(&rw.req)
+	err = s.pool.DoWith(sh, &rw.req, &rw.wg)
+	out, found = rw.req.Out, rw.req.Found
+	rw.req = shard.Request{}
+	reqPool.Put(rw)
+	return out, found, err
+}
+
 // Read returns a copy of the block at addr (zero-filled if never written).
 // One oblivious path access on the owning shard — two under
 // PartitionRandom (fetch from the current home, relocate to a fresh one).
@@ -465,11 +492,40 @@ func (s *Sharded) Read(addr uint64) ([]byte, error) {
 		return nil, err
 	}
 	sh, local := s.shardOf(addr)
-	req := shard.Request{Op: shard.OpRead, Addr: local}
-	if err := s.pool.Do(sh, &req); err != nil {
-		return nil, err
+	out, _, err := s.doPooled(sh, func(r *shard.Request) {
+		r.Op, r.Addr = shard.OpRead, local
+	})
+	return out, err
+}
+
+// ReadInto reads the block at addr into the caller-provided dst (BlockSize
+// bytes), avoiding the per-read result allocation of Read — with pooled
+// request state, a steady-state ReadInto allocates nothing on the serving
+// path. found reports whether the block was ever written. Under
+// PartitionRandom the two-leg protocol runs as usual and the fetched value
+// is copied into dst; found is then always true — the relocation leg
+// materializes every block it touches, so the router cannot distinguish a
+// never-written block after its first access.
+func (s *Sharded) ReadInto(addr uint64, dst []byte) (bool, error) {
+	if s.blockSize > 0 && len(dst) != s.blockSize {
+		return false, fmt.Errorf("pathoram: dst length %d, want block size %d", len(dst), s.blockSize)
 	}
-	return req.Out, nil
+	if s.partition == PartitionRandom {
+		out, err := s.randomAccess(addr, shard.OpRead, nil, nil)
+		if err != nil {
+			return false, err
+		}
+		copy(dst, out)
+		return true, nil
+	}
+	if err := s.checkAddr(addr); err != nil {
+		return false, err
+	}
+	sh, local := s.shardOf(addr)
+	_, found, err := s.doPooled(sh, func(r *shard.Request) {
+		r.Op, r.Addr, r.Dst = shard.OpRead, local, dst
+	})
+	return found, err
 }
 
 // Write replaces the block at addr. One oblivious path access on the
@@ -485,7 +541,10 @@ func (s *Sharded) Write(addr uint64, data []byte) error {
 		return err
 	}
 	sh, local := s.shardOf(addr)
-	return s.pool.Do(sh, &shard.Request{Op: shard.OpWrite, Addr: local, Data: data})
+	_, _, err := s.doPooled(sh, func(r *shard.Request) {
+		r.Op, r.Addr, r.Data = shard.OpWrite, local, data
+	})
+	return err
 }
 
 // Update applies fn to the block's content in place in a single oblivious
@@ -502,7 +561,10 @@ func (s *Sharded) Update(addr uint64, fn func(data []byte)) error {
 		return err
 	}
 	sh, local := s.shardOf(addr)
-	return s.pool.Do(sh, &shard.Request{Op: shard.OpUpdate, Addr: local, Fn: fn})
+	_, _, err := s.doPooled(sh, func(r *shard.Request) {
+		r.Op, r.Addr, r.Fn = shard.OpUpdate, local, fn
+	})
+	return err
 }
 
 // errRandomExclusive documents the one Client operation the oblivious
