@@ -68,6 +68,11 @@ type Client interface {
 	// StashSize returns the current stash occupancy in blocks, summed
 	// over every stash the construction owns.
 	StashSize() int
+	// OnChipBytes returns the construction's total trusted-memory
+	// provision: on-chip position maps plus the static stash bounds of
+	// every tree. One of the paper's design-space objectives — fixed at
+	// construction, so it never serializes against traffic.
+	OnChipBytes() uint64
 	// ExternalMemoryBytes returns the external storage footprint.
 	ExternalMemoryBytes() uint64
 	// Close quiesces the client. Sharded clients drain in-flight work and
@@ -265,6 +270,70 @@ type Spec struct {
 	// Called from the shard worker goroutines; distinct shards invoke it
 	// concurrently.
 	OnPathAccess func(shard, level int, leaf uint64)
+}
+
+// LeakageClass tags what a composition leaks beyond the Path ORAM
+// guarantee, factored along the two independent channels SECURITY.md's
+// matrices analyze: what the request routing reveals to an adversary
+// watching the shard schedule (A2), and what the stash scan's timing
+// reveals to a co-resident adversary timing the controller (A1t). The
+// design-space explorer reports it per config point so frontier tables
+// compare like with like — a point is only better if it wins an objective
+// without giving up a leakage class.
+type LeakageClass struct {
+	// Routing is what the request→shard schedule reveals, per the
+	// SECURITY.md partition×mode table: "none" (single tree, or
+	// random+padded — the schedule is a function of secret coins),
+	// "reaccess-corr" (random, plain: only the same-block re-access
+	// correlation), "demand-shape" (fixed partition, padded batches: the
+	// schedule height tracks the busiest shard), "addr-bits" (stripe,
+	// plain: log2 N address bits per request) or "addr-range" (range,
+	// plain: coarse address bits per request).
+	Routing string
+	// Stash is what the stash scan's timing reveals: "scan-timing"
+	// (default early-exit scans leak hit index and hit-vs-miss to A1t) or
+	// "constant-time" (fixed-window masked scans close the channel).
+	Stash string
+}
+
+// String renders the class in the compact "routing=…,stash=…" form the
+// explorer's tables and BENCH_*.json use.
+func (l LeakageClass) String() string {
+	return "routing=" + l.Routing + ",stash=" + l.Stash
+}
+
+// LeakageClass classifies what the construction this Spec describes leaks,
+// per SECURITY.md's matrices. It is a pure function of the composition
+// axes (Partition, Padded, Shards, ConstantTimeStash) — no construction
+// required — so sweeps can tag every grid point up front.
+func (s Spec) LeakageClass() LeakageClass {
+	l := LeakageClass{Routing: "none", Stash: "scan-timing"}
+	if s.ConstantTimeStash {
+		l.Stash = "constant-time"
+	}
+	if s.Shards > 1 {
+		switch s.Partition {
+		case PartitionRandom:
+			if s.Padded {
+				l.Routing = "none"
+			} else {
+				l.Routing = "reaccess-corr"
+			}
+		case PartitionRange:
+			if s.Padded {
+				l.Routing = "demand-shape"
+			} else {
+				l.Routing = "addr-range"
+			}
+		default: // PartitionStripe
+			if s.Padded {
+				l.Routing = "demand-shape"
+			} else {
+				l.Routing = "addr-bits"
+			}
+		}
+	}
+	return l
 }
 
 // Open builds the serving layer described by spec and returns it as a

@@ -4,10 +4,11 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"math"
 	"math/rand"
 	"sync"
 	"testing"
+
+	"repro/internal/testutil"
 )
 
 // Tests for the unified Client API and the Open(Spec) composition matrix.
@@ -271,8 +272,7 @@ func TestClientShardedRecursiveEquivalence(t *testing.T) {
 			if total < 8*leaves {
 				continue // too few samples for a meaningful statistic
 			}
-			df := float64(leaves - 1)
-			if x2 := chiSquareLeaves(counts); x2 > df+6*math.Sqrt(2*df) {
+			if x2 := testutil.ChiSquare(counts); x2 > testutil.UniformThreshold(len(counts)) {
 				t.Errorf("shard %d level %d: leaf distribution not uniform: chi2=%.1f over %d leaves (%d samples)",
 					i, lvl, x2, leaves, total)
 			}

@@ -28,115 +28,34 @@ import (
 	"time"
 
 	pathoram "repro"
+	"repro/internal/explore"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("oram-serve: ")
+	// The Spec axes come from the shared flag set in internal/explore, so
+	// oram-serve and oram-explore cannot drift on names or defaults; only
+	// the load-generation knobs are registered here.
+	var sf explore.SpecFlags
+	sf.AddFlags(flag.CommandLine)
 	var (
-		blocks    = flag.Uint64("blocks", 1<<14, "total logical blocks")
-		blockSize = flag.Int("blocksize", 64, "block payload bytes")
 		shardsCSV = flag.String("shards", "1,2,4,8", "comma-separated shard counts to sweep")
 		clients   = flag.Int("clients", 8, "concurrent closed-loop clients")
 		ops       = flag.Int("ops", 40000, "total operations per configuration")
 		batch     = flag.Int("batch", 0, "ops per batched submission (0 = single ops)")
 		writeFrac = flag.Float64("writefrac", 0.5, "fraction of operations that are writes")
-		encrypt   = flag.String("encrypt", "counter", "bucket encryption: none|counter|strawman")
-		integrity = flag.Bool("integrity", false, "enable the authentication tree")
-		partition = flag.String("partition", "stripe", "address partition: stripe|range|random (random hides request->shard routing)")
-		posmap    = flag.String("posmap", "flat", "position map: flat (on-chip, 4B/block) | recursive (per-shard hierarchical ORAM chain, Section 2.3)")
-		posBlock  = flag.Int("pos-block", 32, "position-map ORAM block size in bytes (with -posmap recursive)")
-		onchipMax = flag.Uint64("onchip-max", 200<<10, "per-shard bound on the final on-chip position map in bytes (with -posmap recursive)")
-		padded    = flag.Bool("padded", false, "padded batch mode: every batch touches every shard equally often (requires -batch > 0)")
-		queue     = flag.Int("queue", 128, "per-shard request queue depth")
-		seed      = flag.Int64("seed", 0, "deterministic ORAM randomness when != 0")
-		async     = flag.Bool("async", false, "staged access path: respond after the path read, write back and evict during idle queue time")
-		idleEv    = flag.Int("idle-evictions", 0, "max background evictions per idle gap (0 = default, negative disables; with -async)")
 		think     = flag.Duration("think", 0, "client think time between operations (open-loop pacing; idle time is where -async wins)")
-		backend   = flag.String("backend", "mem", "storage backend: mem (untimed) | dram (shared cycle-accurate DDR3 model; adds the modeled-cycle columns)")
-		channels  = flag.Int("channels", 2, "independent DDR3 channels shared by all shards (with -backend dram)")
-		layout    = flag.String("layout", "subtree", "bucket-to-row placement: subtree|naive (with -backend dram)")
-		dramSer   = flag.Bool("dram-serialize", false, "modeling baseline: forbid inter-shard overlap on the memory channels (with -backend dram)")
-		maxDefer  = flag.Int("max-deferred", 0, "deferred write-back queue depth = modeled write-buffer depth (0 = default 8; with -async)")
-		ctStash   = flag.Bool("ct-stash", false, "constant-time stash scans: fixed-length masked lookups on every tree (closes the stash timing channel)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the measured load phase (pre-fill excluded) to this file")
 		memProf   = flag.String("memprofile", "", "write an allocation profile taken after the measured load phase to this file")
 	)
 	flag.Parse()
 
-	var enc pathoram.Encryption
-	switch *encrypt {
-	case "none":
-		enc = pathoram.EncryptNone
-	case "counter":
-		enc = pathoram.EncryptCounter
-	case "strawman":
-		enc = pathoram.EncryptStrawman
-	default:
-		log.Fatalf("unknown -encrypt %q", *encrypt)
+	if err := sf.CheckExplicit(explore.Explicit(flag.CommandLine)); err != nil {
+		log.Fatal(err)
 	}
-	var part pathoram.Partition
-	switch *partition {
-	case "stripe":
-		part = pathoram.PartitionStripe
-	case "range":
-		part = pathoram.PartitionRange
-	case "random":
-		part = pathoram.PartitionRandom
-	default:
-		log.Fatalf("unknown -partition %q", *partition)
-	}
-	if *padded && *batch <= 0 {
+	if sf.Padded && *batch <= 0 {
 		log.Fatal("-padded pads batch schedules; combine it with -batch > 0")
-	}
-	var recursive bool
-	switch *posmap {
-	case "flat":
-	case "recursive":
-		recursive = true
-	default:
-		log.Fatalf("unknown -posmap %q", *posmap)
-	}
-	// Knobs that would be silently inert in the selected mode are rejected,
-	// so a sweep never varies a flag that changes nothing.
-	explicit := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	if *backend != "dram" {
-		for _, name := range []string{"channels", "layout", "dram-serialize"} {
-			if explicit[name] {
-				log.Fatalf("-%s only affects the timed backend; combine it with -backend dram", name)
-			}
-		}
-	}
-	if !recursive {
-		for _, name := range []string{"pos-block", "onchip-max"} {
-			if explicit[name] {
-				log.Fatalf("-%s parameterizes the recursive position map; combine it with -posmap recursive", name)
-			}
-		}
-	}
-	if explicit["max-deferred"] && !*async {
-		// Meaningful with or without -backend dram (it bounds the staged
-		// path's pinned memory either way) — but only under -async.
-		log.Fatal("-max-deferred sizes the deferred write-back queue; combine it with -async")
-	}
-	var back pathoram.Backend
-	switch *backend {
-	case "mem":
-		back = pathoram.BackendMem
-	case "dram":
-		back = pathoram.BackendDRAM
-	default:
-		log.Fatalf("unknown -backend %q", *backend)
-	}
-	var lay pathoram.DRAMLayout
-	switch *layout {
-	case "subtree":
-		lay = pathoram.LayoutSubtree
-	case "naive":
-		lay = pathoram.LayoutNaive
-	default:
-		log.Fatalf("unknown -layout %q", *layout)
 	}
 	shardCounts, err := parseInts(*shardsCSV)
 	if err != nil {
@@ -147,17 +66,17 @@ func main() {
 	}
 
 	fmt.Printf("oram-serve: %d blocks x %dB, %s encryption, integrity=%v, partition=%s, posmap=%s, padded=%v, async=%v\n",
-		*blocks, *blockSize, *encrypt, *integrity, *partition, *posmap, *padded, *async)
-	if recursive {
-		fmt.Printf("posmap: recursive (%dB posmap blocks, %dB on-chip bound per shard)\n", *posBlock, *onchipMax)
+		sf.Blocks, sf.BlockSize, sf.Encrypt, sf.Integrity, sf.Partition, sf.PosMap, sf.Padded, sf.Async)
+	if sf.Recursive() {
+		fmt.Printf("posmap: recursive (%dB posmap blocks, %dB on-chip bound per shard)\n", sf.PosBlock, sf.OnChipMax)
 	}
-	if back == pathoram.BackendDRAM {
-		depth := *maxDefer
+	if sf.Backend == "dram" {
+		depth := sf.MaxDefer
 		if depth == 0 {
 			depth = 8 // core.DefaultMaxDeferredWriteBacks, the resolved value
 		}
 		fmt.Printf("backend: dram (%d channels, %s layout, serialize=%v, write-buffer depth=%d)\n",
-			*channels, *layout, *dramSer, depth)
+			sf.Channels, sf.Layout, sf.DRAMSer, depth)
 	}
 	fmt.Printf("load: %d clients, %d ops/config, batch=%d, writefrac=%.2f, think=%v, GOMAXPROCS=%d\n\n",
 		*clients, *ops, *batch, *writeFrac, *think, runtime.GOMAXPROCS(0))
@@ -166,16 +85,15 @@ func main() {
 	w.row("shards", "levels", "posmap-B", "wall", "ops/s", "speedup", "p50", "p95", "p99", "dummy/real", "pad/real", "stash-peak", "imbalance", "row-hit", "B/cyc", "rd-cyc", "Mcycles")
 	var baseline float64
 	for _, n := range shardCounts {
-		res, err := runConfig(config{
-			blocks: *blocks, blockSize: *blockSize, shards: n, partition: part,
-			padded: *padded, encryption: enc, integrity: *integrity,
-			recursive: recursive, posBlock: *posBlock, onchipMax: *onchipMax,
-			queue: *queue, seed: *seed, async: *async, idleEvictions: *idleEv,
+		// One Spec covers the whole sweep: sharding, position-map recursion
+		// and the timed backend are axes of the same constructor.
+		spec, err := sf.Spec(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := runConfig(spec, load{
 			clients: *clients, ops: *ops, batch: *batch, writeFrac: *writeFrac,
-			think:   *think,
-			backend: back, channels: *channels, layout: lay,
-			dramSerialize: *dramSer, maxDeferred: *maxDefer,
-			ctStash: *ctStash, cpuProfile: *cpuProf, memProfile: *memProf,
+			think: *think, cpuProfile: *cpuProf, memProfile: *memProf,
 		})
 		if err != nil {
 			log.Fatalf("shards=%d: %v", n, err)
@@ -205,41 +123,23 @@ func main() {
 	fmt.Println("imbalance = busiest shard's executed real requests / mean (1.00 is perfectly even)")
 	fmt.Println("pad/real  = scheduler padding accesses per real access (padded batch overhead)")
 	fmt.Println("p50/p95/p99 = client-visible latency per submission (per op, or per batch with -batch)")
-	if back == pathoram.BackendDRAM {
+	if sf.Backend == "dram" {
 		fmt.Println("row-hit = DRAM row-buffer hit rate; B/cyc = achieved bytes per memory cycle")
 		fmt.Println("rd-cyc  = mean modeled path-read latency (DDR3 cycles, the access's critical path)")
 		fmt.Println("Mcycles = modeled completion frontier of the measured traffic (millions of cycles)")
 	}
 }
 
-type config struct {
-	blocks        uint64
-	blockSize     int
-	shards        int
-	partition     pathoram.Partition
-	padded        bool
-	recursive     bool
-	posBlock      int
-	onchipMax     uint64
-	encryption    pathoram.Encryption
-	integrity     bool
-	queue         int
-	seed          int64
-	async         bool
-	idleEvictions int
-	clients       int
-	ops           int
-	batch         int
-	writeFrac     float64
-	think         time.Duration
-	backend       pathoram.Backend
-	channels      int
-	layout        pathoram.DRAMLayout
-	dramSerialize bool
-	maxDeferred   int
-	ctStash       bool
-	cpuProfile    string
-	memProfile    string
+// load holds the client-side load-generation knobs; everything about the
+// ORAM construction itself lives in the pathoram.Spec built by SpecFlags.
+type load struct {
+	clients    int
+	ops        int
+	batch      int
+	writeFrac  float64
+	think      time.Duration
+	cpuProfile string
+	memProfile string
 }
 
 type result struct {
@@ -256,37 +156,7 @@ type result struct {
 	rowHit, bytesPerCyc, readCyc, mcycles string
 }
 
-func runConfig(c config) (result, error) {
-	// One Spec literal covers the whole sweep: sharding, position-map
-	// recursion and the timed backend are axes of the same constructor.
-	spec := pathoram.Spec{
-		Blocks: c.blocks, BlockSize: c.blockSize,
-		Shards:           c.shards,
-		Partition:        c.partition,
-		Padded:           c.padded,
-		QueueDepth:       c.queue,
-		EvictionsPerIdle: c.idleEvictions,
-		Encryption:       c.encryption, Integrity: c.integrity,
-		ConstantTimeStash:     c.ctStash,
-		AsyncEviction:         c.async,
-		MaxDeferredWriteBacks: c.maxDeferred,
-		Backend:               c.backend,
-	}
-	if c.backend == pathoram.BackendDRAM {
-		// The DRAM knobs ride along only on the timed backend; Open
-		// rejects them (even at their flag defaults) under -backend mem.
-		spec.DRAMChannels = c.channels
-		spec.DRAMLayout = c.layout
-		spec.DRAMSerialize = c.dramSerialize
-	}
-	if c.recursive {
-		spec.PosMap = pathoram.PosMapRecursive
-		spec.PosBlockSize = c.posBlock
-		spec.OnChipPosMapMax = c.onchipMax
-	}
-	if c.seed != 0 {
-		spec.Rand = rand.New(rand.NewSource(c.seed))
-	}
+func runConfig(spec pathoram.Spec, c load) (result, error) {
 	client, err := pathoram.Open(spec)
 	if err != nil {
 		return result{}, err
@@ -295,10 +165,10 @@ func runConfig(c config) (result, error) {
 	defer s.Close()
 
 	// Pre-fill so the measurement sees steady state, then reset clocks.
-	buf := make([]byte, c.blockSize)
+	buf := make([]byte, spec.BlockSize)
 	const chunk = 2048
-	for lo := uint64(0); lo < c.blocks; lo += chunk {
-		hi := min(lo+chunk, c.blocks)
+	for lo := uint64(0); lo < spec.Blocks; lo += chunk {
+		hi := min(lo+chunk, spec.Blocks)
 		addrs := make([]uint64, 0, chunk)
 		data := make([][]byte, 0, chunk)
 		for a := lo; a < hi; a++ {
@@ -350,14 +220,14 @@ func runConfig(c config) (result, error) {
 		go func(cl int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(cl) + 1))
-			payload := make([]byte, c.blockSize)
+			payload := make([]byte, spec.BlockSize)
 			record := func(d time.Duration) { lats[cl] = append(lats[cl], d) }
 			if c.batch > 0 {
 				lats[cl] = make([]time.Duration, 0, (perClient+c.batch-1)/c.batch)
 				addrs := make([]uint64, c.batch)
 				for done := 0; done < perClient; done += c.batch {
 					for j := range addrs {
-						addrs[j] = rng.Uint64() % c.blocks
+						addrs[j] = rng.Uint64() % spec.Blocks
 					}
 					t0 := time.Now()
 					if rng.Float64() < c.writeFrac {
@@ -382,7 +252,7 @@ func runConfig(c config) (result, error) {
 			}
 			lats[cl] = make([]time.Duration, 0, perClient)
 			for i := 0; i < perClient; i++ {
-				addr := rng.Uint64() % c.blocks
+				addr := rng.Uint64() % spec.Blocks
 				var opErr error
 				t0 := time.Now()
 				if rng.Float64() < c.writeFrac {

@@ -379,6 +379,14 @@ func (h *Hierarchy) NumORAMs() int { return h.inner.NumORAMs() }
 // OnChipPositionMapBytes returns the final position map's size.
 func (h *Hierarchy) OnChipPositionMapBytes() uint64 { return h.inner.OnChipPosMapBytes() }
 
+// OnChipBytes returns the total trusted-memory provision of the chain: the
+// final on-chip position map plus every level's stash bound. Recursion's
+// whole point is shrinking the first term; the second grows by one stash
+// per level — the explorer's on-chip-bytes objective captures both.
+func (h *Hierarchy) OnChipBytes() uint64 {
+	return h.inner.OnChipPosMapBytes() + h.inner.StashBoundBytes()
+}
+
 // LevelStats returns per-level protocol counters (index 0 = data ORAM).
 func (h *Hierarchy) LevelStats() []Stats { return h.inner.Stats() }
 

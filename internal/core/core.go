@@ -149,6 +149,25 @@ func (p Params) Groups() uint64 {
 	return (p.Blocks + s - 1) / s
 }
 
+// StashEntryOverheadBytes models the on-chip metadata one stash slot
+// carries besides its payload: the 64-bit logical address plus the 32-bit
+// leaf label. The paper sizes the stash in blocks (Section 4.1.2); the
+// design-space explorer's on-chip byte accounting needs the per-entry
+// footprint, so the model is fixed here next to the stash parameters.
+const StashEntryOverheadBytes = 12
+
+// StashBoundBytes returns the on-chip bytes the stash is provisioned for:
+// C slots of payload plus per-entry metadata. This is a static bound fixed
+// at construction — the secure processor must reserve it whether or not the
+// stash ever fills. 0 when the stash is unbounded (simulation only: an
+// unbounded stash has no static provision to account).
+func (p Params) StashBoundBytes() uint64 {
+	if p.StashCapacity <= 0 {
+		return 0
+	}
+	return uint64(p.StashCapacity) * uint64(p.BlockBytes+StashEntryOverheadBytes)
+}
+
 // EvictionThreshold returns the paper's background-eviction threshold
 // C - Z(L+1), or -1 when the stash is unbounded.
 func (p Params) EvictionThreshold() int {

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/testutil"
 	"repro/internal/treemath"
 )
 
@@ -47,21 +48,6 @@ func observeLeaves(t *testing.T, workload func(i int) uint64, accesses int, seed
 	return counts, cplSum / float64(cplN)
 }
 
-// chiSquare returns the chi-square statistic against a uniform expectation.
-func chiSquare(counts []uint64) float64 {
-	var total uint64
-	for _, c := range counts {
-		total += c
-	}
-	expected := float64(total) / float64(len(counts))
-	var x2 float64
-	for _, c := range counts {
-		d := float64(c) - expected
-		x2 += d * d / expected
-	}
-	return x2
-}
-
 func TestObservedPathsUniform(t *testing.T) {
 	// 64 leaves -> 63 degrees of freedom; the 99.9% chi-square quantile is
 	// ~103. Use a generous 120 to keep the test robust across seeds while
@@ -75,7 +61,7 @@ func TestObservedPathsUniform(t *testing.T) {
 		name, w := name, w
 		t.Run(name, func(t *testing.T) {
 			counts, _ := observeLeaves(t, w, 6000, 9001)
-			if x2 := chiSquare(counts); x2 > 120 {
+			if x2 := testutil.ChiSquare(counts); x2 > testutil.UniformThreshold(len(counts)) {
 				t.Errorf("observed leaf distribution not uniform: chi2=%.1f (63 dof)", x2)
 			}
 		})
@@ -145,7 +131,7 @@ func TestRemapIsFreshUniform(t *testing.T) {
 		}
 		counts[leaf]++
 	}
-	if x2 := chiSquare(counts); x2 > 120 {
+	if x2 := testutil.ChiSquare(counts); x2 > testutil.UniformThreshold(len(counts)) {
 		t.Errorf("remapped leaves not uniform: chi2=%.1f", x2)
 	}
 }

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// Completeness tests for the stats plumbing: every field of Stats must be
+// carried by Merge and cleared by ResetStats (except the occupancy gauge).
+// They are reflection-based so that adding a field to Stats without
+// updating Merge or ResetStats fails here instead of silently dropping
+// counters in aggregated views.
+
+func TestStatsMergeCoversAllFields(t *testing.T) {
+	var b Stats
+	n := testutil.FillDistinct(&b)
+	if n != reflect.TypeOf(b).NumField() {
+		t.Fatalf("FillDistinct set %d fields, Stats has %d", n, reflect.TypeOf(b).NumField())
+	}
+	// Identity under merge-with-zero holds for every merge semantic in
+	// use (sum, max, first-nonzero), so a forgotten field — which would
+	// come back zero on one side — breaks equality.
+	if got := (Stats{}).Merge(b); !reflect.DeepEqual(got, b) {
+		t.Errorf("Stats{}.Merge(b) = %+v, want %+v — Merge drops a field", got, b)
+	}
+	if got := b.Merge(Stats{}); !reflect.DeepEqual(got, b) {
+		t.Errorf("b.Merge(Stats{}) = %+v, want %+v — Merge drops a field", got, b)
+	}
+}
+
+func TestResetStatsCoversAllFields(t *testing.T) {
+	o, _, _ := newTestORAM(t, Params{LeafLevel: 4, Z: 4, Blocks: 32, StashCapacity: 100}, 77)
+	var filled Stats
+	testutil.FillDistinct(&filled)
+	o.stats = filled
+	o.ResetStats()
+	got := reflect.ValueOf(o.stats)
+	typ := got.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		f := got.Field(i)
+		name := typ.Field(i).Name
+		if name == "BlocksInORAM" {
+			// The occupancy gauge survives a reset by design: it tracks
+			// current contents, not accrued traffic.
+			if !reflect.DeepEqual(f.Interface(), reflect.ValueOf(filled).Field(i).Interface()) {
+				t.Errorf("ResetStats lost the occupancy gauge %s", name)
+			}
+			continue
+		}
+		if !f.IsZero() {
+			t.Errorf("ResetStats left field %s = %v — new counters must be cleared", name, f.Interface())
+		}
+	}
+}

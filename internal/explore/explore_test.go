@@ -1,0 +1,270 @@
+package explore
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	pathoram "repro"
+	"repro/internal/testutil"
+)
+
+func TestGridPointsSmokePreset(t *testing.T) {
+	g := Presets["smoke"]
+	points, err := g.Points(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 8 {
+		t.Fatalf("smoke preset enumerates %d points, want 8 (2 shards x 2 posmaps x 2 backends)", len(points))
+	}
+	seen := map[string]bool{}
+	for _, p := range points {
+		if seen[p.Name] {
+			t.Errorf("duplicate point %q", p.Name)
+		}
+		seen[p.Name] = true
+		spec, err := p.Spec()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		c, err := pathoram.Open(spec)
+		if err != nil {
+			t.Fatalf("%s: Open: %v", p.Name, err)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", p.Name, err)
+		}
+	}
+}
+
+func TestGridSyncPointsCanonicalizeIdleAxis(t *testing.T) {
+	g := Grid{
+		Blocks: 256, BlockSize: 16,
+		MaxDeferred:   []int{0, 4},
+		IdleEvictions: []int{0, 2},
+	}
+	points, err := g.Points(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The idle axis is inert on synchronous points: 1 sync point (idle
+	// collapsed) + 2 async points.
+	if len(points) != 3 {
+		names := make([]string, len(points))
+		for i, p := range points {
+			names[i] = p.Name
+		}
+		t.Fatalf("got %d points %v, want 3 (sync idle axis canonicalized away)", len(points), names)
+	}
+}
+
+func TestGridRejectsUnknownAxisValues(t *testing.T) {
+	for _, g := range []Grid{
+		{Backends: []string{"disk"}},
+		{PosMaps: []string{"cuckoo"}},
+		{Partitions: []string{"hash"}},
+		{Workloads: []string{"nosuch"}},
+	} {
+		if _, err := g.Points(1); err == nil {
+			t.Errorf("grid %+v: Points accepted an unknown axis value", g)
+		}
+	}
+}
+
+func TestLoadGridJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "grid.json")
+	src := Grid{Blocks: 512, BlockSize: 16, Shards: []int{1, 2}, Backends: []string{"mem"}}
+	data, err := json.Marshal(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadGrid(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Blocks != 512 || len(g.Shards) != 2 {
+		t.Errorf("loaded grid %+v, want %+v", g, src)
+	}
+	// Typoed axes must be rejected, not silently ignored.
+	if err := os.WriteFile(path, []byte(`{"sharts": [1]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGrid(path); err == nil {
+		t.Error("LoadGrid accepted a grid with an unknown field")
+	}
+	if _, err := LoadGrid("nosuchpreset"); err == nil || !strings.Contains(err.Error(), "unknown preset") {
+		t.Errorf("LoadGrid(nosuchpreset) = %v, want unknown-preset error", err)
+	}
+}
+
+func TestMarkParetoDominance(t *testing.T) {
+	mk := func(w string, p99, cyc, chip float64) Row {
+		m := map[string]float64{"p99-ns": p99, "onchip-B": chip}
+		if cyc >= 0 {
+			m["cycles/op"] = cyc
+		}
+		return Row{Workload: w, Metrics: m}
+	}
+	rows := []Row{
+		mk("u", 100, 10, 1000), // 0: dominated by 1 on all three
+		mk("u", 90, 9, 900),    // 1: frontier
+		mk("u", 200, 1, 2000),  // 2: frontier (best cycles)
+		mk("u", 80, -1, 5000),  // 3: untimed group — frontier (only small-chip rival is 4)
+		mk("u", 70, -1, 4000),  // 4: untimed group — dominates 3
+		mk("v", 100, 10, 1000), // 5: other workload, alone -> frontier
+	}
+	MarkPareto(rows, Objectives)
+	want := []bool{false, true, true, false, true, true}
+	for i, r := range rows {
+		if r.Pareto != want[i] {
+			t.Errorf("row %d: pareto=%v, want %v", i, r.Pareto, want[i])
+		}
+	}
+}
+
+func TestMarkParetoTiesBothSurvive(t *testing.T) {
+	rows := []Row{
+		{Workload: "u", Metrics: map[string]float64{"p99-ns": 1, "onchip-B": 2}},
+		{Workload: "u", Metrics: map[string]float64{"p99-ns": 1, "onchip-B": 2}},
+	}
+	MarkPareto(rows, Objectives)
+	if !rows[0].Pareto || !rows[1].Pareto {
+		t.Error("equal rows dominate each other — ties must both stay on the frontier")
+	}
+}
+
+func TestValidateReport(t *testing.T) {
+	good := NewReport("smoke", Objectives, []Row{{
+		Config: "c", Workload: "w", Leakage: "routing=none,stash=scan-timing",
+		Ops: 10, Metrics: map[string]float64{"p99-ns": 1}, Pareto: true,
+	}})
+	data, err := json.Marshal(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateReport(data); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		doc  string
+	}{
+		{"not json", `nope`},
+		{"missing goos", `{"goarch":"a","pkg":"p","benchmarks":[]}`},
+		{"empty benchmarks", `{"goos":"l","goarch":"a","pkg":"p","benchmarks":[]}`},
+		{"missing config", `{"goos":"l","goarch":"a","pkg":"p","benchmarks":[{"name":"n","iterations":1,"metrics":{"m":1},"workload":"w","leakage":"x"}]}`},
+		{"zero iterations", `{"goos":"l","goarch":"a","pkg":"p","benchmarks":[{"name":"n","iterations":0,"metrics":{"m":1},"config":"c","workload":"w","leakage":"x"}]}`},
+		{"empty metrics", `{"goos":"l","goarch":"a","pkg":"p","benchmarks":[{"name":"n","iterations":1,"metrics":{},"config":"c","workload":"w","leakage":"x"}]}`},
+		{"string metric", `{"goos":"l","goarch":"a","pkg":"p","benchmarks":[{"name":"n","iterations":1,"metrics":{"m":"fast"},"config":"c","workload":"w","leakage":"x"}]}`},
+	}
+	for _, tc := range bad {
+		if err := ValidateReport([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: ValidateReport accepted it", tc.name)
+		}
+	}
+}
+
+func TestSchemaJSONIsValidJSON(t *testing.T) {
+	var doc map[string]any
+	if err := json.Unmarshal(SchemaJSON, &doc); err != nil {
+		t.Fatalf("embedded schema.json does not parse: %v", err)
+	}
+	if doc["type"] != "object" {
+		t.Error("schema root should describe an object")
+	}
+}
+
+func TestWorkloadGeneratorsInRangeAndDistinct(t *testing.T) {
+	const blocks = 128
+	const n = 4000
+	hists := map[string][]uint64{}
+	for _, w := range Workloads() {
+		gen := w.New(rand.New(rand.NewSource(5)), blocks)
+		counts := make([]uint64, blocks)
+		writes := 0
+		for i := 0; i < n; i++ {
+			addr, wr := gen(i)
+			if addr >= blocks {
+				t.Fatalf("%s: address %d out of range", w.Name, addr)
+			}
+			counts[addr]++
+			if wr {
+				writes++
+			}
+		}
+		if writes == 0 || writes == n {
+			t.Errorf("%s: degenerate write mix %d/%d", w.Name, writes, n)
+		}
+		hists[w.Name] = counts
+	}
+	// The suite exists to stress different shapes: uniform must pass the
+	// shared uniformity test, the skewed generators must fail it.
+	if x2 := testutil.ChiSquare(hists["uniform"]); x2 > testutil.UniformThreshold(blocks) {
+		t.Errorf("uniform workload not uniform: chi2=%.1f", x2)
+	}
+	for _, skewed := range []string{"zipf", "hammer"} {
+		if x2 := testutil.ChiSquare(hists[skewed]); x2 <= testutil.UniformThreshold(blocks) {
+			t.Errorf("%s workload indistinguishable from uniform: chi2=%.1f", skewed, x2)
+		}
+	}
+}
+
+// TestStashOccupancyBoundedUnderAllWorkloads is the stash-occupancy-vs-
+// load property test: whatever the workload shape — uniform, skewed,
+// scanning, hammering, read-mostly — the stash never exceeds its
+// configured capacity (the protocol would error) and, with background
+// eviction holding the invariant, its peak stays well below the paper's
+// overflow regime.
+func TestStashOccupancyBoundedUnderAllWorkloads(t *testing.T) {
+	const blocks = 512
+	const capacity = 150
+	for _, w := range Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			spec := pathoram.Spec{
+				Blocks: blocks, BlockSize: 16,
+				StashCapacity: capacity,
+				Rand:          rand.New(rand.NewSource(31)),
+			}
+			c, err := pathoram.Open(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			// Fill the working set first: an empty tree lets even a
+			// hammering workload drain the stash completely, and the
+			// occupancy property is about steady state.
+			payload := make([]byte, 16)
+			addrs := make([]uint64, blocks)
+			data := make([][]byte, blocks)
+			for a := range addrs {
+				addrs[a], data[a] = uint64(a), payload
+			}
+			if err := c.WriteBatch(addrs, data); err != nil {
+				t.Fatal(err)
+			}
+			c.ResetStats()
+			gen := w.New(rand.New(rand.NewSource(32)), blocks)
+			for i := 0; i < 4000; i++ {
+				if err := step(c, gen, i, payload); err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+			}
+			st := c.Stats()
+			if st.StashPeak > capacity {
+				t.Errorf("stash peak %d exceeds capacity %d", st.StashPeak, capacity)
+			}
+			if st.RealAccesses != 4000 {
+				t.Errorf("measured %d real accesses, want 4000", st.RealAccesses)
+			}
+		})
+	}
+}

@@ -1,0 +1,240 @@
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	pathoram "repro"
+)
+
+// Grid is the declarative sweep description: one slice per construction
+// axis, enumerated as a cartesian product. Empty axes collapse to their
+// single default value, so a grid names only the axes it varies. Grids
+// load from JSON (see LoadGrid) or from the built-in presets.
+type Grid struct {
+	// Blocks / BlockSize fix the working set for every point; the
+	// design-space axes below vary the construction around it.
+	Blocks    uint64 `json:"blocks"`
+	BlockSize int    `json:"blocksize"`
+
+	Shards     []int    `json:"shards"`     // default [1]
+	PosMaps    []string `json:"posmaps"`    // "flat" | "recursive"; default ["flat"]
+	Backends   []string `json:"backends"`   // "mem" | "dram"; default ["mem"]
+	Partitions []string `json:"partitions"` // "stripe" | "range" | "random"; default ["stripe"]
+	Padded     []bool   `json:"padded"`     // default [false]; true points run batched submission
+	CTStash    []bool   `json:"ctstash"`    // default [false]
+	// MaxDeferred sweeps the staged write-back queue depth; 0 means the
+	// fully synchronous protocol (AsyncEviction off).
+	MaxDeferred []int `json:"maxdeferred"` // default [0]
+	// IdleEvictions sweeps the background-eviction budget per idle gap.
+	// Inert on synchronous points, where it is canonicalized to 0 so the
+	// product contains no duplicate configurations.
+	IdleEvictions []int `json:"idleevictions"` // default [0]
+
+	// OnChipMax / PosBlock parameterize recursive-posmap points only.
+	OnChipMax uint64 `json:"onchipmax"` // default 2048 B
+	PosBlock  int    `json:"posblock"`  // default 32 B
+
+	Workloads []string `json:"workloads"` // default ["uniform"]
+}
+
+// Point is one enumerated configuration: a human-readable name encoding
+// the axis values, the Spec that builds it, and whether the runner must
+// use padded batched submission.
+type Point struct {
+	Name   string
+	Flags  SpecFlags
+	Shards int
+	Padded bool
+}
+
+// Spec builds a fresh pathoram.Spec for the point. Fresh matters: the
+// Spec carries the seeded randomness source, which must not be shared
+// between instances.
+func (p Point) Spec() (pathoram.Spec, error) { return p.Flags.Spec(p.Shards) }
+
+func (g *Grid) normalize() {
+	if g.Blocks == 0 {
+		g.Blocks = 4096
+	}
+	if g.BlockSize == 0 {
+		g.BlockSize = 32
+	}
+	if len(g.Shards) == 0 {
+		g.Shards = []int{1}
+	}
+	if len(g.PosMaps) == 0 {
+		g.PosMaps = []string{"flat"}
+	}
+	if len(g.Backends) == 0 {
+		g.Backends = []string{"mem"}
+	}
+	if len(g.Partitions) == 0 {
+		g.Partitions = []string{"stripe"}
+	}
+	if len(g.Padded) == 0 {
+		g.Padded = []bool{false}
+	}
+	if len(g.CTStash) == 0 {
+		g.CTStash = []bool{false}
+	}
+	if len(g.MaxDeferred) == 0 {
+		g.MaxDeferred = []int{0}
+	}
+	if len(g.IdleEvictions) == 0 {
+		g.IdleEvictions = []int{0}
+	}
+	if g.OnChipMax == 0 {
+		g.OnChipMax = 2048
+	}
+	if g.PosBlock == 0 {
+		g.PosBlock = 32
+	}
+	if len(g.Workloads) == 0 {
+		g.Workloads = []string{"uniform"}
+	}
+}
+
+// Points enumerates the grid. Every returned point builds a Spec that
+// Open accepts; axis values Open would reject (unknown names, inert-knob
+// combinations) surface as errors here, before any measurement runs.
+func (g Grid) Points(seed int64) ([]Point, error) {
+	g.normalize()
+	for _, w := range g.Workloads {
+		if WorkloadByName(w) == nil {
+			return nil, fmt.Errorf("unknown workload %q", w)
+		}
+	}
+	var points []Point
+	seen := map[string]bool{}
+	for _, shards := range g.Shards {
+		for _, pm := range g.PosMaps {
+			for _, be := range g.Backends {
+				for _, part := range g.Partitions {
+					for _, padded := range g.Padded {
+						for _, ct := range g.CTStash {
+							for _, md := range g.MaxDeferred {
+								for _, idle := range g.IdleEvictions {
+									if md == 0 {
+										// Synchronous points have no idle
+										// pipeline; canonicalize so the idle
+										// axis does not duplicate them.
+										idle = 0
+									}
+									p, err := g.point(shards, pm, be, part, padded, ct, md, idle, seed, len(points))
+									if err != nil {
+										return nil, err
+									}
+									if seen[p.Name] {
+										continue
+									}
+									seen[p.Name] = true
+									points = append(points, p)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return points, nil
+}
+
+func (g Grid) point(shards int, pm, be, part string, padded, ct bool, md, idle int, seed int64, idx int) (Point, error) {
+	// The mode-dependent knobs (recursion, DRAM) are populated
+	// unconditionally: SpecFlags.Spec copies them into the Spec only when
+	// their mode is selected, exactly as the flag defaults behave.
+	sf := SpecFlags{
+		Blocks: g.Blocks, BlockSize: g.BlockSize,
+		Encrypt:   "counter",
+		Partition: part,
+		PosMap:    pm,
+		PosBlock:  g.PosBlock,
+		OnChipMax: g.OnChipMax,
+		Padded:    padded,
+		Queue:     128,
+		// Distinct deterministic seed per point: neighboring configs stay
+		// reproducible without sharing a randomness stream.
+		Seed:     seed + int64(idx)*7919,
+		Backend:  be,
+		Channels: 2,
+		Layout:   "subtree",
+		CTStash:  ct,
+	}
+	if md > 0 {
+		sf.Async = true
+		sf.MaxDefer = md
+		sf.IdleEv = idle
+	}
+	// Validate the axis values now by building a Spec once; the runner
+	// builds its own fresh one per Open.
+	if _, err := sf.Spec(shards); err != nil {
+		return Point{}, err
+	}
+	name := fmt.Sprintf("shards=%d/pm=%s/be=%s/part=%s", shards, pm, be, part)
+	if padded {
+		name += "/padded"
+	}
+	if ct {
+		name += "/ct"
+	}
+	if md > 0 {
+		name += fmt.Sprintf("/defer=%d", md)
+		if idle != 0 {
+			name += fmt.Sprintf("/idle=%d", idle)
+		}
+	}
+	return Point{Name: name, Flags: sf, Shards: shards, Padded: padded}, nil
+}
+
+// Presets are the named grids cmd/oram-explore accepts in place of a
+// JSON file. "smoke" is the CI grid: 8 points, two workloads, seconds of
+// runtime. "full" is the EXPERIMENTS.md grid: every axis the paper
+// explores, 64 points across three workloads.
+var Presets = map[string]Grid{
+	"smoke": {
+		Blocks: 1024, BlockSize: 32,
+		Shards:    []int{1, 4},
+		PosMaps:   []string{"flat", "recursive"},
+		Backends:  []string{"mem", "dram"},
+		OnChipMax: 512,
+		Workloads: []string{"uniform", "zipf"},
+	},
+	"full": {
+		Blocks: 4096, BlockSize: 32,
+		Shards:      []int{1, 4},
+		PosMaps:     []string{"flat", "recursive"},
+		Backends:    []string{"mem", "dram"},
+		Partitions:  []string{"stripe", "random"},
+		Padded:      []bool{false, true},
+		MaxDeferred: []int{0, 8},
+		OnChipMax:   2048,
+		Workloads:   []string{"uniform", "zipf", "hammer"},
+	},
+}
+
+// LoadGrid resolves name either as a preset or as a path to a JSON grid
+// description (unknown JSON fields are rejected to catch typoed axes).
+func LoadGrid(name string) (Grid, error) {
+	if g, ok := Presets[name]; ok {
+		return g, nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		if !strings.ContainsAny(name, "./\\") {
+			return Grid{}, fmt.Errorf("unknown preset %q (have: smoke, full) and no such file", name)
+		}
+		return Grid{}, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var g Grid
+	if err := dec.Decode(&g); err != nil {
+		return Grid{}, fmt.Errorf("parsing grid %s: %w", name, err)
+	}
+	return g, nil
+}

@@ -1,0 +1,184 @@
+// Package explore is the design-space exploration engine behind
+// cmd/oram-explore -grid: a workload generator suite, a sweep runner that
+// drives every configuration point through the public Client API, and a
+// Pareto pass over the collected metrics (latency, modeled cycles,
+// on-chip bytes). It also owns the Spec-building flag set shared with
+// cmd/oram-serve, so the two binaries cannot drift on flag names,
+// defaults, or the inert-knob rejection rules.
+package explore
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+
+	pathoram "repro"
+)
+
+// SpecFlags is the command-line surface of pathoram.Spec: one field per
+// construction axis, registered with AddFlags and decoded with Spec.
+// cmd/oram-serve and cmd/oram-explore both embed it, which keeps flag
+// names, defaults and help text identical across binaries.
+type SpecFlags struct {
+	Blocks    uint64
+	BlockSize int
+	Encrypt   string
+	Integrity bool
+	Partition string
+	PosMap    string
+	PosBlock  int
+	OnChipMax uint64
+	Padded    bool
+	Queue     int
+	Seed      int64
+	Async     bool
+	IdleEv    int
+	Backend   string
+	Channels  int
+	Layout    string
+	DRAMSer   bool
+	MaxDefer  int
+	CTStash   bool
+}
+
+// AddFlags registers every Spec axis on fs. The shard count is
+// deliberately absent: both binaries sweep it, so it is a parameter of
+// Spec(), not a flag.
+func (sf *SpecFlags) AddFlags(fs *flag.FlagSet) {
+	fs.Uint64Var(&sf.Blocks, "blocks", 1<<14, "total logical blocks")
+	fs.IntVar(&sf.BlockSize, "blocksize", 64, "block payload bytes")
+	fs.StringVar(&sf.Encrypt, "encrypt", "counter", "bucket encryption: none|counter|strawman")
+	fs.BoolVar(&sf.Integrity, "integrity", false, "enable the authentication tree")
+	fs.StringVar(&sf.Partition, "partition", "stripe", "address partition: stripe|range|random (random hides request->shard routing)")
+	fs.StringVar(&sf.PosMap, "posmap", "flat", "position map: flat (on-chip, 4B/block) | recursive (per-shard hierarchical ORAM chain, Section 2.3)")
+	fs.IntVar(&sf.PosBlock, "pos-block", 32, "position-map ORAM block size in bytes (with -posmap recursive)")
+	fs.Uint64Var(&sf.OnChipMax, "onchip-max", 200<<10, "per-shard bound on the final on-chip position map in bytes (with -posmap recursive)")
+	fs.BoolVar(&sf.Padded, "padded", false, "padded batch mode: every batch touches every shard equally often (requires batched submission)")
+	fs.IntVar(&sf.Queue, "queue", 128, "per-shard request queue depth")
+	fs.Int64Var(&sf.Seed, "seed", 0, "deterministic ORAM randomness when != 0")
+	fs.BoolVar(&sf.Async, "async", false, "staged access path: respond after the path read, write back and evict during idle queue time")
+	fs.IntVar(&sf.IdleEv, "idle-evictions", 0, "max background evictions per idle gap (0 = default, negative disables; with -async)")
+	fs.StringVar(&sf.Backend, "backend", "mem", "storage backend: mem (untimed) | dram (shared cycle-accurate DDR3 model; adds the modeled-cycle columns)")
+	fs.IntVar(&sf.Channels, "channels", 2, "independent DDR3 channels shared by all shards (with -backend dram)")
+	fs.StringVar(&sf.Layout, "layout", "subtree", "bucket-to-row placement: subtree|naive (with -backend dram)")
+	fs.BoolVar(&sf.DRAMSer, "dram-serialize", false, "modeling baseline: forbid inter-shard overlap on the memory channels (with -backend dram)")
+	fs.IntVar(&sf.MaxDefer, "max-deferred", 0, "deferred write-back queue depth = modeled write-buffer depth (0 = default 8; with -async)")
+	fs.BoolVar(&sf.CTStash, "ct-stash", false, "constant-time stash scans: fixed-length masked lookups on every tree (closes the stash timing channel)")
+}
+
+// Explicit returns the set of flag names the user actually passed on fs.
+// It must be called after fs.Parse; CheckExplicit consumes the result.
+func Explicit(fs *flag.FlagSet) map[string]bool {
+	m := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { m[f.Name] = true })
+	return m
+}
+
+// CheckExplicit rejects flags that would be silently inert in the
+// selected mode, so a sweep never varies a knob that changes nothing.
+// explicit is the set of flag names the user passed (see Explicit).
+func (sf *SpecFlags) CheckExplicit(explicit map[string]bool) error {
+	if sf.Backend != "dram" {
+		for _, name := range []string{"channels", "layout", "dram-serialize"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s only affects the timed backend; combine it with -backend dram", name)
+			}
+		}
+	}
+	if sf.PosMap != "recursive" {
+		for _, name := range []string{"pos-block", "onchip-max"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s parameterizes the recursive position map; combine it with -posmap recursive", name)
+			}
+		}
+	}
+	if explicit["max-deferred"] && !sf.Async {
+		// Meaningful with or without -backend dram (it bounds the staged
+		// path's pinned memory either way) — but only under -async.
+		return fmt.Errorf("-max-deferred sizes the deferred write-back queue; combine it with -async")
+	}
+	return nil
+}
+
+// Spec decodes the flag values into a pathoram.Spec for the given shard
+// count. The DRAM and recursion knobs ride along only when their mode is
+// selected — Open rejects them (even at their flag defaults) otherwise,
+// which is exactly the regression this conditional encodes.
+func (sf *SpecFlags) Spec(shards int) (pathoram.Spec, error) {
+	var enc pathoram.Encryption
+	switch sf.Encrypt {
+	case "none":
+		enc = pathoram.EncryptNone
+	case "counter":
+		enc = pathoram.EncryptCounter
+	case "strawman":
+		enc = pathoram.EncryptStrawman
+	default:
+		return pathoram.Spec{}, fmt.Errorf("unknown -encrypt %q", sf.Encrypt)
+	}
+	var part pathoram.Partition
+	switch sf.Partition {
+	case "stripe":
+		part = pathoram.PartitionStripe
+	case "range":
+		part = pathoram.PartitionRange
+	case "random":
+		part = pathoram.PartitionRandom
+	default:
+		return pathoram.Spec{}, fmt.Errorf("unknown -partition %q", sf.Partition)
+	}
+	switch sf.PosMap {
+	case "flat", "recursive":
+	default:
+		return pathoram.Spec{}, fmt.Errorf("unknown -posmap %q", sf.PosMap)
+	}
+	var back pathoram.Backend
+	switch sf.Backend {
+	case "mem":
+		back = pathoram.BackendMem
+	case "dram":
+		back = pathoram.BackendDRAM
+	default:
+		return pathoram.Spec{}, fmt.Errorf("unknown -backend %q", sf.Backend)
+	}
+	var lay pathoram.DRAMLayout
+	switch sf.Layout {
+	case "subtree":
+		lay = pathoram.LayoutSubtree
+	case "naive":
+		lay = pathoram.LayoutNaive
+	default:
+		return pathoram.Spec{}, fmt.Errorf("unknown -layout %q", sf.Layout)
+	}
+	spec := pathoram.Spec{
+		Blocks: sf.Blocks, BlockSize: sf.BlockSize,
+		Shards:           shards,
+		Partition:        part,
+		Padded:           sf.Padded,
+		QueueDepth:       sf.Queue,
+		EvictionsPerIdle: sf.IdleEv,
+		Encryption:       enc, Integrity: sf.Integrity,
+		ConstantTimeStash:     sf.CTStash,
+		AsyncEviction:         sf.Async,
+		MaxDeferredWriteBacks: sf.MaxDefer,
+		Backend:               back,
+	}
+	if back == pathoram.BackendDRAM {
+		spec.DRAMChannels = sf.Channels
+		spec.DRAMLayout = lay
+		spec.DRAMSerialize = sf.DRAMSer
+	}
+	if sf.PosMap == "recursive" {
+		spec.PosMap = pathoram.PosMapRecursive
+		spec.PosBlockSize = sf.PosBlock
+		spec.OnChipPosMapMax = sf.OnChipMax
+	}
+	if sf.Seed != 0 {
+		spec.Rand = rand.New(rand.NewSource(sf.Seed))
+	}
+	return spec, nil
+}
+
+// Recursive reports whether the recursive position map is selected —
+// callers use it for mode-dependent output, not Spec construction.
+func (sf *SpecFlags) Recursive() bool { return sf.PosMap == "recursive" }

@@ -1,0 +1,206 @@
+package explore
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	pathoram "repro"
+)
+
+// parse runs args through a fresh FlagSet the way the binaries do and
+// returns the decoded flags plus the explicit set.
+func parse(t *testing.T, args ...string) (*SpecFlags, map[string]bool) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var sf SpecFlags
+	sf.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return &sf, Explicit(fs)
+}
+
+func TestSpecFlagsTable(t *testing.T) {
+	cases := []struct {
+		name       string
+		args       []string
+		checkErr   string // substring of the CheckExplicit error, "" = ok
+		specErr    string // substring of the Spec error, "" = ok
+		shards     int
+		wantSpec   func(t *testing.T, s pathoram.Spec)
+		wantOpenOK bool // additionally Open a small instance and close it
+	}{
+		{
+			name:   "defaults build a flat mem spec",
+			args:   nil,
+			shards: 2,
+			wantSpec: func(t *testing.T, s pathoram.Spec) {
+				if s.Shards != 2 || s.Backend != pathoram.BackendMem {
+					t.Errorf("got shards=%d backend=%v", s.Shards, s.Backend)
+				}
+				if s.Encryption != pathoram.EncryptCounter {
+					t.Errorf("default encryption = %v, want counter", s.Encryption)
+				}
+			},
+		},
+		{
+			// The PR 6 regression: under -backend mem the DRAM knobs must
+			// NOT be copied into the Spec even at their flag defaults
+			// (channels=2, layout=subtree) — Open rejects inert knobs, so a
+			// mem spec carrying them fails construction.
+			name:   "mem backend leaves DRAM knobs zero so Open accepts",
+			args:   []string{"-blocks", "256", "-blocksize", "16", "-backend", "mem"},
+			shards: 1,
+			wantSpec: func(t *testing.T, s pathoram.Spec) {
+				if s.DRAMChannels != 0 || s.DRAMLayout != 0 || s.DRAMSerialize {
+					t.Errorf("mem spec carries DRAM knobs: channels=%d layout=%v serialize=%v",
+						s.DRAMChannels, s.DRAMLayout, s.DRAMSerialize)
+				}
+			},
+			wantOpenOK: true,
+		},
+		{
+			name:   "dram backend carries its knobs",
+			args:   []string{"-backend", "dram", "-channels", "4", "-layout", "naive", "-dram-serialize"},
+			shards: 2,
+			wantSpec: func(t *testing.T, s pathoram.Spec) {
+				if s.Backend != pathoram.BackendDRAM || s.DRAMChannels != 4 ||
+					s.DRAMLayout != pathoram.LayoutNaive || !s.DRAMSerialize {
+					t.Errorf("dram knobs not carried: %+v", s)
+				}
+			},
+		},
+		{
+			name:   "flat posmap leaves recursion knobs zero",
+			args:   []string{"-posmap", "flat"},
+			shards: 1,
+			wantSpec: func(t *testing.T, s pathoram.Spec) {
+				if s.PosMap != pathoram.PosMapOnChip || s.PosBlockSize != 0 || s.OnChipPosMapMax != 0 {
+					t.Errorf("flat spec carries recursion knobs: %+v", s)
+				}
+			},
+		},
+		{
+			name:   "recursive posmap carries its knobs",
+			args:   []string{"-posmap", "recursive", "-pos-block", "64", "-onchip-max", "1024"},
+			shards: 1,
+			wantSpec: func(t *testing.T, s pathoram.Spec) {
+				if s.PosMap != pathoram.PosMapRecursive || s.PosBlockSize != 64 || s.OnChipPosMapMax != 1024 {
+					t.Errorf("recursion knobs not carried: %+v", s)
+				}
+			},
+		},
+		{
+			name:   "seed makes deterministic randomness",
+			args:   []string{"-seed", "7"},
+			shards: 1,
+			wantSpec: func(t *testing.T, s pathoram.Spec) {
+				if s.Rand == nil {
+					t.Error("seeded flags left Spec.Rand nil")
+				}
+			},
+		},
+		{
+			name:     "explicit channels under mem rejected",
+			args:     []string{"-channels", "4"},
+			shards:   1,
+			checkErr: "-channels only affects the timed backend",
+		},
+		{
+			name:     "explicit layout under mem rejected",
+			args:     []string{"-layout", "naive"},
+			shards:   1,
+			checkErr: "-layout only affects the timed backend",
+		},
+		{
+			name:     "explicit pos-block under flat posmap rejected",
+			args:     []string{"-pos-block", "64"},
+			shards:   1,
+			checkErr: "-pos-block parameterizes the recursive position map",
+		},
+		{
+			name:     "max-deferred without async rejected",
+			args:     []string{"-max-deferred", "4"},
+			shards:   1,
+			checkErr: "-max-deferred sizes the deferred write-back queue",
+		},
+		{
+			name:   "max-deferred with async carried",
+			args:   []string{"-async", "-max-deferred", "4"},
+			shards: 1,
+			wantSpec: func(t *testing.T, s pathoram.Spec) {
+				if !s.AsyncEviction || s.MaxDeferredWriteBacks != 4 {
+					t.Errorf("async knobs not carried: %+v", s)
+				}
+			},
+		},
+		{
+			name:    "unknown encryption rejected",
+			args:    []string{"-encrypt", "rot13"},
+			shards:  1,
+			specErr: `unknown -encrypt "rot13"`,
+		},
+		{
+			name:    "unknown partition rejected",
+			args:    []string{"-partition", "hash"},
+			shards:  1,
+			specErr: `unknown -partition "hash"`,
+		},
+		{
+			name:    "unknown posmap rejected",
+			args:    []string{"-posmap", "cuckoo"},
+			shards:  1,
+			specErr: `unknown -posmap "cuckoo"`,
+		},
+		{
+			name:    "unknown backend rejected",
+			args:    []string{"-backend", "disk"},
+			shards:  1,
+			specErr: `unknown -backend "disk"`,
+		},
+		{
+			name:    "unknown layout rejected",
+			args:    []string{"-backend", "dram", "-layout", "spiral"},
+			shards:  1,
+			specErr: `unknown -layout "spiral"`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sf, explicit := parse(t, tc.args...)
+			err := sf.CheckExplicit(explicit)
+			if tc.checkErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.checkErr) {
+					t.Fatalf("CheckExplicit = %v, want error containing %q", err, tc.checkErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("CheckExplicit: %v", err)
+			}
+			spec, err := sf.Spec(tc.shards)
+			if tc.specErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.specErr) {
+					t.Fatalf("Spec = %v, want error containing %q", err, tc.specErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Spec: %v", err)
+			}
+			if tc.wantSpec != nil {
+				tc.wantSpec(t, spec)
+			}
+			if tc.wantOpenOK {
+				c, err := pathoram.Open(spec)
+				if err != nil {
+					t.Fatalf("Open rejected the built spec: %v", err)
+				}
+				if err := c.Close(); err != nil {
+					t.Fatalf("Close: %v", err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,72 @@
+package explore
+
+import "math/rand"
+
+// Gen produces the i-th operation of a workload: the address to touch
+// and whether the operation is a write.
+type Gen func(i int) (addr uint64, write bool)
+
+// Workload is a named address-stream generator. New builds a fresh
+// generator over a working set of blocks addresses, drawing any
+// randomness from rng so runs are reproducible per seed.
+type Workload struct {
+	Name string
+	New  func(rng *rand.Rand, blocks uint64) Gen
+}
+
+// Workloads is the explorer's suite, chosen to stress different parts of
+// the design space: uniform (the paper's measurement workload), a skewed
+// zipf(1.2) mix, a sequential scan (row-buffer friendly, adversarial to
+// range partitioning), a hammer loop (the adversarial re-access pattern
+// the security tests use), and a read-mostly uniform mix (write-back
+// pressure off, deferral queues mostly idle).
+func Workloads() []Workload {
+	return []Workload{
+		{Name: "uniform", New: func(rng *rand.Rand, blocks uint64) Gen {
+			return func(i int) (uint64, bool) {
+				return rng.Uint64() % blocks, rng.Float64() < 0.5
+			}
+		}},
+		{Name: "zipf", New: func(rng *rand.Rand, blocks uint64) Gen {
+			z := rand.NewZipf(rng, 1.2, 1, blocks-1)
+			return func(i int) (uint64, bool) {
+				return z.Uint64(), rng.Float64() < 0.5
+			}
+		}},
+		{Name: "scan", New: func(rng *rand.Rand, blocks uint64) Gen {
+			return func(i int) (uint64, bool) {
+				// Sequential passes over the working set, alternating a
+				// write pass with a read pass.
+				addr := uint64(i) % blocks
+				return addr, (uint64(i)/blocks)%2 == 0
+			}
+		}},
+		{Name: "hammer", New: func(rng *rand.Rand, blocks uint64) Gen {
+			hot := rng.Uint64() % blocks
+			return func(i int) (uint64, bool) {
+				// 90% of traffic re-touches one hot block — the pattern an
+				// access-pattern attack would inject.
+				if rng.Float64() < 0.9 {
+					return hot, rng.Float64() < 0.5
+				}
+				return rng.Uint64() % blocks, rng.Float64() < 0.5
+			}
+		}},
+		{Name: "readmostly", New: func(rng *rand.Rand, blocks uint64) Gen {
+			return func(i int) (uint64, bool) {
+				return rng.Uint64() % blocks, rng.Float64() < 0.1
+			}
+		}},
+	}
+}
+
+// WorkloadByName returns the named workload from the suite (nil if
+// unknown).
+func WorkloadByName(name string) *Workload {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return &w
+		}
+	}
+	return nil
+}

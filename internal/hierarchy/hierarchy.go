@@ -268,6 +268,18 @@ func (h *ORAM) OnChipPosMapBytes() uint64 {
 	return h.onChip.SizeBits(8*labelBytes) / 8
 }
 
+// StashBoundBytes returns the summed on-chip stash provision over every
+// level of the chain (each level owns its own stash of cfg.StashCapacity
+// slots, sized for that level's block bytes — payload plus per-entry
+// metadata, see core.Params.StashBoundBytes).
+func (h *ORAM) StashBoundBytes() uint64 {
+	var total uint64
+	for _, l := range h.levels {
+		total += l.Params().StashBoundBytes()
+	}
+	return total
+}
+
 // Level exposes one member ORAM (for stats and tests).
 func (h *ORAM) Level(i int) *core.ORAM { return h.levels[i] }
 

@@ -1,0 +1,57 @@
+package membus
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// Completeness tests mirroring internal/core's: every field of the timing
+// Stats (including the nested dram.Stats) must be carried by Merge and
+// subtracted by Delta, so that adding a counter without updating either
+// fails here instead of silently corrupting aggregated or interval views.
+
+func TestTimingStatsMergeCoversAllFields(t *testing.T) {
+	var b Stats
+	testutil.FillDistinct(&b) // recurses into the nested dram.Stats
+	// Identity under merge-with-zero holds for every merge semantic in
+	// use (sum, max for the completion frontiers, first-nonzero for
+	// AccessBytes), so a forgotten field breaks equality.
+	if got := (Stats{}).Merge(b); !reflect.DeepEqual(got, b) {
+		t.Errorf("Stats{}.Merge(b) = %+v, want %+v — Merge drops a field", got, b)
+	}
+	if got := b.Merge(Stats{}); !reflect.DeepEqual(got, b) {
+		t.Errorf("b.Merge(Stats{}) = %+v, want %+v — Merge drops a field", got, b)
+	}
+}
+
+func TestTimingStatsDeltaCoversAllFields(t *testing.T) {
+	var b Stats
+	testutil.FillDistinct(&b)
+	// A snapshot minus itself must be all-zero except AccessBytes, which
+	// is a configuration constant carried through intervals, not a
+	// counter. A field Delta forgets to subtract survives with its
+	// distinct non-zero value and is reported by name.
+	got := b.Delta(b)
+	checkZeroExcept(t, reflect.ValueOf(got), "", map[string]bool{"AccessBytes": true})
+}
+
+func checkZeroExcept(t *testing.T, v reflect.Value, prefix string, allow map[string]bool) {
+	t.Helper()
+	typ := v.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		f := v.Field(i)
+		name := prefix + typ.Field(i).Name
+		if f.Kind() == reflect.Struct {
+			checkZeroExcept(t, f, name+".", allow)
+			continue
+		}
+		if allow[name] {
+			continue
+		}
+		if !f.IsZero() {
+			t.Errorf("Delta left field %s = %v — new counters must be subtracted", name, f.Interface())
+		}
+	}
+}

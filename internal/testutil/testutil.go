@@ -1,0 +1,82 @@
+// Package testutil holds the statistical and reflection helpers the
+// security and stats test suites share: the chi-square uniformity check
+// that pins every construction's leaf/shard distributions (one
+// implementation with one documented significance threshold, instead of a
+// copy per suite), and the struct-filling helper behind the
+// Merge/Reset field-completeness tests.
+package testutil
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+)
+
+// ChiSquare returns the chi-square statistic of counts against the uniform
+// distribution over len(counts) bins. Degrees of freedom: len(counts)-1.
+func ChiSquare(counts []uint64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	expected := float64(total) / float64(len(counts))
+	var x2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		x2 += d * d / expected
+	}
+	return x2
+}
+
+// UniformThreshold returns the rejection threshold the uniformity tests
+// hold ChiSquare to, for a histogram of bins cells: df + 6·sqrt(2·df)
+// with df = bins-1. A chi-square variable has mean df and variance 2·df,
+// so this is six standard deviations above the mean — far beyond the
+// 99.99% quantile for every df the suites use (for 63 dof it is ≈130 vs
+// ≈103 at 99.9%), which keeps the tests robust across seeds while still
+// failing loudly on any real bias (an address-correlated leaf or shard
+// choice shifts the statistic by orders of magnitude, not by sigmas).
+func UniformThreshold(bins int) float64 {
+	df := float64(bins - 1)
+	return df + 6*math.Sqrt(2*df)
+}
+
+// FillDistinct sets every numeric leaf field of the struct pointed to by
+// ptr — recursing into nested structs — to a distinct non-zero value, and
+// returns how many fields it set. The Merge/Reset field-completeness
+// tests use it to build a snapshot in which every counter is observably
+// live: a Merge or Reset that misses a field then produces a struct that
+// differs from the expected one in exactly that field. Panics on
+// non-numeric leaf fields (slices, maps, strings) so a Stats struct
+// growing one forces the caller to decide how it aggregates.
+func FillDistinct(ptr any) int {
+	v := reflect.ValueOf(ptr)
+	if v.Kind() != reflect.Pointer || v.Elem().Kind() != reflect.Struct {
+		panic("testutil: FillDistinct needs a pointer to a struct")
+	}
+	n := 0
+	fill(v.Elem(), &n)
+	return n
+}
+
+func fill(v reflect.Value, n *int) {
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Struct:
+			fill(f, n)
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			*n++
+			f.SetInt(int64(*n))
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			*n++
+			f.SetUint(uint64(*n))
+		case reflect.Float32, reflect.Float64:
+			*n++
+			f.SetFloat(float64(*n))
+		default:
+			panic(fmt.Sprintf("testutil: FillDistinct: field %s of %s has unsupported kind %s — decide how it merges and extend the completeness test",
+				v.Type().Field(i).Name, v.Type(), f.Kind()))
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package testutil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestChiSquareUniformBelowThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]uint64, 64)
+	for i := 0; i < 64000; i++ {
+		counts[rng.Intn(len(counts))]++
+	}
+	if x2, thr := ChiSquare(counts), UniformThreshold(len(counts)); x2 > thr {
+		t.Errorf("uniform draws rejected: chi2=%.1f > %.1f", x2, thr)
+	}
+}
+
+func TestChiSquareBiasAboveThreshold(t *testing.T) {
+	counts := make([]uint64, 64)
+	for i := range counts {
+		counts[i] = 100
+	}
+	counts[7] = 400 // one hot bin
+	if x2, thr := ChiSquare(counts), UniformThreshold(len(counts)); x2 <= thr {
+		t.Errorf("biased histogram accepted: chi2=%.1f <= %.1f", x2, thr)
+	}
+}
+
+func TestUniformThresholdFormula(t *testing.T) {
+	// 64 bins -> 63 dof -> 63 + 6*sqrt(126).
+	want := 63 + 6*math.Sqrt(126)
+	if got := UniformThreshold(64); math.Abs(got-want) > 1e-9 {
+		t.Errorf("UniformThreshold(64) = %v, want %v", got, want)
+	}
+}
+
+func TestFillDistinct(t *testing.T) {
+	type inner struct {
+		A uint64
+		B float64
+	}
+	type outer struct {
+		X int
+		Y inner
+		Z uint32
+	}
+	var o outer
+	if n := FillDistinct(&o); n != 4 {
+		t.Fatalf("filled %d fields, want 4", n)
+	}
+	seen := map[float64]bool{float64(o.X): true, float64(o.Y.A): true, o.Y.B: true, float64(o.Z): true}
+	if len(seen) != 4 || seen[0] {
+		t.Errorf("fields not distinct non-zero: %+v", o)
+	}
+}
+
+func TestFillDistinctPanicsOnNonNumeric(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for a slice field")
+		}
+	}()
+	var s struct{ S []int }
+	FillDistinct(&s)
+}

@@ -529,6 +529,16 @@ func (o *ORAM) NumORAMs() int { return 1 }
 // 4 bytes per entry — for a flat ORAM, the whole map.
 func (o *ORAM) OnChipPositionMapBytes() uint64 { return o.pos.SizeBits(32) / 8 }
 
+// OnChipBytes returns the total trusted-memory provision of the
+// construction: the on-chip position map plus the stash bound (C slots of
+// payload and metadata — the processor reserves it whether or not the
+// stash fills; see core.Params.StashBoundBytes). This is the on-chip-bytes
+// objective of the paper's design space: recursion trades it against
+// extra path accesses per operation.
+func (o *ORAM) OnChipBytes() uint64 {
+	return o.OnChipPositionMapBytes() + o.inner.Params().StashBoundBytes()
+}
+
 // Close quiesces the ORAM: every deferred write-back is completed and
 // background eviction fully drained (Flush). A standalone ORAM owns no
 // goroutines or external handles, so unlike Sharded.Close it does not

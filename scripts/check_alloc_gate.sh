@@ -23,3 +23,10 @@ go test -run xxx \
     -max-allocs 1
 
 echo "wrote $out"
+
+# The design-space report rides the same gate entry point (PR 7): run the
+# explorer's smoke grid and schema-check its BENCH_pr7.json alongside the
+# allocation sweep. Set SKIP_EXPLORE=1 to run the allocation gate alone.
+if [ "${SKIP_EXPLORE:-0}" != 1 ]; then
+  sh "$(dirname "$0")/check_explore_gate.sh" "${2:-BENCH_pr7.json}"
+fi

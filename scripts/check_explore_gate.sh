@@ -1,0 +1,18 @@
+#!/bin/sh
+# Runs the design-space explorer's smoke grid (2 shard counts x 2
+# position-map policies x 2 backends, uniform + zipf workloads) and holds
+# the report to the PR 7 acceptance gate: the JSON must validate against
+# the embedded schema, cover at least 8 distinct configurations, and
+# carry a non-empty marked Pareto frontier over {p99 latency, cycles/op,
+# on-chip bytes}. The report lands in BENCH_pr7.json (or $1) and is kept
+# as a build artifact for before/after comparison.
+set -eu
+
+out="${1:-BENCH_pr7.json}"
+ops="${EXPLORE_OPS:-512}"
+warmup="${EXPLORE_WARMUP:-128}"
+
+go run ./cmd/oram-explore -grid smoke -ops "$ops" -warmup "$warmup" -seed 1 -out "$out"
+go run ./cmd/oram-explore -check "$out" -min-configs 8
+
+echo "wrote $out"

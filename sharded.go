@@ -154,6 +154,7 @@ type clientEngine interface {
 	ExternalMemoryBytes() uint64
 	NumORAMs() int
 	OnChipPositionMapBytes() uint64
+	OnChipBytes() uint64
 	TimingStats() (TimingStats, bool)
 }
 
@@ -451,6 +452,21 @@ func (s *Sharded) OnChipPositionMapBytes() uint64 {
 	var total uint64
 	for _, e := range s.engines {
 		total += e.OnChipPositionMapBytes()
+	}
+	return total
+}
+
+// OnChipBytes returns the summed trusted-memory provision across shards:
+// every shard's on-chip position map plus every stash bound (one stash per
+// tree — a hierarchical shard contributes one per level). Sharding
+// multiplies the stash term by N; the per-shard position maps shrink, so
+// the posmap term is roughly constant for flat shards and bounded per
+// shard for recursive ones. Fixed at construction, so it reads without
+// serializing against traffic.
+func (s *Sharded) OnChipBytes() uint64 {
+	var total uint64
+	for _, e := range s.engines {
+		total += e.OnChipBytes()
 	}
 	return total
 }

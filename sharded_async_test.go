@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+
+	"repro/internal/testutil"
 )
 
 // Tests for the async (staged) serving mode. Everything here is named
@@ -354,7 +356,7 @@ func TestAsyncLeafSequencesUniform(t *testing.T) {
 				if total < 500 {
 					continue
 				}
-				if x2 := chiSquareLeaves(counts); x2 > 120 {
+				if x2 := testutil.ChiSquare(counts); x2 > testutil.UniformThreshold(len(counts)) {
 					t.Errorf("shard %d: async leaf distribution not uniform under %q: chi2=%.1f (%d samples)",
 						sh, name, x2, total)
 				}

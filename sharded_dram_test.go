@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/testutil"
 )
 
 // Tests for the timed (DRAM-backed) serving layer. Everything here is
@@ -244,7 +245,7 @@ func TestDRAMTimedLeafUniform(t *testing.T) {
 				if total < 500 {
 					continue
 				}
-				if x2 := chiSquareLeaves(counts); x2 > 120 {
+				if x2 := testutil.ChiSquare(counts); x2 > testutil.UniformThreshold(len(counts)) {
 					t.Errorf("shard %d: timed leaf distribution not uniform under %q: chi2=%.1f (%d samples)",
 						sh, name, x2, total)
 				}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+
+	"repro/internal/testutil"
 )
 
 // Adversary-view tests for the oblivious routing modes (PartitionRandom,
@@ -307,15 +309,7 @@ func TestRandomPartitionShardChoiceUniform(t *testing.T) {
 			if total != 2*ops {
 				t.Fatalf("executed %d legs, want %d", total, 2*ops)
 			}
-			expected := float64(total) / shards
-			var x2 float64
-			for _, c := range counts {
-				d := float64(c) - expected
-				x2 += d * d / expected
-			}
-			// 7 dof; 99.9% quantile ≈ 24.3. 30 leaves slack while still
-			// catching any address-correlated routing.
-			if x2 > 30 {
+			if x2 := testutil.ChiSquare(counts); x2 > testutil.UniformThreshold(len(counts)) {
 				t.Errorf("shard choices not uniform under %q: chi2=%.1f, counts %v", name, x2, counts)
 			}
 		})

@@ -8,6 +8,8 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+
+	"repro/internal/testutil"
 )
 
 func shardedPartitions() []Partition { return []Partition{PartitionStripe, PartitionRange} }
@@ -367,22 +369,6 @@ func TestShardedCloseDrains(t *testing.T) {
 	}
 }
 
-// chiSquareLeaves returns the chi-square statistic of a leaf histogram
-// against the uniform distribution.
-func chiSquareLeaves(counts []uint64) float64 {
-	var total uint64
-	for _, c := range counts {
-		total += c
-	}
-	expected := float64(total) / float64(len(counts))
-	var x2 float64
-	for _, c := range counts {
-		d := float64(c) - expected
-		x2 += d * d / expected
-	}
-	return x2
-}
-
 // TestShardedLeafSequencesUniform is the sharded layer's security test: no
 // matter how adversarial the logical access pattern, every shard's observed
 // path sequence must stay uniform over its leaves — the per-shard Path ORAM
@@ -439,11 +425,9 @@ func TestShardedLeafSequencesUniform(t *testing.T) {
 				if total < 500 {
 					continue // too few samples for a meaningful chi-square
 				}
-				// 64 leaves -> 63 dof; 99.9% quantile ~103. Use 120 as in
-				// the core-level security tests.
-				if x2 := chiSquareLeaves(counts); x2 > 120 {
-					t.Errorf("shard %d: leaf distribution not uniform under %q: chi2=%.1f (%d samples, 63 dof)",
-						sh, name, x2, total)
+				if x2 := testutil.ChiSquare(counts); x2 > testutil.UniformThreshold(len(counts)) {
+					t.Errorf("shard %d: leaf distribution not uniform under %q: chi2=%.1f (%d samples, %d dof)",
+						sh, name, x2, total, len(counts)-1)
 				}
 			}
 		})
