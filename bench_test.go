@@ -115,6 +115,53 @@ func BenchmarkHierarchyAccess(b *testing.B) {
 	b.ReportMetric(float64(h.NumORAMs()), "orams")
 }
 
+// BenchmarkAccessRecursivePLBHit measures the PLB hit path: a hot set
+// whose labels all fit in the lookaside cache, so after warmup every
+// access resolves its leaf in the PLB and touches only the data ORAM.
+// The hit path shares the pooled-buffer discipline of the flat hot path,
+// so steady state must stay allocation-free (scripts/check_alloc_gate.sh
+// holds this bench to the same budget as the other Access benches).
+func BenchmarkAccessRecursivePLBHit(b *testing.B) {
+	h, err := NewHierarchy(HierarchyConfig{
+		Blocks: 1 << 12, BlockSize: 128, PosBlockSize: 32,
+		OnChipPosMapMax: 1 << 10, Encryption: EncryptNone,
+		PLBBytes: 1 << 14,
+		Rand:     rand.New(rand.NewSource(3)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	for a := uint64(0); a < 1<<12; a++ {
+		if err := h.Write(a, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const hot = 64
+	rng := rand.New(rand.NewSource(4))
+	dst := make([]byte, 128)
+	// Warm the PLB so the measured loop is all hits.
+	for a := uint64(0); a < hot; a++ {
+		if _, err := h.ReadInto(a, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	h.ResetStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.ReadInto(rng.Uint64()%hot, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := h.Stats()
+	if lookups := st.PLBHits + st.PLBMisses; lookups > 0 {
+		b.ReportMetric(float64(st.PLBHits)/float64(lookups), "plb-hitrate")
+	}
+	b.ReportMetric(st.MeanChainLength(), "chain-len")
+}
+
 func BenchmarkExclusiveLoadStore(b *testing.B) {
 	o, err := New(Config{Blocks: 1 << 12, BlockSize: 128, Encryption: EncryptNone,
 		Rand: rand.New(rand.NewSource(5))})

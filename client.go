@@ -219,6 +219,21 @@ type Spec struct {
 	// PosZ is the position-map ORAM bucket capacity under PosMapRecursive
 	// (default 3).
 	PosZ int
+	// PLBBytes provisions a position-map lookaside cache per shard under
+	// PosMapRecursive (Section 3.3.3; see HierarchyConfig.PLBBytes): hits
+	// skip the elided chain levels, dirty labels write back on eviction
+	// and Flush. 0 disables. The default mode leaks chain length per
+	// access (SECURITY.md); see PLBConstantShape.
+	PLBBytes uint64
+	// PLBConstantShape pads every PLB hit with dummy-shaped accesses to
+	// the elided levels — the oblivious endpoint of the PLB axis.
+	// Requires PLBBytes > 0.
+	PLBConstantShape bool
+	// Overlap enables the Figure 5(b) speculative cross-request overlap of
+	// the recursion chain under PosMapRecursive + BackendDRAM: up to
+	// Overlap consecutive rounds pipeline across the chain's per-level
+	// ports (see HierarchyConfig.Overlap). 0 keeps the serial 5(a) clock.
+	Overlap int
 
 	// Z is the (data) bucket capacity (default 3).
 	Z int
@@ -382,12 +397,32 @@ func Open(spec Spec) (Client, error) {
 		if spec.PosBlockSize != 0 || spec.OnChipPosMapMax != 0 || spec.PosZ != 0 {
 			return nil, fmt.Errorf("pathoram: PosBlockSize/OnChipPosMapMax/PosZ parameterize the recursive position map; set PosMap: PosMapRecursive")
 		}
+		if spec.PLBBytes != 0 || spec.PLBConstantShape || spec.Overlap != 0 {
+			return nil, fmt.Errorf("pathoram: PLBBytes/PLBConstantShape/Overlap accelerate the recursive position-map chain; set PosMap: PosMapRecursive")
+		}
 		if spec.OnPathAccess != nil {
 			hook := spec.OnPathAccess
 			cfg.OnShardPathAccess = func(sh int, leaf uint64) { hook(sh, 0, leaf) }
 		}
 		return NewSharded(cfg)
 	case PosMapRecursive:
+		// The chain accelerations have their own mode requirements;
+		// surface them here with Spec vocabulary rather than letting every
+		// shard's constructor fail identically.
+		if spec.PLBConstantShape && spec.PLBBytes == 0 {
+			return nil, fmt.Errorf("pathoram: PLBConstantShape pads PLB hits; set PLBBytes > 0")
+		}
+		if spec.Overlap < 0 {
+			return nil, fmt.Errorf("pathoram: Overlap must be >= 0")
+		}
+		if spec.Overlap > 0 {
+			if spec.Backend != BackendDRAM {
+				return nil, fmt.Errorf("pathoram: Overlap schedules modeled memory time; set Backend: BackendDRAM")
+			}
+			if spec.DRAMSerialize {
+				return nil, fmt.Errorf("pathoram: Overlap and DRAMSerialize are contradictory schedules; drop one")
+			}
+		}
 		// Position-map levels always carry payloads, so encryption
 		// material is in play even for a metadata-only data ORAM.
 		needKeys := spec.Encryption != EncryptNone
@@ -412,6 +447,9 @@ func Open(spec Spec) (Client, error) {
 				DRAMChannels:          sc.DRAMChannels,
 				DRAMLayout:            sc.DRAMLayout,
 				DRAMSerialize:         sc.DRAMSerialize,
+				PLBBytes:              spec.PLBBytes,
+				PLBConstantShape:      spec.PLBConstantShape,
+				Overlap:               spec.Overlap,
 				Rand:                  sc.Rand,
 				bus:                   sc.bus,
 			}

@@ -69,6 +69,12 @@ func main() {
 		sf.Blocks, sf.BlockSize, sf.Encrypt, sf.Integrity, sf.Partition, sf.PosMap, sf.Padded, sf.Async)
 	if sf.Recursive() {
 		fmt.Printf("posmap: recursive (%dB posmap blocks, %dB on-chip bound per shard)\n", sf.PosBlock, sf.OnChipMax)
+		if sf.PLBBytes > 0 {
+			fmt.Printf("plb: %dB per shard, constant-shape=%v\n", sf.PLBBytes, sf.PLBConst)
+		}
+		if sf.Overlap > 0 {
+			fmt.Printf("overlap: %d requests pipeline across the posmap chain (Figure 5(b))\n", sf.Overlap)
+		}
 	}
 	if sf.Backend == "dram" {
 		depth := sf.MaxDefer
@@ -82,7 +88,7 @@ func main() {
 		*clients, *ops, *batch, *writeFrac, *think, runtime.GOMAXPROCS(0))
 
 	w := newTable(os.Stdout)
-	w.row("shards", "levels", "posmap-B", "wall", "ops/s", "speedup", "p50", "p95", "p99", "dummy/real", "pad/real", "stash-peak", "imbalance", "row-hit", "B/cyc", "rd-cyc", "Mcycles")
+	w.row("shards", "levels", "posmap-B", "plb-hit", "chain-len", "wall", "ops/s", "speedup", "p50", "p95", "p99", "dummy/real", "pad/real", "stash-peak", "imbalance", "row-hit", "B/cyc", "rd-cyc", "Mcycles")
 	var baseline float64
 	for _, n := range shardCounts {
 		// One Spec covers the whole sweep: sharding, position-map recursion
@@ -105,6 +111,7 @@ func main() {
 			strconv.Itoa(n),
 			strconv.Itoa(res.levels),
 			strconv.FormatUint(res.posmapBytes, 10),
+			res.plbHit, res.chainLen,
 			res.wall.Round(time.Millisecond).String(),
 			fmt.Sprintf("%.0f", res.opsPerSec),
 			fmt.Sprintf("%.2fx", res.opsPerSec/baseline),
@@ -120,6 +127,12 @@ func main() {
 	}
 	w.flush()
 	fmt.Println("\nlevels    = ORAMs per access chain (1 = flat on-chip posmap); posmap-B = summed on-chip posmap bytes")
+	if sf.Recursive() {
+		fmt.Println("chain-len = mean path accesses per op across the recursion chain (PLB hits shrink it)")
+		if sf.PLBBytes > 0 {
+			fmt.Println("plb-hit   = position-map lookaside cache hit rate across all chain interfaces")
+		}
+	}
 	fmt.Println("imbalance = busiest shard's executed real requests / mean (1.00 is perfectly even)")
 	fmt.Println("pad/real  = scheduler padding accesses per real access (padded batch overhead)")
 	fmt.Println("p50/p95/p99 = client-visible latency per submission (per op, or per batch with -batch)")
@@ -152,6 +165,8 @@ type result struct {
 	padPerReal    float64
 	stashPeak     int
 	imbalance     float64
+	// Posmap-acceleration columns ("-" when flat / no PLB).
+	plbHit, chainLen string
 	// Modeled-timing columns ("-" under the untimed backend).
 	rowHit, bytesPerCyc, readCyc, mcycles string
 }
@@ -328,7 +343,14 @@ func runConfig(spec pathoram.Spec, c load) (result, error) {
 		padPerReal:   st.PaddingPerReal(),
 		stashPeak:    st.StashPeak,
 		imbalance:    float64(max) / mean,
-		rowHit:       "-", bytesPerCyc: "-", readCyc: "-", mcycles: "-",
+		plbHit:       "-", chainLen: "-",
+		rowHit: "-", bytesPerCyc: "-", readCyc: "-", mcycles: "-",
+	}
+	if spec.PosMap == pathoram.PosMapRecursive {
+		res.chainLen = fmt.Sprintf("%.2f", st.MeanChainLength())
+		if spec.PLBBytes > 0 {
+			res.plbHit = fmt.Sprintf("%.3f", st.PLBHitRate())
+		}
 	}
 	if timed {
 		// Diff against the post-pre-fill snapshot so the modeled columns

@@ -77,6 +77,32 @@ type HierarchyConfig struct {
 	// DRAMSerialize is the no-overlap modeling baseline (see
 	// Config.DRAMSerialize).
 	DRAMSerialize bool
+	// PLBBytes provisions the position-map lookaside cache of Section
+	// 3.3.3: a small set-associative write-back LRU of group→leaf labels
+	// in front of every position-map interface (the byte budget splits
+	// evenly across them). A hit makes the cached label authoritative and
+	// skips the backing access and every smaller ORAM above it — the
+	// chain-shortening acceleration the paper pairs with recursion. Dirty
+	// evictions and Flush write the exact cached label back, so logical
+	// state stays bit-identical to the uncached protocol. 0 disables.
+	PLBBytes uint64
+	// PLBConstantShape pads every PLB hit with dummy-shaped accesses to
+	// the elided levels so hits and misses are indistinguishable on the
+	// wire — the oblivious endpoint of the PLB axis (see SECURITY.md; the
+	// default leaks chain length per access). Requires PLBBytes > 0.
+	PLBConstantShape bool
+	// Overlap enables the Figure 5(b) speculative cross-request overlap
+	// under BackendDRAM: the chain scheduler keeps the last Overlap
+	// rounds' data-ORAM completions in a window, and a new round's
+	// smallest-ORAM stages may issue as soon as the oldest windowed round
+	// completed — request t+1's posmap walk overlaps request t's data
+	// access. Within one round the Figure 5(a) dependency is preserved: a
+	// level never issues before the posmap stage that named its path
+	// completed. Each level's port also accepts two stages in flight, so
+	// one round's write-back overlaps the next round's read of the same
+	// tree. 0 keeps the strictly serial 5(a) chain clock. Requires
+	// BackendDRAM without DRAMSerialize.
+	Overlap int
 	// Rand makes the construction deterministic (simulation only).
 	Rand *rand.Rand
 	// OnPathAccess, when set, observes every path access in the whole
@@ -106,33 +132,92 @@ type Hierarchy struct {
 	footprints []interface{ MemoryBytes() uint64 }
 }
 
-// levelTimer chains one hierarchy level's port onto the chain's shared
-// modeled clock: within one hierarchy, a level's path is named by the
-// position-map access that preceded it, so its stage must not arrive in
-// modeled time before the chain's previous stage completed — even though
-// every level keeps its own port (and physical region). Flat shards get
-// the same serialization for free from their single port's readyAt; this
-// is the multi-port generalization. The chain pointer is owned by the
-// hierarchy's single goroutine; the port methods take the bus lock.
+// chainSched is the modeled clock of one hierarchy's recursion chain. In
+// the default 5(a) mode it is a single monotone clock (chain): every stage
+// of every round arrives after the previous stage completed — the strictly
+// serial ordering of Figure 5(a). In overlap mode (Figure 5(b)) it keeps
+// two pieces of state instead: dep, the completion of the most recent read
+// within the current round (the naming dependency — a level's path address
+// comes out of the posmap read before it, so its read may not arrive
+// earlier); and ring, the data-ORAM completions of the last depth rounds.
+// beginRound resets dep to the oldest windowed completion, so a new
+// round's smallest-ORAM stages issue while up to depth-1 earlier rounds
+// are still in their data stages — cross-request speculation bounded by
+// the window. All state is owned by the hierarchy's single goroutine.
+type chainSched struct {
+	overlap bool
+	chain   uint64   // 5(a): shared serial clock
+	dep     uint64   // 5(b): naming dependency within the current round
+	ring    []uint64 // 5(b): last depth rounds' data-stage completions
+	head    int
+}
+
+// beginRound opens a new chain round: the round's first stage may issue as
+// soon as the oldest in-window round has completed its data stage.
+func (s *chainSched) beginRound() {
+	if s.overlap {
+		s.dep = s.ring[s.head]
+	}
+}
+
+func (s *chainSched) noteData(done uint64) {
+	s.ring[s.head] = done
+	s.head = (s.head + 1) % len(s.ring)
+}
+
+// levelTimer chains one hierarchy level's port onto the chain's scheduler:
+// within one round, a level's path is named by the position-map access
+// that preceded it, so its read must not arrive in modeled time before
+// that access completed — even though every level keeps its own port (and
+// physical region). Flat shards get the same serialization for free from
+// their single port's readyAt; this is the multi-port generalization. In
+// overlap mode only reads advance the dependency (a write-back publishes
+// no label), so one level's write-back overlaps the next level's read —
+// and across rounds the scheduler's window lets consecutive requests
+// pipeline. The scheduler is owned by the hierarchy's single goroutine;
+// the port methods take the bus lock.
 type levelTimer struct {
-	port  *membus.Port
-	chain *uint64
+	port     *membus.Port
+	sched    *chainSched
+	level    int
+	lastRead uint64 // this level's latest read completion (overlap mode)
 }
 
-func (t levelTimer) ReadPath(leaf uint64, skip []bool) {
-	t.port.AdvanceTo(*t.chain)
+func (t *levelTimer) ReadPath(leaf uint64, skip []bool) {
+	if !t.sched.overlap {
+		t.port.AdvanceTo(t.sched.chain)
+		t.port.ReadPath(leaf, skip)
+		if r := t.port.ReadyAt(); r > t.sched.chain {
+			t.sched.chain = r
+		}
+		return
+	}
+	t.port.AdvanceTo(t.sched.dep)
 	t.port.ReadPath(leaf, skip)
-	if r := t.port.ReadyAt(); r > *t.chain {
-		*t.chain = r
+	done := t.port.ReadyAt()
+	t.lastRead = done
+	if done > t.sched.dep {
+		t.sched.dep = done
+	}
+	if t.level == 0 {
+		t.sched.noteData(done)
 	}
 }
 
-func (t levelTimer) WritePath(leaf uint64, deferred bool) {
-	t.port.AdvanceTo(*t.chain)
-	t.port.WritePath(leaf, deferred)
-	if r := t.port.ReadyAt(); r > *t.chain {
-		*t.chain = r
+func (t *levelTimer) WritePath(leaf uint64, deferred bool) {
+	if !t.sched.overlap {
+		t.port.AdvanceTo(t.sched.chain)
+		t.port.WritePath(leaf, deferred)
+		if r := t.port.ReadyAt(); r > t.sched.chain {
+			t.sched.chain = r
+		}
+		return
 	}
+	// A write-back depends only on its own round's read of the same tree
+	// (the path content it rewrites); it publishes nothing the chain below
+	// waits for, so it does not advance dep.
+	t.port.AdvanceTo(t.lastRead)
+	t.port.WritePath(leaf, deferred)
 }
 
 // NewHierarchy builds the chain. Every ORAM in it — the data ORAM and all
@@ -168,6 +253,20 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 	case LayoutSubtree, LayoutNaive:
 	default:
 		return nil, fmt.Errorf("pathoram: unknown DRAM layout %d", cfg.DRAMLayout)
+	}
+	if cfg.Overlap < 0 {
+		return nil, fmt.Errorf("pathoram: Overlap must be >= 0")
+	}
+	if cfg.Overlap > 0 {
+		if cfg.Backend != BackendDRAM {
+			return nil, fmt.Errorf("pathoram: Overlap schedules modeled memory time; set Backend: BackendDRAM")
+		}
+		if cfg.DRAMSerialize {
+			return nil, fmt.Errorf("pathoram: Overlap and DRAMSerialize are contradictory schedules; drop one")
+		}
+	}
+	if cfg.PLBConstantShape && cfg.PLBBytes == 0 {
+		return nil, fmt.Errorf("pathoram: PLBConstantShape pads PLB hits; set PLBBytes > 0")
 	}
 	if cfg.Key == nil {
 		cfg.Key = make([]byte, encrypt.KeySize)
@@ -232,7 +331,10 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 			return nil, err
 		}
 	}
-	var chain uint64
+	sched := &chainSched{overlap: cfg.Overlap > 0}
+	if sched.overlap {
+		sched.ring = make([]uint64, cfg.Overlap)
+	}
 	factory := func(level int, leafLevel, z, blockBytes int) (core.PathStore, error) {
 		store, busBytes, err := makeStore(level, leafLevel, z, blockBytes)
 		if err != nil {
@@ -245,8 +347,13 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 		if err != nil {
 			return nil, err
 		}
+		if sched.overlap {
+			// Two stages in flight per tree: one round's write-back and the
+			// next round's read of the same level may coexist.
+			port.SetMaxInFlight(2)
+		}
 		h.ports = append(h.ports, port)
-		return core.NewTimedStore(store, levelTimer{port: port, chain: &chain})
+		return core.NewTimedStore(store, &levelTimer{port: port, sched: sched, level: level})
 	}
 
 	hcfg := hierarchy.Config{
@@ -265,6 +372,11 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 		ConstantTimeStash:     cfg.ConstantTimeStash,
 		NewStore:              factory,
 		Leaves:                leaves,
+		PLBBytes:              cfg.PLBBytes,
+		PLBConstantShape:      cfg.PLBConstantShape,
+	}
+	if sched.overlap {
+		hcfg.OnRoundStart = sched.beginRound
 	}
 	if cfg.OnPathAccess != nil {
 		hook := cfg.OnPathAccess
@@ -380,12 +492,23 @@ func (h *Hierarchy) NumORAMs() int { return h.inner.NumORAMs() }
 func (h *Hierarchy) OnChipPositionMapBytes() uint64 { return h.inner.OnChipPosMapBytes() }
 
 // OnChipBytes returns the total trusted-memory provision of the chain: the
-// final on-chip position map plus every level's stash bound. Recursion's
-// whole point is shrinking the first term; the second grows by one stash
-// per level — the explorer's on-chip-bytes objective captures both.
+// final on-chip position map, every level's stash bound, plus the PLB's
+// tag/label arrays when one is provisioned. Recursion's whole point is
+// shrinking the first term; the others grow with the chain — the
+// explorer's on-chip-bytes objective captures all three.
 func (h *Hierarchy) OnChipBytes() uint64 {
-	return h.inner.OnChipPosMapBytes() + h.inner.StashBoundBytes()
+	return h.inner.OnChipPosMapBytes() + h.inner.StashBoundBytes() + h.inner.PLBOnChipBytes()
 }
+
+// PLBOnChipBytes returns the provisioned footprint of the position-map
+// lookaside caches (0 without HierarchyConfig.PLBBytes).
+func (h *Hierarchy) PLBOnChipBytes() uint64 { return h.inner.PLBOnChipBytes() }
+
+// ChainLengthHist returns the chain-length histogram: entry n counts
+// program operations whose oblivious access needed n ORAM path accesses.
+// Without a PLB every operation lands on n = NumORAMs; PLB hits move mass
+// to shorter chains, dirty-eviction write-backs to longer ones.
+func (h *Hierarchy) ChainLengthHist() []uint64 { return h.inner.ChainLengthHist() }
 
 // LevelStats returns per-level protocol counters (index 0 = data ORAM).
 func (h *Hierarchy) LevelStats() []Stats { return h.inner.Stats() }

@@ -249,6 +249,24 @@ type Stats struct {
 	// PendingWriteBackPeak is the largest deferred write-back queue length
 	// ever observed (staged mode only).
 	PendingWriteBackPeak int
+	// PLBHits / PLBMisses count position-map lookaside cache lookups
+	// (Section 3.3.3) against this ORAM: a hit elides the oblivious access
+	// this ORAM would otherwise have served, a miss performed it. Always 0
+	// outside a hierarchy with a PLB; attributed to the backing level whose
+	// traffic the cache filters.
+	PLBHits   uint64
+	PLBMisses uint64
+	// PLBWriteBacks counts dirty PLB entries written back into this ORAM
+	// (evictions of modified labels, plus flush-time write-backs). Each one
+	// is an extra oblivious access on top of the miss traffic.
+	PLBWriteBacks uint64
+	// ChainLevels / ChainSamples describe the recursion chain length of
+	// program accesses in a hierarchy: ChainSamples counts sampled program
+	// operations, ChainLevels sums the ORAM path accesses each needed, so
+	// ChainLevels/ChainSamples is the mean chain length (H without a PLB,
+	// shorter with one). Recorded on the data level (level 0) only.
+	ChainLevels  uint64
+	ChainSamples uint64
 }
 
 // Merge returns the combination of s and other: additive counters are
@@ -265,6 +283,11 @@ func (s Stats) Merge(other Stats) Stats {
 	s.BlocksInORAM += other.BlocksInORAM
 	s.DeferredWriteBacks += other.DeferredWriteBacks
 	s.IdleEvictions += other.IdleEvictions
+	s.PLBHits += other.PLBHits
+	s.PLBMisses += other.PLBMisses
+	s.PLBWriteBacks += other.PLBWriteBacks
+	s.ChainLevels += other.ChainLevels
+	s.ChainSamples += other.ChainSamples
 	if other.StashPeak > s.StashPeak {
 		s.StashPeak = other.StashPeak
 	}
@@ -292,6 +315,26 @@ func (s Stats) PaddingPerReal() float64 {
 		return 0
 	}
 	return float64(s.PaddingAccesses) / float64(s.RealAccesses)
+}
+
+// PLBHitRate returns the position-map lookaside cache hit rate (0 when no
+// PLB lookups happened, i.e. the construction has no PLB).
+func (s Stats) PLBHitRate() float64 {
+	lookups := s.PLBHits + s.PLBMisses
+	if lookups == 0 {
+		return 0
+	}
+	return float64(s.PLBHits) / float64(lookups)
+}
+
+// MeanChainLength returns the mean number of ORAM path accesses one
+// program operation needed (0 outside a hierarchy). Without a PLB this is
+// exactly H; PLB hits shorten it.
+func (s Stats) MeanChainLength() float64 {
+	if s.ChainSamples == 0 {
+		return 0
+	}
+	return float64(s.ChainLevels) / float64(s.ChainSamples)
 }
 
 // ORAM is a single Path ORAM.

@@ -62,6 +62,76 @@ func TestGridSyncPointsCanonicalizeIdleAxis(t *testing.T) {
 	}
 }
 
+// TestPLBOverlapGridCanonicalization pins the inert-axis collapse for the
+// position-map acceleration axes: flat points carry no PLB or overlap,
+// constant-shape rides only on a non-zero PLB, and overlap rides only on
+// dram-backed recursion — so the product never enumerates duplicate
+// configurations.
+func TestPLBOverlapGridCanonicalization(t *testing.T) {
+	g := Grid{
+		Blocks: 256, BlockSize: 16,
+		PosMaps:       []string{"flat", "recursive"},
+		Backends:      []string{"mem", "dram"},
+		OnChipMax:     128,
+		PLBBytes:      []uint64{0, 2048},
+		PLBConstShape: []bool{false, true},
+		Overlaps:      []int{0, 2},
+	}
+	points, err := g.Points(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// flat/mem 1, flat/dram 1 (all three axes inert), recursive/mem 3
+	// (plb=0, plb, plb+cs; overlap inert), recursive/dram 6 (those three
+	// x overlap {0,2}).
+	if len(points) != 11 {
+		names := make([]string, len(points))
+		for i, p := range points {
+			names[i] = p.Name
+		}
+		t.Fatalf("got %d points %v, want 11 (inert acceleration axes canonicalized away)", len(points), names)
+	}
+	seen := map[string]bool{}
+	for _, p := range points {
+		if seen[p.Name] {
+			t.Errorf("duplicate point %q", p.Name)
+		}
+		seen[p.Name] = true
+		if strings.Contains(p.Name, "pm=flat") &&
+			(strings.Contains(p.Name, "/plb=") || strings.Contains(p.Name, "/ov=")) {
+			t.Errorf("flat point %q carries an acceleration suffix", p.Name)
+		}
+		if strings.Contains(p.Name, "/ov=") && !strings.Contains(p.Name, "be=dram") {
+			t.Errorf("point %q overlaps without a timed backend", p.Name)
+		}
+	}
+}
+
+// TestPR8PresetOpens checks the pr8 preset enumerates the PLB x overlap
+// sweep and that every point constructs.
+func TestPR8PresetOpens(t *testing.T) {
+	points, err := Presets["pr8"].Points(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("pr8 preset enumerates %d points, want 4 (plb {0,4096} x ov {0,4})", len(points))
+	}
+	for _, p := range points {
+		spec, err := p.Spec()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		c, err := pathoram.Open(spec)
+		if err != nil {
+			t.Fatalf("%s: Open: %v", p.Name, err)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", p.Name, err)
+		}
+	}
+}
+
 func TestGridRejectsUnknownAxisValues(t *testing.T) {
 	for _, g := range []Grid{
 		{Backends: []string{"disk"}},

@@ -32,6 +32,15 @@ type Grid struct {
 	// Inert on synchronous points, where it is canonicalized to 0 so the
 	// product contains no duplicate configurations.
 	IdleEvictions []int `json:"idleevictions"` // default [0]
+	// PLBBytes sweeps the position-map lookaside cache budget; inert on
+	// flat-posmap points (canonicalized to 0, like IdleEvictions above).
+	PLBBytes []uint64 `json:"plbbytes"` // default [0]
+	// PLBConstShape sweeps the constant-shape padding mode; inert when the
+	// point carries no PLB (canonicalized to false).
+	PLBConstShape []bool `json:"plbconstshape"` // default [false]
+	// Overlaps sweeps the Figure 5(b) speculative chain depth; inert
+	// unless the point is recursive AND dram-backed (canonicalized to 0).
+	Overlaps []int `json:"overlaps"` // default [0]
 
 	// OnChipMax / PosBlock parameterize recursive-posmap points only.
 	OnChipMax uint64 `json:"onchipmax"` // default 2048 B
@@ -86,6 +95,15 @@ func (g *Grid) normalize() {
 	if len(g.IdleEvictions) == 0 {
 		g.IdleEvictions = []int{0}
 	}
+	if len(g.PLBBytes) == 0 {
+		g.PLBBytes = []uint64{0}
+	}
+	if len(g.PLBConstShape) == 0 {
+		g.PLBConstShape = []bool{false}
+	}
+	if len(g.Overlaps) == 0 {
+		g.Overlaps = []int{0}
+	}
 	if g.OnChipMax == 0 {
 		g.OnChipMax = 2048
 	}
@@ -123,15 +141,33 @@ func (g Grid) Points(seed int64) ([]Point, error) {
 										// axis does not duplicate them.
 										idle = 0
 									}
-									p, err := g.point(shards, pm, be, part, padded, ct, md, idle, seed, len(points))
-									if err != nil {
-										return nil, err
+									for _, plb := range g.PLBBytes {
+										for _, pcs := range g.PLBConstShape {
+											for _, ov := range g.Overlaps {
+												if pm != "recursive" {
+													// Flat posmaps have no chain to
+													// cache or pipeline; canonicalize
+													// all three axes.
+													plb, pcs, ov = 0, false, 0
+												}
+												if plb == 0 {
+													pcs = false
+												}
+												if be != "dram" {
+													ov = 0
+												}
+												p, err := g.point(shards, pm, be, part, padded, ct, md, idle, plb, pcs, ov, seed, len(points))
+												if err != nil {
+													return nil, err
+												}
+												if seen[p.Name] {
+													continue
+												}
+												seen[p.Name] = true
+												points = append(points, p)
+											}
+										}
 									}
-									if seen[p.Name] {
-										continue
-									}
-									seen[p.Name] = true
-									points = append(points, p)
 								}
 							}
 						}
@@ -143,7 +179,7 @@ func (g Grid) Points(seed int64) ([]Point, error) {
 	return points, nil
 }
 
-func (g Grid) point(shards int, pm, be, part string, padded, ct bool, md, idle int, seed int64, idx int) (Point, error) {
+func (g Grid) point(shards int, pm, be, part string, padded, ct bool, md, idle int, plb uint64, pcs bool, ov int, seed int64, idx int) (Point, error) {
 	// The mode-dependent knobs (recursion, DRAM) are populated
 	// unconditionally: SpecFlags.Spec copies them into the Spec only when
 	// their mode is selected, exactly as the flag defaults behave.
@@ -169,6 +205,9 @@ func (g Grid) point(shards int, pm, be, part string, padded, ct bool, md, idle i
 		sf.MaxDefer = md
 		sf.IdleEv = idle
 	}
+	sf.PLBBytes = plb
+	sf.PLBConst = pcs
+	sf.Overlap = ov
 	// Validate the axis values now by building a Spec once; the runner
 	// builds its own fresh one per Open.
 	if _, err := sf.Spec(shards); err != nil {
@@ -187,13 +226,24 @@ func (g Grid) point(shards int, pm, be, part string, padded, ct bool, md, idle i
 			name += fmt.Sprintf("/idle=%d", idle)
 		}
 	}
+	if plb > 0 {
+		name += fmt.Sprintf("/plb=%d", plb)
+		if pcs {
+			name += "+cs"
+		}
+	}
+	if ov > 0 {
+		name += fmt.Sprintf("/ov=%d", ov)
+	}
 	return Point{Name: name, Flags: sf, Shards: shards, Padded: padded}, nil
 }
 
 // Presets are the named grids cmd/oram-explore accepts in place of a
 // JSON file. "smoke" is the CI grid: 8 points, two workloads, seconds of
 // runtime. "full" is the EXPERIMENTS.md grid: every axis the paper
-// explores, 64 points across three workloads.
+// explores, 64 points across three workloads. "pr8" is the position-map
+// acceleration grid: PLB budget x overlap depth on a recursive
+// dram-backed chain.
 var Presets = map[string]Grid{
 	"smoke": {
 		Blocks: 1024, BlockSize: 32,
@@ -214,6 +264,20 @@ var Presets = map[string]Grid{
 		OnChipMax:   2048,
 		Workloads:   []string{"uniform", "zipf", "hammer"},
 	},
+	// "pr8" isolates the position-map acceleration axes: a recursive
+	// dram-backed chain swept over PLB budget x overlap depth, on the two
+	// workloads where the PLB's locality sensitivity shows (zipf hits,
+	// uniform mostly misses).
+	"pr8": {
+		Blocks: 1024, BlockSize: 32,
+		Shards:    []int{1},
+		PosMaps:   []string{"recursive"},
+		Backends:  []string{"dram"},
+		OnChipMax: 512,
+		PLBBytes:  []uint64{0, 4096},
+		Overlaps:  []int{0, 4},
+		Workloads: []string{"uniform", "zipf"},
+	},
 }
 
 // LoadGrid resolves name either as a preset or as a path to a JSON grid
@@ -225,7 +289,7 @@ func LoadGrid(name string) (Grid, error) {
 	f, err := os.Open(name)
 	if err != nil {
 		if !strings.ContainsAny(name, "./\\") {
-			return Grid{}, fmt.Errorf("unknown preset %q (have: smoke, full) and no such file", name)
+			return Grid{}, fmt.Errorf("unknown preset %q (have: smoke, full, pr8) and no such file", name)
 		}
 		return Grid{}, err
 	}

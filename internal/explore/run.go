@@ -198,6 +198,14 @@ func runCell(client pathoram.Client, spec pathoram.Spec, p Point, gen Gen, opts 
 	if p.Padded {
 		m["batch"] = float64(opts.Batch)
 	}
+	if p.Flags.Recursive() {
+		// Mean posmap-chain length per op: H with no PLB, shrinking toward
+		// 1.0 as hits skip levels (or pinned at H under constant shape).
+		m["chain-len"] = st.MeanChainLength()
+		if p.Flags.PLBBytes > 0 {
+			m["plb-hit"] = st.PLBHitRate()
+		}
+	}
 	if timed {
 		// Diff against the post-warm-up snapshot so the modeled columns
 		// describe the measured traffic only; the closing snapshot

@@ -39,6 +39,9 @@ type SpecFlags struct {
 	DRAMSer   bool
 	MaxDefer  int
 	CTStash   bool
+	PLBBytes  uint64
+	PLBConst  bool
+	Overlap   int
 }
 
 // AddFlags registers every Spec axis on fs. The shard count is
@@ -64,6 +67,9 @@ func (sf *SpecFlags) AddFlags(fs *flag.FlagSet) {
 	fs.BoolVar(&sf.DRAMSer, "dram-serialize", false, "modeling baseline: forbid inter-shard overlap on the memory channels (with -backend dram)")
 	fs.IntVar(&sf.MaxDefer, "max-deferred", 0, "deferred write-back queue depth = modeled write-buffer depth (0 = default 8; with -async)")
 	fs.BoolVar(&sf.CTStash, "ct-stash", false, "constant-time stash scans: fixed-length masked lookups on every tree (closes the stash timing channel)")
+	fs.Uint64Var(&sf.PLBBytes, "plb-bytes", 0, "position-map lookaside cache budget per shard in bytes, split across the chain's interfaces; hits skip the elided levels (0 = off; with -posmap recursive)")
+	fs.BoolVar(&sf.PLBConst, "plb-constant-shape", false, "pad PLB hits with dummy accesses to the elided levels so hits and misses look identical on the wire (with -plb-bytes)")
+	fs.IntVar(&sf.Overlap, "overlap", 0, "Figure 5(b) speculative chain overlap: up to N consecutive requests pipeline across the recursion chain (0 = serial 5(a); with -posmap recursive -backend dram)")
 }
 
 // Explicit returns the set of flag names the user actually passed on fs.
@@ -86,11 +92,17 @@ func (sf *SpecFlags) CheckExplicit(explicit map[string]bool) error {
 		}
 	}
 	if sf.PosMap != "recursive" {
-		for _, name := range []string{"pos-block", "onchip-max"} {
+		for _, name := range []string{"pos-block", "onchip-max", "plb-bytes", "plb-constant-shape", "overlap"} {
 			if explicit[name] {
 				return fmt.Errorf("-%s parameterizes the recursive position map; combine it with -posmap recursive", name)
 			}
 		}
+	}
+	if explicit["plb-constant-shape"] && sf.PLBBytes == 0 {
+		return fmt.Errorf("-plb-constant-shape pads PLB hits, but there is no PLB; combine it with -plb-bytes")
+	}
+	if explicit["overlap"] && sf.Backend != "dram" {
+		return fmt.Errorf("-overlap schedules modeled memory time; combine it with -backend dram")
 	}
 	if explicit["max-deferred"] && !sf.Async {
 		// Meaningful with or without -backend dram (it bounds the staged
@@ -172,6 +184,11 @@ func (sf *SpecFlags) Spec(shards int) (pathoram.Spec, error) {
 		spec.PosMap = pathoram.PosMapRecursive
 		spec.PosBlockSize = sf.PosBlock
 		spec.OnChipPosMapMax = sf.OnChipMax
+		spec.PLBBytes = sf.PLBBytes
+		spec.PLBConstantShape = sf.PLBConst
+		if back == pathoram.BackendDRAM {
+			spec.Overlap = sf.Overlap
+		}
 	}
 	if sf.Seed != 0 {
 		spec.Rand = rand.New(rand.NewSource(sf.Seed))

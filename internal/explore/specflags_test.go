@@ -136,6 +136,52 @@ func TestSpecFlagsTable(t *testing.T) {
 			},
 		},
 		{
+			name:     "explicit plb-bytes under flat posmap rejected",
+			args:     []string{"-plb-bytes", "4096"},
+			shards:   1,
+			checkErr: "-plb-bytes parameterizes the recursive position map",
+		},
+		{
+			name:     "plb-constant-shape without a PLB rejected",
+			args:     []string{"-posmap", "recursive", "-plb-constant-shape"},
+			shards:   1,
+			checkErr: "-plb-constant-shape pads PLB hits, but there is no PLB",
+		},
+		{
+			name:     "explicit overlap under mem backend rejected",
+			args:     []string{"-posmap", "recursive", "-overlap", "4"},
+			shards:   1,
+			checkErr: "-overlap schedules modeled memory time",
+		},
+		{
+			name: "full acceleration flags carried and Open accepts",
+			args: []string{"-blocks", "256", "-blocksize", "16", "-posmap", "recursive",
+				"-onchip-max", "128", "-backend", "dram",
+				"-plb-bytes", "2048", "-plb-constant-shape", "-overlap", "4"},
+			shards: 1,
+			wantSpec: func(t *testing.T, s pathoram.Spec) {
+				if s.PLBBytes != 2048 || !s.PLBConstantShape || s.Overlap != 4 {
+					t.Errorf("acceleration knobs not carried: plb=%d cs=%v ov=%d",
+						s.PLBBytes, s.PLBConstantShape, s.Overlap)
+				}
+			},
+			wantOpenOK: true,
+		},
+		{
+			// Like the PR 6 DRAM-knob regression: a mem/flat spec must not
+			// carry the acceleration knobs even at explicit-free defaults.
+			name:   "flat posmap leaves acceleration knobs zero",
+			args:   []string{"-blocks", "256", "-blocksize", "16"},
+			shards: 1,
+			wantSpec: func(t *testing.T, s pathoram.Spec) {
+				if s.PLBBytes != 0 || s.PLBConstantShape || s.Overlap != 0 {
+					t.Errorf("flat spec carries acceleration knobs: plb=%d cs=%v ov=%d",
+						s.PLBBytes, s.PLBConstantShape, s.Overlap)
+				}
+			},
+			wantOpenOK: true,
+		},
+		{
 			name:    "unknown encryption rejected",
 			args:    []string{"-encrypt", "rot13"},
 			shards:  1,

@@ -81,6 +81,27 @@ type Config struct {
 	NewStore StoreFactory
 	// Leaves supplies leaf randomness for every level (required).
 	Leaves core.LeafSource
+	// PLBBytes provisions a position-map lookaside cache (Section 3.3.3):
+	// the byte budget is split evenly across the chain's position-map
+	// interfaces, each getting a small set-associative write-back LRU of
+	// group→leaf labels. A hit elides the backing access — and every
+	// smaller ORAM above it — cutting the chain short; dirty evictions and
+	// Flush write the exact cached label back. 0 disables the cache. Inert
+	// when the chain has a single level (the whole map already fits
+	// on-chip).
+	PLBBytes uint64
+	// PLBConstantShape pads every PLB hit with one dummy-shaped access to
+	// each elided level (smallest first), so hits and misses touch the same
+	// ORAMs in the same order — the oblivious endpoint of the PLB axis,
+	// trading the hit's traffic saving for shape invariance. The padding is
+	// counted in Stats.PaddingAccesses. Requires PLBBytes > 0.
+	PLBConstantShape bool
+	// OnRoundStart, when set, is called at the start of every chain round
+	// — each program operation's access, each coordinated dummy round, each
+	// padding access and each flush-time PLB write-back — before any level
+	// is touched. The timed backend uses it to open a new speculation slot
+	// in its overlap scheduler.
+	OnRoundStart func()
 	// OnPathAccess observes every path access in the whole hierarchy:
 	// level 0 is the data ORAM.
 	OnPathAccess func(level int, leaf uint64, kind core.AccessKind)
@@ -100,9 +121,24 @@ type ORAM struct {
 	levels []*core.ORAM // [0] = data ORAM, last = smallest position-map ORAM
 	infos  []LevelInfo
 	onChip *core.OnChipPositionMap
+	// posMaps holds the ORAM-backed position-map interfaces: posMaps[i]
+	// serves level i's lookups out of level i+1 (nil entries never occur;
+	// the slice is empty for a single-level chain).
+	posMaps []*oramPosMap
 
 	dummyRounds uint64
 	maxDummyRun int
+
+	// Chain-length accounting: curChain counts the ORAM path accesses of
+	// the operation in flight (the data level plus every backing access the
+	// posmap chain actually performed — PLB hits shorten it, dirty-eviction
+	// write-backs lengthen it); chainHist[n] counts operations that needed
+	// n accesses, with the last bucket absorbing overflow.
+	curChain     uint64
+	chainLevels  uint64
+	chainSamples uint64
+	chainHist    []uint64
+	plbScratch   []plbEntry // flush-time dirty-entry buffer (reused)
 }
 
 // New sizes and assembles the chain.
@@ -132,6 +168,9 @@ func New(cfg Config) (*ORAM, error) {
 	if cfg.NewStore == nil {
 		cfg.NewStore = MemStoreFactory
 	}
+	if cfg.PLBConstantShape && cfg.PLBBytes == 0 {
+		return nil, fmt.Errorf("hierarchy: PLBConstantShape pads PLB hits; set PLBBytes > 0")
+	}
 
 	infos, err := planLevels(cfg)
 	if err != nil {
@@ -146,6 +185,17 @@ func New(cfg Config) (*ORAM, error) {
 	// map needs the next level to exist first.
 	hn := len(infos)
 	h.levels = make([]*core.ORAM, hn)
+	h.posMaps = make([]*oramPosMap, hn-1)
+	h.chainHist = make([]uint64, 2*hn+2)
+	var plbPer uint64
+	if cfg.PLBBytes > 0 && hn > 1 {
+		// Split the lookaside budget evenly across the chain's interfaces;
+		// a non-zero budget always builds every cache (newPLB rounds a
+		// tiny share up to one set).
+		if plbPer = cfg.PLBBytes / uint64(hn-1); plbPer == 0 {
+			plbPer = 1
+		}
+	}
 	var pos core.PositionMap
 	for i := hn - 1; i >= 0; i-- {
 		info := infos[i]
@@ -166,13 +216,18 @@ func New(cfg Config) (*ORAM, error) {
 			h.onChip = onChip
 			pos = onChip
 		} else {
-			pos = &oramPosMap{
+			m := &oramPosMap{
 				backing:        h.levels[i+1],
 				labelsPerBlock: uint64(infos[i+1].BlockBytes / labelBytes),
 				numLeaves:      1 << uint(info.LeafLevel),
 				src:            cfg.Leaves,
 				shadow:         make(map[uint64]uint32),
+				h:              h,
+				level:          i,
+				plb:            newPLB(plbPer),
 			}
+			h.posMaps[i] = m
+			pos = m
 		}
 		store, err := cfg.NewStore(i, info.LeafLevel, info.Z, info.BlockBytes)
 		if err != nil {
@@ -283,13 +338,46 @@ func (h *ORAM) StashBoundBytes() uint64 {
 // Level exposes one member ORAM (for stats and tests).
 func (h *ORAM) Level(i int) *core.ORAM { return h.levels[i] }
 
-// Stats returns per-level counters (index 0 = data ORAM).
+// Stats returns per-level counters (index 0 = data ORAM). PLB counters are
+// attributed to the backing level whose accesses the cache filters (the
+// PLB in front of level i+1 shows up in out[i+1]); the chain-length
+// aggregate lands on the data level.
 func (h *ORAM) Stats() []core.Stats {
 	out := make([]core.Stats, len(h.levels))
 	for i, o := range h.levels {
 		out[i] = o.Stats()
 	}
+	for _, m := range h.posMaps {
+		if m == nil || m.plb == nil {
+			continue
+		}
+		s := &out[m.level+1]
+		s.PLBHits += m.plb.hits
+		s.PLBMisses += m.plb.misses
+		s.PLBWriteBacks += m.plb.writeBacks
+	}
+	out[0].ChainLevels += h.chainLevels
+	out[0].ChainSamples += h.chainSamples
 	return out
+}
+
+// ChainLengthHist returns a copy of the chain-length histogram: entry n
+// counts program operations that needed n ORAM path accesses (the last
+// bucket absorbs overflow from dirty-eviction write-back sub-chains).
+func (h *ORAM) ChainLengthHist() []uint64 {
+	return append([]uint64(nil), h.chainHist...)
+}
+
+// PLBOnChipBytes returns the provisioned on-chip footprint of every
+// position-map lookaside cache (0 without Config.PLBBytes).
+func (h *ORAM) PLBOnChipBytes() uint64 {
+	var total uint64
+	for _, m := range h.posMaps {
+		if m != nil && m.plb != nil {
+			total += m.plb.sizeBytes()
+		}
+	}
+	return total
 }
 
 // DummyRounds returns how many coordinated dummy rounds (one dummy access
@@ -303,6 +391,17 @@ func (h *ORAM) ResetStats() {
 		o.ResetStats()
 	}
 	h.dummyRounds = 0
+	h.chainLevels, h.chainSamples = 0, 0
+	for i := range h.chainHist {
+		h.chainHist[i] = 0
+	}
+	for _, m := range h.posMaps {
+		if m != nil && m.plb != nil {
+			// Counters only: cached labels are protocol state, and dropping
+			// them at a measurement boundary would change behavior.
+			m.plb.resetStats()
+		}
+	}
 }
 
 // DummyPerReal returns the hierarchy-level DA/RA of Equation 2.
@@ -314,41 +413,70 @@ func (h *ORAM) DummyPerReal() float64 {
 	return float64(h.dummyRounds) / float64(real)
 }
 
+// beginOp opens one program operation's chain round: notifies the timing
+// scheduler and starts the chain-length count at 1 (the data level's own
+// path access; the posmap chain adds every backing access it performs).
+func (h *ORAM) beginOp() {
+	if h.cfg.OnRoundStart != nil {
+		h.cfg.OnRoundStart()
+	}
+	h.curChain = 1
+}
+
+// recordChain closes the count beginOp opened.
+func (h *ORAM) recordChain() {
+	h.chainSamples++
+	h.chainLevels += h.curChain
+	idx := h.curChain
+	if idx >= uint64(len(h.chainHist)) {
+		idx = uint64(len(h.chainHist)) - 1
+	}
+	h.chainHist[idx]++
+}
+
 // Access reads or writes a data block through the whole hierarchy: one
 // path access in every ORAM (position-map chain first), then coordinated
 // background eviction.
 func (h *ORAM) Access(addr uint64, op core.Op, data []byte) ([]byte, error) {
+	h.beginOp()
 	out, err := h.levels[0].Access(addr, op, data)
 	if err != nil {
 		return nil, err
 	}
+	h.recordChain()
 	return out, h.drain()
 }
 
 // ReadInto reads a data block into the caller-provided dst through the
 // whole hierarchy, avoiding the per-read result allocation of Access.
 func (h *ORAM) ReadInto(addr uint64, dst []byte) (found bool, err error) {
+	h.beginOp()
 	found, err = h.levels[0].ReadInto(addr, dst)
 	if err != nil {
 		return false, err
 	}
+	h.recordChain()
 	return found, h.drain()
 }
 
 // Update performs a read-modify-write of a data block.
 func (h *ORAM) Update(addr uint64, fn func(data []byte)) error {
+	h.beginOp()
 	if err := h.levels[0].Update(addr, fn); err != nil {
 		return err
 	}
+	h.recordChain()
 	return h.drain()
 }
 
 // Load is the exclusive read (Section 3.3.1) through the hierarchy.
 func (h *ORAM) Load(addr uint64) (data []byte, found bool, group []core.Slot, err error) {
+	h.beginOp()
 	data, found, group, err = h.levels[0].Load(addr)
 	if err != nil {
 		return nil, false, nil, err
 	}
+	h.recordChain()
 	return data, found, group, h.drain()
 }
 
@@ -369,6 +497,9 @@ func (h *ORAM) Store(addr uint64, data []byte) error {
 // sharded serving layer's padded batch mode fills the dummy slots of its
 // fixed-shape schedule with these.
 func (h *ORAM) PaddingAccess() error {
+	if h.cfg.OnRoundStart != nil {
+		h.cfg.OnRoundStart()
+	}
 	for i := len(h.levels) - 1; i >= 0; i-- {
 		if err := h.levels[i].PaddingAccess(); err != nil {
 			return err
@@ -411,6 +542,9 @@ func (h *ORAM) StepBackground(allowEviction bool) (core.BackgroundWork, error) {
 		}
 	}
 	if allowEviction && h.cfg.BackgroundEviction && h.needsIdleEviction() {
+		if h.cfg.OnRoundStart != nil {
+			h.cfg.OnRoundStart()
+		}
 		for i := len(h.levels) - 1; i >= 0; i-- {
 			if err := h.levels[i].DummyAccess(); err != nil {
 				return core.BgEviction, err
@@ -438,8 +572,13 @@ func (h *ORAM) needsIdleEviction() bool {
 // Flush completes every level's pending write-backs and fully drains
 // coordinated background eviction, leaving the chain in a state the
 // synchronous protocol could have produced: no deferred I/O anywhere,
-// every stash at or below its threshold.
+// every stash at or below its threshold, and — with a PLB — every dirty
+// cached label written back and the cache cold, so the backing trees are
+// self-contained again.
 func (h *ORAM) Flush() error {
+	if err := h.plbFlush(); err != nil {
+		return err
+	}
 	for _, o := range h.levels {
 		if err := o.Flush(); err != nil {
 			return err
@@ -458,6 +597,32 @@ func (h *ORAM) Flush() error {
 	return nil
 }
 
+// plbFlush writes every dirty PLB entry back into its backing ORAM and
+// invalidates the caches. Interfaces flush data-side first: writing
+// interface i's labels walks the chain above it and may dirty interface
+// i+1's cache, which the next iteration then flushes. Each write-back is
+// its own chain round (one oblivious access at the backing level plus the
+// recursion above it).
+func (h *ORAM) plbFlush() error {
+	for _, m := range h.posMaps {
+		if m == nil || m.plb == nil {
+			continue
+		}
+		h.plbScratch = m.plb.dirtyEntries(h.plbScratch[:0])
+		for _, e := range h.plbScratch {
+			m.plb.writeBacks++
+			if h.cfg.OnRoundStart != nil {
+				h.cfg.OnRoundStart()
+			}
+			if err := m.writeLabel(e.group, e.leaf); err != nil {
+				return err
+			}
+		}
+		m.plb.invalidate()
+	}
+	return nil
+}
+
 // drain coordinates background eviction: while any stash exceeds its
 // threshold, issue one dummy request to each ORAM in normal access order
 // (smallest first, data ORAM last — Section 3.1.1).
@@ -469,6 +634,9 @@ func (h *ORAM) drain() error {
 	for h.needsEviction() {
 		if run >= h.maxDummyRun {
 			return core.ErrLivelock
+		}
+		if h.cfg.OnRoundStart != nil {
+			h.cfg.OnRoundStart()
 		}
 		for i := len(h.levels) - 1; i >= 0; i-- {
 			if err := h.levels[i].DummyAccess(); err != nil {
@@ -503,14 +671,41 @@ type oramPosMap struct {
 	// without an extra oblivious access. In hardware this is the leaf tag
 	// the secure processor keeps alongside each cache line.
 	shadow map[uint64]uint32
+	// plb is the optional lookaside cache in front of this interface; h
+	// and level locate it in the chain (backing is h.levels[level+1]) for
+	// chain-length accounting and constant-shape padding.
+	plb   *plb
+	h     *ORAM
+	level int
 }
 
-// Access implements core.PositionMap with a single read-modify-write
-// access to the backing ORAM (one path per level, recursively).
+// Access implements core.PositionMap. On a PLB hit the cached label is
+// authoritative — the group is remapped in the cache alone (entry goes
+// dirty) and the backing ORAM is not touched, which elides every smaller
+// ORAM above it too. On a miss (or without a PLB) it is a single
+// read-modify-write access to the backing ORAM (one path per level,
+// recursively); the freshly mapped label is then cached clean, and a dirty
+// victim of the insert is written back exactly as cached.
 func (m *oramPosMap) Access(group uint64) (old, new uint32, err error) {
+	if m.plb != nil {
+		if leaf, ok := m.plb.lookup(group); ok {
+			m.plb.hits++
+			newLeaf := uint32(m.src.Leaf(m.numLeaves))
+			m.plb.update(group, newLeaf)
+			m.shadow[group] = newLeaf
+			if m.h.cfg.PLBConstantShape {
+				if err := m.h.padElidedLevels(m.level + 1); err != nil {
+					return 0, 0, err
+				}
+			}
+			return leaf, newLeaf, nil
+		}
+		m.plb.misses++
+	}
 	newLeaf := uint32(m.src.Leaf(m.numLeaves))
 	blk := group / m.labelsPerBlock
 	off := (group % m.labelsPerBlock) * labelBytes
+	m.h.curChain++
 	err = m.backing.Update(blk, func(data []byte) {
 		old = binary.LittleEndian.Uint32(data[off : off+labelBytes])
 		if old == core.UnassignedLeaf {
@@ -523,8 +718,46 @@ func (m *oramPosMap) Access(group uint64) (old, new uint32, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
+	if m.plb != nil {
+		if victim, dirty := m.plb.insert(group, newLeaf); dirty {
+			// The evicted label is the only live copy of that group's
+			// mapping; write it back verbatim (no remap — the group is not
+			// being accessed, its block stays on the cached leaf's path).
+			m.plb.writeBacks++
+			if err := m.writeLabel(victim.group, victim.leaf); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
 	m.shadow[group] = newLeaf
 	return old, newLeaf, nil
+}
+
+// writeLabel stores a label into the backing ORAM without consulting this
+// interface's PLB — it is the write-back half of the cache, used for dirty
+// evictions and flushes. The access recursively walks the chain above the
+// backing level like any other backing update.
+func (m *oramPosMap) writeLabel(group uint64, leaf uint32) error {
+	blk := group / m.labelsPerBlock
+	off := (group % m.labelsPerBlock) * labelBytes
+	m.h.curChain++
+	return m.backing.Update(blk, func(data []byte) {
+		binary.LittleEndian.PutUint32(data[off:off+labelBytes], leaf)
+	})
+}
+
+// padElidedLevels issues one dummy-shaped access to every level a PLB hit
+// elided (from..top, smallest first — the order the real chain would have
+// touched them), so constant-shape mode keeps hits and misses
+// indistinguishable on the wire. Counted as scheduler padding.
+func (h *ORAM) padElidedLevels(from int) error {
+	for j := len(h.levels) - 1; j >= from; j-- {
+		h.curChain++
+		if err := h.levels[j].PaddingAccess(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Peek implements core.PositionMap from the shadow tags.

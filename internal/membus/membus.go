@@ -255,6 +255,7 @@ func (b *Bus) AttachShard(leafLevel, bucketBytes int) (*Port, error) {
 		tree:        tree,
 		mapper:      m,
 		bucketBytes: bucketBytes,
+		doneRing:    make([]uint64, 1),
 	}
 	p.stats.AccessBytes = g.AccessBytes
 	b.ports = append(b.ports, p)
@@ -305,8 +306,16 @@ type Port struct {
 	mapper      placement.Mapper
 	bucketBytes int
 	readyAt     uint64 // modeled completion cycle of this shard's last stage
-	stats       Stats
-	reqBuf      []dram.Request // per-stage column-access batch (reused)
+	floor       uint64 // explicit arrival floor (high-water mark of AdvanceTo)
+	// doneRing holds the completion cycles of the last maxInFlight stages:
+	// a new stage may not arrive before the oldest of them completed, so at
+	// most maxInFlight stages of this port are ever in flight in modeled
+	// time. Depth 1 (the default) reproduces the strictly serial port of
+	// the Figure 5(a) model — each stage waits for the previous one.
+	doneRing []uint64
+	ringHead int
+	stats    Stats
+	reqBuf   []dram.Request // per-stage column-access batch (reused)
 }
 
 // Shard returns the port's attach index.
@@ -328,9 +337,34 @@ func (p *Port) ReadyAt() uint64 {
 func (p *Port) AdvanceTo(cycle uint64) {
 	p.bus.mu.Lock()
 	defer p.bus.mu.Unlock()
+	if p.floor < cycle {
+		p.floor = cycle
+	}
 	if p.readyAt < cycle {
 		p.readyAt = cycle
 	}
+}
+
+// SetMaxInFlight bounds how many of this port's stages may overlap in
+// modeled time: a stage's arrival is floored at the completion of the
+// stage depth submissions earlier (plus any explicit AdvanceTo floor), so
+// up to depth stages pipeline and the depth+1-th stalls. Depth 1 — the
+// default — is the strictly serial port every construction used before
+// overlap existed: each stage waits for its predecessor's completion.
+// Call it before the port carries traffic; the hierarchy's Figure 5(b)
+// overlap mode uses depth 2 so one round's write-back and the next
+// round's read coexist on the same tree.
+func (p *Port) SetMaxInFlight(depth int) {
+	if depth < 1 {
+		depth = 1
+	}
+	p.bus.mu.Lock()
+	defer p.bus.mu.Unlock()
+	p.doneRing = make([]uint64, depth)
+	for i := range p.doneRing {
+		p.doneRing[i] = p.readyAt
+	}
+	p.ringHead = 0
 }
 
 // Stats returns a snapshot of this port's counters.
@@ -361,7 +395,14 @@ func (p *Port) charge(leaf uint64, skip []bool, write, deferred bool) {
 	b := p.bus
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	at := p.readyAt
+	// Arrival: the explicit floor (AdvanceTo high-water mark), no earlier
+	// than the completion of the stage maxInFlight submissions back — the
+	// bounded in-flight window. With the default depth 1 the ring holds the
+	// previous stage's completion, i.e. the strictly serial readyAt model.
+	at := p.floor
+	if oldest := p.doneRing[p.ringHead]; oldest > at {
+		at = oldest
+	}
 	if b.serialize && b.frontier > at {
 		at = b.frontier
 	}
@@ -384,7 +425,11 @@ func (p *Port) charge(leaf uint64, skip []bool, write, deferred bool) {
 		done = b.sys.AccessAll(at, reqs)
 	}
 	after := b.sys.Stats()
-	p.readyAt = done
+	p.doneRing[p.ringHead] = done
+	p.ringHead = (p.ringHead + 1) % len(p.doneRing)
+	if done > p.readyAt {
+		p.readyAt = done
+	}
 	if done > b.frontier {
 		b.frontier = done
 	}

@@ -378,12 +378,12 @@ func (p *Pool) run(i int) {
 		// the receive observes it and the worker exits through the drain
 		// path below.
 	}
-	if p.idleWork {
-		// Close-time drain: leave the engine fully written back, as the
-		// synchronous path would.
-		if err := e.Flush(); err != nil {
-			p.noteBackgroundErr(err)
-		}
+	// Close-time drain: leave the engine fully written back. Unconditional
+	// because deferred state is not exclusive to idle-work mode — engines
+	// with a position-map lookaside cache hold dirty labels even under the
+	// synchronous protocol; Flush is a cheap no-op when nothing is owed.
+	if err := e.Flush(); err != nil {
+		p.noteBackgroundErr(err)
 	}
 }
 

@@ -735,8 +735,11 @@ func TestAsyncEvictionsPerIdleCap(t *testing.T) {
 }
 
 // TestSyncPoolNeverTouchesBackground checks that without IdleWork the pool
-// never calls StepBackground or Flush — synchronous engines keep their
-// exact pre-pipelining behavior.
+// never calls StepBackground mid-run — synchronous engines keep their
+// exact pre-pipelining request behavior. Close still drains through one
+// engine-owned Flush: deferred state is not exclusive to idle-work mode
+// (a position-map lookaside cache holds dirty labels even under the
+// synchronous protocol), and Flush is a no-op when nothing is owed.
 func TestSyncPoolNeverTouchesBackground(t *testing.T) {
 	p, fakes := newTestPool(t, 1, 4)
 	fakes[0].evictable = 5
@@ -746,12 +749,17 @@ func TestSyncPoolNeverTouchesBackground(t *testing.T) {
 		}
 	}
 	time.Sleep(5 * time.Millisecond)
+	if fakes[0].flushes != 0 {
+		t.Errorf("sync pool flushed mid-run: flushes=%d", fakes[0].flushes)
+	}
 	if err := p.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if fakes[0].evDone != 0 || fakes[0].wbDone != 0 || fakes[0].flushes != 0 {
-		t.Errorf("sync pool ran background work: ev=%d wb=%d flushes=%d",
-			fakes[0].evDone, fakes[0].wbDone, fakes[0].flushes)
+	if fakes[0].evDone != 0 || fakes[0].wbDone != 0 {
+		t.Errorf("sync pool ran background work: ev=%d wb=%d", fakes[0].evDone, fakes[0].wbDone)
+	}
+	if fakes[0].flushes != 1 {
+		t.Errorf("close-time drain ran %d flushes, want exactly 1", fakes[0].flushes)
 	}
 }
 

@@ -10,16 +10,21 @@
 # per-operation allocation on the hot path. BenchmarkAccessStrawmanEncrypted
 # is deliberately outside the gate — the Section 2.2.1 strawman allocates
 # per block by design.
+#
+# BenchmarkAccessRecursivePLBHit is in the gate (PR 8): the position-map
+# lookaside cache's hit path resolves the leaf without touching the
+# posmap ORAMs and must stay on the pooled-buffer discipline, so a warm
+# all-hits run is held to the same allocs/op budget.
 set -eu
 
 out="${1:-BENCH_pr6.json}"
 benchtime="${BENCHTIME:-2000x}"
 
 go test -run xxx \
-  -bench 'BenchmarkAccessMetadataOnly|BenchmarkAccessPlaintext|BenchmarkAccessCounterEncrypted|BenchmarkAccessConstantTimeStash|BenchmarkShardedThroughput$|BenchmarkShardedThroughputEncrypted|BenchmarkShardedDRAM' \
+  -bench 'BenchmarkAccessMetadataOnly|BenchmarkAccessPlaintext|BenchmarkAccessCounterEncrypted|BenchmarkAccessConstantTimeStash|BenchmarkAccessRecursivePLBHit|BenchmarkShardedThroughput$|BenchmarkShardedThroughputEncrypted|BenchmarkShardedDRAM' \
   -benchtime "$benchtime" -benchmem . |
   go run ./cmd/oram-benchjson -out "$out" \
-    -gate 'BenchmarkAccessPlaintext|BenchmarkAccessCounterEncrypted|BenchmarkAccessConstantTimeStash|BenchmarkShardedThroughput' \
+    -gate 'BenchmarkAccessPlaintext|BenchmarkAccessCounterEncrypted|BenchmarkAccessConstantTimeStash|BenchmarkAccessRecursivePLBHit|BenchmarkShardedThroughput' \
     -max-allocs 1
 
 echo "wrote $out"

@@ -6,9 +6,16 @@
 # carry a non-empty marked Pareto frontier over {p99 latency, cycles/op,
 # on-chip bytes}. The report lands in BENCH_pr7.json (or $1) and is kept
 # as a build artifact for before/after comparison.
+#
+# The pr8 grid rides the same entry point: the position-map acceleration
+# sweep (PLB budget x Figure 5(b) overlap depth on a recursive
+# dram-backed chain) must also complete and validate, covering its 4
+# configurations x 2 workloads; its report lands in BENCH_pr8.json (or
+# $2).
 set -eu
 
 out="${1:-BENCH_pr7.json}"
+out8="${2:-BENCH_pr8.json}"
 ops="${EXPLORE_OPS:-512}"
 warmup="${EXPLORE_WARMUP:-128}"
 
@@ -16,3 +23,8 @@ go run ./cmd/oram-explore -grid smoke -ops "$ops" -warmup "$warmup" -seed 1 -out
 go run ./cmd/oram-explore -check "$out" -min-configs 8
 
 echo "wrote $out"
+
+go run ./cmd/oram-explore -grid pr8 -ops "$ops" -warmup "$warmup" -seed 1 -out "$out8"
+go run ./cmd/oram-explore -check "$out8" -min-configs 4
+
+echo "wrote $out8"

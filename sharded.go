@@ -839,13 +839,24 @@ func (s *Sharded) SchedulerStats() SchedulerStats { return s.pool.Stats() }
 // traffic observed so far. The bool is false under BackendMem.
 func (s *Sharded) TimingStats() (TimingStats, bool) { return s.pool.TimingStats() }
 
-// Flush completes every shard's deferred write-backs and drains background
-// eviction, leaving all shards in a state the synchronous mode could have
-// produced. It serializes with each shard's request stream (concurrent
-// traffic keeps flowing; requests accepted before the flush are included).
-// A no-op barrier without AsyncEviction.
+// Flush completes every shard's deferred state — staged write-backs and
+// background eviction under AsyncEviction, dirty PLB labels under a
+// recursive position map — leaving all shards in a state a flush-free
+// construction could have produced. It serializes with each shard's
+// request stream (concurrent traffic keeps flowing; requests accepted
+// before the flush are included). Each engine's own Flush decides what is
+// owed, so this is a plain barrier when nothing is deferred.
 func (s *Sharded) Flush() error {
-	return s.pool.InspectAll(s.inspectors(func(int, clientEngine) {}))
+	errs := make([]error, len(s.engines))
+	if err := s.pool.InspectAll(s.inspectors(func(i int, e clientEngine) { errs[i] = e.Flush() })); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // PendingWriteBacks returns the total number of deferred path write-backs
