@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/membus"
 	"repro/internal/trace"
 
 	cpusim "repro/internal/cpu"
@@ -394,6 +395,58 @@ func BenchmarkShardedDRAM(b *testing.B) {
 		})
 	}
 }
+
+// benchmarkSched drives a 2-shard timed instance under concurrent
+// single-op reads and reports the modeled columns the PR 9 gate compares:
+// cycles/op, row-hit rate, and ops per modeled second. Both scheduling
+// policies run the identical load; check_bench_pr9.sh requires the
+// FR-FCFS variant to win on all three. The queued hot path is also in
+// the allocation gate — the event queue's rings, skip-mask pool, and
+// batch scratch must reach steady state without per-op allocation.
+func benchmarkSched(b *testing.B, sched MemSched) {
+	const blocks = 1 << 12
+	const blockSize = 64
+	s := newBenchSharded(b, ShardedConfig{
+		Shards: 2,
+		Config: Config{
+			Blocks: blocks, BlockSize: blockSize,
+			Encryption:   EncryptNone,
+			Backend:      BackendDRAM,
+			DRAMChannels: 2,
+			DRAMSched:    sched,
+		},
+	})
+	defer s.Close()
+	pre, _ := s.TimingStats()
+	var seed atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(900 + seed.Add(1)))
+		dst := make([]byte, blockSize)
+		for pb.Next() {
+			if _, err := s.ReadInto(rng.Uint64()%blocks, dst); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	post, ok := s.TimingStats()
+	if !ok {
+		b.Fatal("no timing stats from DRAM backend")
+	}
+	d := post.Delta(pre)
+	b.ReportMetric(float64(d.Cycles)/float64(b.N), "cycles/op")
+	b.ReportMetric(d.RowHitRate(), "row-hit")
+	if d.Cycles > 0 {
+		b.ReportMetric(float64(b.N)*membus.CyclesPerSecond/float64(d.Cycles), "ops/modeled-s")
+	}
+}
+
+func BenchmarkSchedInorder2Shard(b *testing.B) { benchmarkSched(b, MemSchedInOrder) }
+
+func BenchmarkSchedFRFCFS2Shard(b *testing.B) { benchmarkSched(b, MemSchedFRFCFS) }
 
 // BenchmarkShardedBatch measures batched submission from a single client:
 // even one caller gets cross-shard parallelism because the batch fans out

@@ -274,6 +274,13 @@ type Spec struct {
 	DRAMChannels  int
 	DRAMLayout    DRAMLayout
 	DRAMSerialize bool
+	// DRAMSched selects the controller's command scheduling under
+	// BackendDRAM: MemSchedInOrder (default) or MemSchedFRFCFS, whose
+	// open per-channel queue DRAMQueueDepth and DRAMStarveCap
+	// parameterize (see Config).
+	DRAMSched      MemSched
+	DRAMQueueDepth int
+	DRAMStarveCap  int
 
 	// Rand makes the whole construction deterministic (simulation only);
 	// independent per-shard, router and padding streams are derived from
@@ -381,6 +388,9 @@ func Open(spec Spec) (Client, error) {
 			DRAMChannels:          spec.DRAMChannels,
 			DRAMLayout:            spec.DRAMLayout,
 			DRAMSerialize:         spec.DRAMSerialize,
+			DRAMSched:             spec.DRAMSched,
+			DRAMQueueDepth:        spec.DRAMQueueDepth,
+			DRAMStarveCap:         spec.DRAMStarveCap,
 			Rand:                  spec.Rand,
 		},
 	}
@@ -391,6 +401,12 @@ func Open(spec Spec) (Client, error) {
 	if spec.Backend != BackendDRAM &&
 		(spec.DRAMChannels != 0 || spec.DRAMLayout != LayoutSubtree || spec.DRAMSerialize) {
 		return nil, fmt.Errorf("pathoram: DRAMChannels/DRAMLayout/DRAMSerialize parameterize the timed backend; set Backend: BackendDRAM")
+	}
+	if spec.Backend != BackendDRAM && spec.DRAMSched != MemSchedInOrder {
+		return nil, fmt.Errorf("pathoram: DRAMSched parameterizes the timed backend; set Backend: BackendDRAM")
+	}
+	if spec.DRAMSched != MemSchedFRFCFS && (spec.DRAMQueueDepth != 0 || spec.DRAMStarveCap != 0) {
+		return nil, fmt.Errorf("pathoram: DRAMQueueDepth/DRAMStarveCap parameterize the open queue; set DRAMSched: MemSchedFRFCFS")
 	}
 	switch spec.PosMap {
 	case PosMapOnChip:
@@ -447,6 +463,9 @@ func Open(spec Spec) (Client, error) {
 				DRAMChannels:          sc.DRAMChannels,
 				DRAMLayout:            sc.DRAMLayout,
 				DRAMSerialize:         sc.DRAMSerialize,
+				DRAMSched:             sc.DRAMSched,
+				DRAMQueueDepth:        sc.DRAMQueueDepth,
+				DRAMStarveCap:         sc.DRAMStarveCap,
 				PLBBytes:              spec.PLBBytes,
 				PLBConstantShape:      spec.PLBConstantShape,
 				Overlap:               spec.Overlap,

@@ -55,7 +55,9 @@ func main() {
 		out       = flag.String("out", "", "JSON file to write (default stdout)")
 		gate      = flag.String("gate", "", "regexp of benchmark names held to the allocation budget")
 		maxAllocs = flag.Float64("max-allocs", 1, "max allocs/op a gated benchmark may report")
+		requires  requireList
 	)
+	flag.Var(&requires, "require", "cross-benchmark metric assertion 'BenchA:metric<BenchB:metric' (or '>'); repeatable, all must hold")
 	flag.Parse()
 
 	src := io.Reader(os.Stdin)
@@ -96,6 +98,68 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "oram-benchjson: allocation gate passed (budget %g allocs/op)\n", *maxAllocs)
 	}
+	for _, req := range requires {
+		if err := requireMetric(rep.Benchmarks, req); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "oram-benchjson: requirement holds: %s\n", req)
+	}
+}
+
+// requireList collects repeated -require flags.
+type requireList []string
+
+func (r *requireList) String() string { return strings.Join(*r, ",") }
+func (r *requireList) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+// requireMetric enforces one 'BenchA:metric<BenchB:metric' assertion
+// (or '>'): both benchmarks must be present, both must report the named
+// metric, and the comparison must hold strictly. This is how CI pins
+// relative performance claims — e.g. that the FR-FCFS scheduler beats
+// the in-order baseline on modeled cycles per op — instead of absolute
+// thresholds that drift with hardware.
+func requireMetric(benches []Benchmark, expr string) error {
+	opIdx := strings.IndexAny(expr, "<>")
+	if opIdx < 0 {
+		return fmt.Errorf("bad -require %q: want 'BenchA:metric<BenchB:metric' or '>'", expr)
+	}
+	op := expr[opIdx]
+	lookup := func(side string) (float64, error) {
+		name, metric, ok := strings.Cut(side, ":")
+		if !ok {
+			return 0, fmt.Errorf("bad -require side %q: want 'BenchName:metric'", side)
+		}
+		for _, b := range benches {
+			if b.Name != name {
+				continue
+			}
+			v, ok := b.Metrics[metric]
+			if !ok {
+				return 0, fmt.Errorf("%s reports no %q metric", name, metric)
+			}
+			return v, nil
+		}
+		return 0, fmt.Errorf("benchmark %q not found in input", name)
+	}
+	lhs, err := lookup(expr[:opIdx])
+	if err != nil {
+		return err
+	}
+	rhs, err := lookup(expr[opIdx+1:])
+	if err != nil {
+		return err
+	}
+	holds := lhs < rhs
+	if op == '>' {
+		holds = lhs > rhs
+	}
+	if !holds {
+		return fmt.Errorf("requirement failed: %s (%g %c %g does not hold)", expr, lhs, rune(op), rhs)
+	}
+	return nil
 }
 
 // check fails if a gated benchmark exceeds the allocation budget — or if

@@ -29,6 +29,7 @@ import (
 
 	pathoram "repro"
 	"repro/internal/explore"
+	"repro/internal/membus"
 )
 
 func main() {
@@ -46,16 +47,25 @@ func main() {
 		batch     = flag.Int("batch", 0, "ops per batched submission (0 = single ops)")
 		writeFrac = flag.Float64("writefrac", 0.5, "fraction of operations that are writes")
 		think     = flag.Duration("think", 0, "client think time between operations (open-loop pacing; idle time is where -async wins)")
+		paced     = flag.Bool("paced", false, "cycle-paced closed loop: admit each client's next op when the modeled DDR3 clock reaches its slot, making model-ops/s the headline metric (requires -backend dram)")
+		mthink    = flag.Uint64("mthink", 2000, "modeled think cycles between a client's operations (with -paced)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the measured load phase (pre-fill excluded) to this file")
 		memProf   = flag.String("memprofile", "", "write an allocation profile taken after the measured load phase to this file")
 	)
 	flag.Parse()
 
-	if err := sf.CheckExplicit(explore.Explicit(flag.CommandLine)); err != nil {
+	explicit := explore.Explicit(flag.CommandLine)
+	if err := sf.CheckExplicit(explicit); err != nil {
 		log.Fatal(err)
 	}
 	if sf.Padded && *batch <= 0 {
 		log.Fatal("-padded pads batch schedules; combine it with -batch > 0")
+	}
+	if *paced && sf.Backend != "dram" {
+		log.Fatal("-paced admits ops by modeled memory time; combine it with -backend dram")
+	}
+	if explicit["mthink"] && !*paced {
+		log.Fatal("-mthink sets modeled think cycles for the paced loop; combine it with -paced")
 	}
 	shardCounts, err := parseInts(*shardsCSV)
 	if err != nil {
@@ -83,12 +93,25 @@ func main() {
 		}
 		fmt.Printf("backend: dram (%d channels, %s layout, serialize=%v, write-buffer depth=%d)\n",
 			sf.Channels, sf.Layout, sf.DRAMSer, depth)
+		if sf.MemSched == "frfcfs" {
+			qd, sc := sf.MemQueue, sf.StarveCap
+			if qd == 0 {
+				qd = 8 // dram.DefaultQueueDepth, the resolved value
+			}
+			if sc == 0 {
+				sc = 4 // dram.DefaultStarvationCap
+			}
+			fmt.Printf("sched: frfcfs (open command queue depth=%d, starvation cap=%d)\n", qd, sc)
+		}
+		if *paced {
+			fmt.Printf("paced: closed loop on the modeled clock, think=%d cycles/op\n", *mthink)
+		}
 	}
 	fmt.Printf("load: %d clients, %d ops/config, batch=%d, writefrac=%.2f, think=%v, GOMAXPROCS=%d\n\n",
 		*clients, *ops, *batch, *writeFrac, *think, runtime.GOMAXPROCS(0))
 
 	w := newTable(os.Stdout)
-	w.row("shards", "levels", "posmap-B", "plb-hit", "chain-len", "wall", "ops/s", "speedup", "p50", "p95", "p99", "dummy/real", "pad/real", "stash-peak", "imbalance", "row-hit", "B/cyc", "rd-cyc", "Mcycles")
+	w.row("shards", "levels", "posmap-B", "plb-hit", "chain-len", "wall", "ops/s", "speedup", "p50", "p95", "p99", "dummy/real", "pad/real", "stash-peak", "imbalance", "row-hit", "B/cyc", "rd-cyc", "Mcycles", "model-ops/s")
 	var baseline float64
 	for _, n := range shardCounts {
 		// One Spec covers the whole sweep: sharding, position-map recursion
@@ -99,7 +122,8 @@ func main() {
 		}
 		res, err := runConfig(spec, load{
 			clients: *clients, ops: *ops, batch: *batch, writeFrac: *writeFrac,
-			think: *think, cpuProfile: *cpuProf, memProfile: *memProf,
+			think: *think, paced: *paced, mthink: *mthink,
+			cpuProfile: *cpuProf, memProfile: *memProf,
 		})
 		if err != nil {
 			log.Fatalf("shards=%d: %v", n, err)
@@ -122,7 +146,7 @@ func main() {
 			fmt.Sprintf("%.3f", res.padPerReal),
 			strconv.Itoa(res.stashPeak),
 			fmt.Sprintf("%.2f", res.imbalance),
-			res.rowHit, res.bytesPerCyc, res.readCyc, res.mcycles,
+			res.rowHit, res.bytesPerCyc, res.readCyc, res.mcycles, res.modelOps,
 		)
 	}
 	w.flush()
@@ -140,6 +164,10 @@ func main() {
 		fmt.Println("row-hit = DRAM row-buffer hit rate; B/cyc = achieved bytes per memory cycle")
 		fmt.Println("rd-cyc  = mean modeled path-read latency (DDR3 cycles, the access's critical path)")
 		fmt.Println("Mcycles = modeled completion frontier of the measured traffic (millions of cycles)")
+		fmt.Println("model-ops/s = ops per modeled second (measured ops / modeled cycles x 666.67 MHz DDR3-1333 bus clock)")
+		if *paced {
+			fmt.Println("paced: model-ops/s is the headline — clients were admitted by the modeled clock, not the wall clock")
+		}
 	}
 }
 
@@ -151,6 +179,8 @@ type load struct {
 	batch      int
 	writeFrac  float64
 	think      time.Duration
+	paced      bool   // admit ops by modeled memory time (BackendDRAM only)
+	mthink     uint64 // modeled think cycles between ops (with paced)
 	cpuProfile string
 	memProfile string
 }
@@ -168,7 +198,7 @@ type result struct {
 	// Posmap-acceleration columns ("-" when flat / no PLB).
 	plbHit, chainLen string
 	// Modeled-timing columns ("-" under the untimed backend).
-	rowHit, bytesPerCyc, readCyc, mcycles string
+	rowHit, bytesPerCyc, readCyc, mcycles, modelOps string
 }
 
 func runConfig(spec pathoram.Spec, c load) (result, error) {
@@ -237,6 +267,12 @@ func runConfig(spec pathoram.Spec, c load) (result, error) {
 			rng := rand.New(rand.NewSource(int64(cl) + 1))
 			payload := make([]byte, spec.BlockSize)
 			record := func(d time.Duration) { lats[cl] = append(lats[cl], d) }
+			pc := &pacer{interval: c.mthink}
+			admit := func() {
+				if c.paced {
+					pacedWait(s, pc)
+				}
+			}
 			if c.batch > 0 {
 				lats[cl] = make([]time.Duration, 0, (perClient+c.batch-1)/c.batch)
 				addrs := make([]uint64, c.batch)
@@ -244,6 +280,7 @@ func runConfig(spec pathoram.Spec, c load) (result, error) {
 					for j := range addrs {
 						addrs[j] = rng.Uint64() % spec.Blocks
 					}
+					admit()
 					t0 := time.Now()
 					if rng.Float64() < c.writeFrac {
 						data := make([][]byte, c.batch)
@@ -269,6 +306,7 @@ func runConfig(spec pathoram.Spec, c load) (result, error) {
 			for i := 0; i < perClient; i++ {
 				addr := rng.Uint64() % spec.Blocks
 				var opErr error
+				admit()
 				t0 := time.Now()
 				if rng.Float64() < c.writeFrac {
 					opErr = s.Write(addr, payload)
@@ -344,7 +382,7 @@ func runConfig(spec pathoram.Spec, c load) (result, error) {
 		stashPeak:    st.StashPeak,
 		imbalance:    float64(max) / mean,
 		plbHit:       "-", chainLen: "-",
-		rowHit: "-", bytesPerCyc: "-", readCyc: "-", mcycles: "-",
+		rowHit: "-", bytesPerCyc: "-", readCyc: "-", mcycles: "-", modelOps: "-",
 	}
 	if spec.PosMap == pathoram.PosMapRecursive {
 		res.chainLen = fmt.Sprintf("%.2f", st.MeanChainLength())
@@ -362,8 +400,40 @@ func runConfig(spec pathoram.Spec, c load) (result, error) {
 		res.bytesPerCyc = fmt.Sprintf("%.2f", d.BytesPerCycle())
 		res.readCyc = fmt.Sprintf("%.0f", d.MeanReadCycles())
 		res.mcycles = fmt.Sprintf("%.1f", float64(d.Cycles)/1e6)
+		if d.Cycles > 0 {
+			res.modelOps = fmt.Sprintf("%.0f",
+				float64(c.clients*perClient)*membus.CyclesPerSecond/float64(d.Cycles))
+		}
 	}
 	return res, nil
+}
+
+// pacedWait blocks until the pacer admits the next submission on the
+// modeled clock. The frontier only advances when some client's traffic
+// retires, so if every client is waiting out its think time nothing
+// moves; after a bounded wall spin the pacer skips the modeled idle
+// span instead of simulating it (idle cycles carry no information — the
+// metric of interest is ops per modeled second under load).
+func pacedWait(s *pathoram.Sharded, p *pacer) {
+	// The stall budget is wall-clock and burned by yielding, not sleeping:
+	// an in-flight op retires in tens of microseconds, so a yield loop
+	// observes the frontier move almost immediately, while sleep
+	// granularity on a loaded host can be coarser than the whole budget.
+	const stallBudget = time.Millisecond
+	var deadline time.Time
+	for {
+		now, ok := s.ModeledFrontier()
+		if !ok || p.admit(now) {
+			return
+		}
+		if deadline.IsZero() {
+			deadline = time.Now().Add(stallBudget)
+		} else if time.Now().After(deadline) {
+			p.skipIdle(now)
+			continue // the reset slot admits on the next iteration
+		}
+		runtime.Gosched()
+	}
 }
 
 func parseInts(csv string) ([]int, error) {

@@ -1,0 +1,29 @@
+package main
+
+// pacer schedules one client's closed-loop submissions against the
+// modeled memory clock instead of the wall clock: operation n+1 is
+// admitted once the modeled frontier reaches operation n's admission
+// plus the think interval. Wall-clock ns/op measures the simulator;
+// pacing by modeled cycles makes ops per modeled second — what the
+// modeled machine would sustain — the headline metric.
+type pacer struct {
+	interval uint64 // modeled think cycles between admissions
+	next     uint64 // earliest modeled cycle the next op may start
+}
+
+// admit reports whether the modeled clock now has reached the next
+// admission slot, scheduling the following slot when it has.
+func (p *pacer) admit(now uint64) bool {
+	if now < p.next {
+		return false
+	}
+	p.next = now + p.interval
+	return true
+}
+
+// skipIdle pulls the next slot back to the current clock. The modeled
+// frontier only advances when some client's traffic retires, so a fully
+// idle system — every client waiting out its think time — would wait
+// forever; the caller detects the stall on the wall clock and skips the
+// modeled idle span instead of simulating it.
+func (p *pacer) skipIdle(now uint64) { p.next = now }

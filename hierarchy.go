@@ -77,6 +77,12 @@ type HierarchyConfig struct {
 	// DRAMSerialize is the no-overlap modeling baseline (see
 	// Config.DRAMSerialize).
 	DRAMSerialize bool
+	// DRAMSched, DRAMQueueDepth, DRAMStarveCap select the controller's
+	// command scheduling (see Config.DRAMSched): in-order issue or the
+	// open FR-FCFS queue, shared by every level of the chain.
+	DRAMSched      MemSched
+	DRAMQueueDepth int
+	DRAMStarveCap  int
 	// PLBBytes provisions the position-map lookaside cache of Section
 	// 3.3.3: a small set-associative write-back LRU of group→leaf labels
 	// in front of every position-map interface (the byte budget splits
@@ -254,6 +260,17 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 	default:
 		return nil, fmt.Errorf("pathoram: unknown DRAM layout %d", cfg.DRAMLayout)
 	}
+	switch cfg.DRAMSched {
+	case MemSchedInOrder, MemSchedFRFCFS:
+	default:
+		return nil, fmt.Errorf("pathoram: unknown memory scheduler %d", cfg.DRAMSched)
+	}
+	if cfg.DRAMQueueDepth < 0 || cfg.DRAMStarveCap < 0 {
+		return nil, fmt.Errorf("pathoram: DRAMQueueDepth/DRAMStarveCap must be >= 0")
+	}
+	if cfg.DRAMSched != MemSchedFRFCFS && (cfg.DRAMQueueDepth != 0 || cfg.DRAMStarveCap != 0) {
+		return nil, fmt.Errorf("pathoram: DRAMQueueDepth/DRAMStarveCap parameterize the open queue; set DRAMSched: MemSchedFRFCFS")
+	}
 	if cfg.Overlap < 0 {
 		return nil, fmt.Errorf("pathoram: Overlap must be >= 0")
 	}
@@ -323,10 +340,16 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 	bus := cfg.bus
 	if cfg.Backend == BackendDRAM && bus == nil {
 		var err error
+		schedCfg := Config{
+			DRAMSched:      cfg.DRAMSched,
+			DRAMQueueDepth: cfg.DRAMQueueDepth,
+			DRAMStarveCap:  cfg.DRAMStarveCap,
+		}
 		if bus, err = membus.New(membus.Config{
 			Channels:  cfg.DRAMChannels,
 			Layout:    cfg.DRAMLayout.membusLayout(),
 			Serialize: cfg.DRAMSerialize,
+			Sched:     schedCfg.dramSchedConfig(),
 		}); err != nil {
 			return nil, err
 		}

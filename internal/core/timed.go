@@ -26,7 +26,11 @@ import "fmt"
 // Implementations must be safe for use from the single goroutine owning
 // the ORAM; cross-ORAM serialization (many shards charging one shared
 // memory system) is the model's own business — internal/membus takes a bus
-// lock per charge.
+// lock per charge. A charge is a submission, not a completion: the model
+// may buffer the stage and retire it later in event order (membus queues
+// stages per port and drains them in global arrival order), so modeled
+// clocks observed through the model's query surface are only current at
+// those queries' quiesce points.
 type PathTimer interface {
 	ReadPath(leaf uint64, skip []bool)
 	WritePath(leaf uint64, deferred bool)

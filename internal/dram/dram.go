@@ -7,7 +7,11 @@
 // then columns, then banks, and lastly rows.
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/statmath"
+)
 
 // Timing collects DDR3 timing parameters in memory-bus clock cycles.
 type Timing struct {
@@ -86,6 +90,20 @@ type Stats struct {
 	Refreshes           uint64
 	DataBusBusyCycles   uint64
 	LastCompletionCycle uint64
+	// QueueOccupancyPeak is the high-water mark of any channel's open
+	// command-queue window (SchedFRFCFS only; the in-order path holds one
+	// request per channel by construction and leaves it 0). Like
+	// LastCompletionCycle it is a high-water mark: max under Merge, advance
+	// under Sub.
+	QueueOccupancyPeak uint64
+	// BankOverlapActs counts row activations issued while the channel's
+	// previous data transfer was still in flight — bank-level parallelism
+	// that an open queue (or overlapping ports) exposes and a strictly
+	// chained single stream cannot.
+	BankOverlapActs uint64
+	// StarvationForced counts FR-FCFS issue slots where the starvation cap
+	// overrode a younger row-hit candidate to force the oldest request.
+	StarvationForced uint64
 }
 
 // Merge returns the combination of s and other, mirroring core.Stats.Merge:
@@ -101,28 +119,27 @@ func (s Stats) Merge(other Stats) Stats {
 	s.RowMisses += other.RowMisses
 	s.Refreshes += other.Refreshes
 	s.DataBusBusyCycles += other.DataBusBusyCycles
+	s.BankOverlapActs += other.BankOverlapActs
+	s.StarvationForced += other.StarvationForced
 	if other.LastCompletionCycle > s.LastCompletionCycle {
 		s.LastCompletionCycle = other.LastCompletionCycle
+	}
+	if other.QueueOccupancyPeak > s.QueueOccupancyPeak {
+		s.QueueOccupancyPeak = other.QueueOccupancyPeak
 	}
 	return s
 }
 
 // Sub returns the counters accrued between the prev snapshot and s (prev
 // must be an earlier snapshot of the same counters): additive counters
-// subtract, and LastCompletionCycle becomes the completion-frontier
-// advance over the interval. Merge and Sub are the only two places the
-// counter set is enumerated — membus builds its per-port attribution and
-// pre-fill-excluded deltas on them, so a new field added here is
-// aggregated and diffed correctly everywhere by construction.
+// subtract, and the high-water marks (LastCompletionCycle,
+// QueueOccupancyPeak) become their advance over the interval. The field
+// enumeration lives in statmath.SubCounters, shared with membus.Stats.Delta
+// — membus builds its per-port attribution and pre-fill-excluded deltas on
+// Merge and Sub, so a new field added here is aggregated and diffed
+// correctly everywhere by construction.
 func (s Stats) Sub(prev Stats) Stats {
-	s.Reads -= prev.Reads
-	s.Writes -= prev.Writes
-	s.RowHits -= prev.RowHits
-	s.RowMisses -= prev.RowMisses
-	s.Refreshes -= prev.Refreshes
-	s.DataBusBusyCycles -= prev.DataBusBusyCycles
-	s.LastCompletionCycle -= prev.LastCompletionCycle
-	return s
+	return statmath.SubCounters(s, prev)
 }
 
 // RowHitRate returns hits / (hits+misses) for this snapshot (0 when the
@@ -155,17 +172,34 @@ type channel struct {
 type System struct {
 	g       Geometry
 	t       Timing
+	sched   SchedConfig
 	chans   []channel
 	stats   Stats
 	headBuf []uint64 // AccessAll per-channel arrival clocks (reused)
+
+	// Open-queue scheduler scratch (reused across batches; see sched.go).
+	schedStart []int32        // per-channel segment offsets into schedIdx
+	schedIdx   []int32        // request indices grouped by channel
+	schedAdm   []uint64       // per-request window admission cycles
+	timedBuf   []TimedRequest // AccessAll -> AccessAllTimed adapter batch
+
+	// trace, when set, observes every issued column access: the request's
+	// index in the submitted batch, its admission cycle, and its completion
+	// cycle. Test hook for issue-order and multiset properties; nil in
+	// production.
+	trace func(reqIdx int, arrival, done uint64)
 }
 
-// New builds a memory system.
+// New builds a memory system with the default in-order scheduling policy.
 func New(g Geometry, t Timing) (*System, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	s := &System{g: g, t: t, chans: make([]channel, g.Channels)}
+	sched, err := SchedConfig{}.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &System{g: g, t: t, sched: sched, chans: make([]channel, g.Channels)}
 	s.Reset()
 	return s, nil
 }
@@ -241,6 +275,11 @@ func (s *System) Access(at uint64, addr uint64, write bool) uint64 {
 			act = pre + uint64(s.t.TRP)
 		}
 		act = max64(act, c.lastActAt+uint64(s.t.TRRD))
+		if c.lastDataEnd > 0 && act < c.lastDataEnd {
+			// This bank activates while another bank's data transfer is
+			// still on the channel's bus — bank-level parallelism.
+			s.stats.BankOverlapActs++
+		}
 		b.actAt = act
 		c.lastActAt = act
 		b.openRow = int64(loc.Row)
@@ -284,13 +323,16 @@ func (s *System) Access(at uint64, addr uint64, write bool) uint64 {
 	return dataEnd
 }
 
-// AccessAll submits a batch arriving at the given cycle. Requests are
-// routed to their channels and queued per channel in slice order: each
+// AccessAll submits a batch arriving at the given cycle under the
+// configured scheduling policy. Under SchedInOrder (the default) requests
+// are routed to their channels and queued per channel in slice order: each
 // channel's controller holds one request in flight, so request k+1 on a
 // channel enters the bank state machine only when request k's data
 // transfer has completed. Distinct channels proceed independently — every
-// channel's queue starts draining at the batch arrival cycle. It returns
-// the completion cycle of the last request.
+// channel's queue starts draining at the batch arrival cycle. Under
+// SchedFRFCFS each channel instead holds an open window of QueueDepth
+// requests and issues row hits first (see sched.go). It returns the
+// completion cycle of the last request.
 //
 // (Before this queue existed every request was issued at the same arrival
 // cycle, so two same-channel requests to different banks would activate
@@ -298,6 +340,16 @@ func (s *System) Access(at uint64, addr uint64, write bool) uint64 {
 // serialization came from the shared data bus. TestDRAMAccessAllQueues
 // pins the per-channel chaining.)
 func (s *System) AccessAll(at uint64, reqs []Request) uint64 {
+	if s.sched.Policy == SchedFRFCFS {
+		if cap(s.timedBuf) < len(reqs) {
+			s.timedBuf = make([]TimedRequest, len(reqs))
+		}
+		timed := s.timedBuf[:len(reqs)]
+		for i, r := range reqs {
+			timed[i] = TimedRequest{Addr: r.Addr, Write: r.Write, At: at}
+		}
+		return s.AccessAllTimed(timed, nil, nil)
+	}
 	if cap(s.headBuf) < len(s.chans) {
 		s.headBuf = make([]uint64, len(s.chans))
 	}
@@ -306,9 +358,13 @@ func (s *System) AccessAll(at uint64, reqs []Request) uint64 {
 		heads[i] = at
 	}
 	var done uint64
-	for _, r := range reqs {
+	for i, r := range reqs {
 		ch := s.Map(r.Addr).Channel
-		d := s.Access(heads[ch], r.Addr, r.Write)
+		arr := heads[ch]
+		d := s.Access(arr, r.Addr, r.Write)
+		if s.trace != nil {
+			s.trace(i, arr, d)
+		}
 		heads[ch] = d
 		if d > done {
 			done = d

@@ -1,0 +1,243 @@
+// Open-queue command scheduling. The paper's design-space numbers assume
+// a DRAMSim2-class controller that reorders column accesses for
+// row-buffer locality and bank-level parallelism; SchedFRFCFS models that
+// controller as a bounded per-channel window scheduled first-ready
+// first-come-first-served — row hits first, then oldest — with a
+// starvation cap that forces the oldest request after a bounded number of
+// bypasses. SchedInOrder keeps the strictly chained issue path the model
+// started with, bit for bit.
+package dram
+
+import "fmt"
+
+// SchedPolicy selects how a batch's column accesses are ordered per
+// channel.
+type SchedPolicy int
+
+const (
+	// SchedInOrder issues each channel's requests strictly in arrival
+	// order, one in flight: request k+1 enters the bank state machine only
+	// when request k's data transfer has completed. The default, and the
+	// pre-open-queue model exactly.
+	SchedInOrder SchedPolicy = iota
+	// SchedFRFCFS holds an open window of up to QueueDepth decoded
+	// requests per channel and each issue slot picks the oldest row-buffer
+	// hit in the window, falling back to the oldest request outright. The
+	// window admits request k+Q when request k completes, so younger
+	// requests activate other banks while an older transfer is still on
+	// the bus.
+	SchedFRFCFS
+)
+
+// Scheduler defaults: an 8-deep window matches small controller command
+// queues, and 4 bypasses bounds the extra wait a row-conflict request can
+// accrue before the cap forces it (see the starvation-bound property
+// test).
+const (
+	DefaultQueueDepth    = 8
+	DefaultStarvationCap = 4
+)
+
+// SchedConfig parameterizes the per-channel command queue.
+type SchedConfig struct {
+	Policy SchedPolicy
+	// QueueDepth is the open window per channel under SchedFRFCFS
+	// (default 8; ignored in order). Depth 1 degenerates to SchedInOrder
+	// exactly: a one-entry window has nothing to reorder.
+	QueueDepth int
+	// StarvationCap bounds how many times younger row hits may bypass the
+	// oldest queued request under SchedFRFCFS: after this many consecutive
+	// bypasses the oldest issues regardless (default 4). No request ever
+	// waits more than QueueDepth*(StarvationCap+1) issue slots.
+	StarvationCap int
+}
+
+func (c SchedConfig) withDefaults() (SchedConfig, error) {
+	switch c.Policy {
+	case SchedInOrder, SchedFRFCFS:
+	default:
+		return c, fmt.Errorf("dram: unknown scheduling policy %d", c.Policy)
+	}
+	if c.QueueDepth < 0 {
+		return c, fmt.Errorf("dram: queue depth %d must be >= 0 (0 = default)", c.QueueDepth)
+	}
+	if c.StarvationCap < 0 {
+		return c, fmt.Errorf("dram: starvation cap %d must be >= 0 (0 = default)", c.StarvationCap)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.StarvationCap == 0 {
+		c.StarvationCap = DefaultStarvationCap
+	}
+	return c, nil
+}
+
+// SetSched configures the scheduling policy (zero fields take defaults).
+// Call it before traffic; it does not disturb timing state or counters.
+func (s *System) SetSched(cfg SchedConfig) error {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return err
+	}
+	s.sched = full
+	return nil
+}
+
+// Sched returns the active scheduling configuration with defaults filled
+// in.
+func (s *System) Sched() SchedConfig { return s.sched }
+
+// TimedRequest is one column access with its own earliest-arrival cycle
+// and an attribution tag. Batches with heterogeneous arrivals are how the
+// bus merges contemporaneous stages from different ports into one
+// scheduling window; the tag (a small non-negative index chosen by the
+// caller) routes each access's completion and counter delta back to its
+// stage.
+type TimedRequest struct {
+	Addr  uint64
+	Write bool
+	At    uint64
+	Tag   int
+}
+
+// AccessAllTimed submits a batch of requests carrying per-request arrival
+// floors through the configured policy and returns the completion cycle
+// of the last request. When tagDone/tagStats are non-nil they must be
+// indexed by every request's Tag; each tag's entry accumulates the max
+// completion cycle and the Merge of its requests' counter deltas (with
+// the high-water fields carrying absolute values, so merging tags
+// reproduces the system totals). Requests should be in nondecreasing
+// arrival order per channel — slice order is the queue's arrival order.
+func (s *System) AccessAllTimed(reqs []TimedRequest, tagDone []uint64, tagStats []Stats) uint64 {
+	nch := len(s.chans)
+	if cap(s.schedStart) < nch+1 {
+		s.schedStart = make([]int32, nch+1)
+	}
+	start := s.schedStart[:nch+1]
+	for i := range start {
+		start[i] = 0
+	}
+	for i := range reqs {
+		start[s.Map(reqs[i].Addr).Channel+1]++
+	}
+	for c := 0; c < nch; c++ {
+		start[c+1] += start[c]
+	}
+	if cap(s.schedIdx) < len(reqs) {
+		s.schedIdx = make([]int32, len(reqs))
+		s.schedAdm = make([]uint64, len(reqs))
+	}
+	idx := s.schedIdx[:len(reqs)]
+	// Stable counting sort by channel: cursor[c] runs from start[c] to
+	// start[c+1]; reuse the headBuf scratch as the cursor array.
+	if cap(s.headBuf) < nch {
+		s.headBuf = make([]uint64, nch)
+	}
+	cur := s.headBuf[:nch]
+	for c := range cur {
+		cur[c] = uint64(start[c])
+	}
+	for i := range reqs {
+		c := s.Map(reqs[i].Addr).Channel
+		idx[cur[c]] = int32(i)
+		cur[c]++
+	}
+
+	var done uint64
+	for c := 0; c < nch; c++ {
+		if d := s.drainChannel(reqs, idx[start[c]:start[c+1]], s.schedAdm[start[c]:start[c+1]], tagDone, tagStats); d > done {
+			done = d
+		}
+	}
+	return done
+}
+
+// drainChannel issues one channel's segment of the batch. pend holds the
+// channel's request indices in arrival order; adm is the parallel
+// window-admission clock (entry j is valid once j is inside the window).
+func (s *System) drainChannel(reqs []TimedRequest, pend []int32, adm []uint64, tagDone []uint64, tagStats []Stats) uint64 {
+	q := s.sched.QueueDepth
+	cap_ := s.sched.StarvationCap
+	if s.sched.Policy == SchedInOrder {
+		q, cap_ = 1, 0
+	}
+	w := q
+	if len(pend) < w {
+		w = len(pend)
+	}
+	// The initial window is admitted at batch submission: each entry may
+	// issue as soon as its own arrival allows.
+	for j := 0; j < w; j++ {
+		adm[j] = reqs[pend[j]].At
+	}
+	bypass := 0
+	var done uint64
+	for len(pend) > 0 {
+		w = q
+		if len(pend) < w {
+			w = len(pend)
+		}
+		if uint64(w) > s.stats.QueueOccupancyPeak {
+			s.stats.QueueOccupancyPeak = uint64(w)
+		}
+		before := s.stats
+		pick := 0
+		if w > 1 {
+			hit := -1
+			for j := 0; j < w; j++ {
+				loc := s.Map(reqs[pend[j]].Addr)
+				if s.chans[loc.Channel].banks[loc.Bank].openRow == int64(loc.Row) {
+					hit = j
+					break
+				}
+			}
+			if bypass >= cap_ {
+				// Forced oldest: the cap overrides the row-hit preference.
+				if hit > 0 {
+					s.stats.StarvationForced++
+				}
+			} else if hit > 0 {
+				pick = hit
+			}
+		}
+		if pick == 0 {
+			bypass = 0
+		} else {
+			bypass++
+		}
+		ri := pend[pick]
+		r := reqs[ri]
+		arr := adm[pick]
+		if r.At > arr {
+			arr = r.At
+		}
+		d := s.Access(arr, r.Addr, r.Write)
+		if s.trace != nil {
+			s.trace(int(ri), arr, d)
+		}
+		if d > done {
+			done = d
+		}
+		if tagDone != nil && d > tagDone[r.Tag] {
+			tagDone[r.Tag] = d
+		}
+		if tagStats != nil {
+			diff := s.stats.Sub(before)
+			// High-water fields carry absolute values per tag so a Merge
+			// over tags reproduces the system's own maxima.
+			diff.LastCompletionCycle = d
+			diff.QueueOccupancyPeak = s.stats.QueueOccupancyPeak
+			tagStats[r.Tag] = tagStats[r.Tag].Merge(diff)
+		}
+		copy(pend[pick:], pend[pick+1:])
+		copy(adm[pick:], adm[pick+1:])
+		pend = pend[:len(pend)-1]
+		adm = adm[:len(adm)-1]
+		// The completed issue admits the next request into the window.
+		if len(pend) >= q {
+			adm[q-1] = d
+		}
+	}
+	return done
+}

@@ -41,6 +41,12 @@ type Grid struct {
 	// Overlaps sweeps the Figure 5(b) speculative chain depth; inert
 	// unless the point is recursive AND dram-backed (canonicalized to 0).
 	Overlaps []int `json:"overlaps"` // default [0]
+	// MemScheds sweeps the memory-controller scheduling policy; inert on
+	// mem-backed points (canonicalized to "inorder").
+	MemScheds []string `json:"memscheds"` // "inorder" | "frfcfs"; default ["inorder"]
+	// QueueDepths sweeps the FR-FCFS per-channel command-queue depth
+	// (0 = the default 8); inert on inorder points (canonicalized to 0).
+	QueueDepths []int `json:"queuedepths"` // default [0]
 
 	// OnChipMax / PosBlock parameterize recursive-posmap points only.
 	OnChipMax uint64 `json:"onchipmax"` // default 2048 B
@@ -104,6 +110,12 @@ func (g *Grid) normalize() {
 	if len(g.Overlaps) == 0 {
 		g.Overlaps = []int{0}
 	}
+	if len(g.MemScheds) == 0 {
+		g.MemScheds = []string{"inorder"}
+	}
+	if len(g.QueueDepths) == 0 {
+		g.QueueDepths = []int{0}
+	}
 	if g.OnChipMax == 0 {
 		g.OnChipMax = 2048
 	}
@@ -156,15 +168,28 @@ func (g Grid) Points(seed int64) ([]Point, error) {
 												if be != "dram" {
 													ov = 0
 												}
-												p, err := g.point(shards, pm, be, part, padded, ct, md, idle, plb, pcs, ov, seed, len(points))
-												if err != nil {
-													return nil, err
+												for _, sched := range g.MemScheds {
+													for _, qd := range g.QueueDepths {
+														if be != "dram" {
+															// No timed controller to
+															// schedule; canonicalize both
+															// axes.
+															sched, qd = "inorder", 0
+														}
+														if sched != "frfcfs" {
+															qd = 0
+														}
+														p, err := g.point(shards, pm, be, part, padded, ct, md, idle, plb, pcs, ov, sched, qd, seed, len(points))
+														if err != nil {
+															return nil, err
+														}
+														if seen[p.Name] {
+															continue
+														}
+														seen[p.Name] = true
+														points = append(points, p)
+													}
 												}
-												if seen[p.Name] {
-													continue
-												}
-												seen[p.Name] = true
-												points = append(points, p)
 											}
 										}
 									}
@@ -179,7 +204,7 @@ func (g Grid) Points(seed int64) ([]Point, error) {
 	return points, nil
 }
 
-func (g Grid) point(shards int, pm, be, part string, padded, ct bool, md, idle int, plb uint64, pcs bool, ov int, seed int64, idx int) (Point, error) {
+func (g Grid) point(shards int, pm, be, part string, padded, ct bool, md, idle int, plb uint64, pcs bool, ov int, sched string, qd int, seed int64, idx int) (Point, error) {
 	// The mode-dependent knobs (recursion, DRAM) are populated
 	// unconditionally: SpecFlags.Spec copies them into the Spec only when
 	// their mode is selected, exactly as the flag defaults behave.
@@ -208,6 +233,10 @@ func (g Grid) point(shards int, pm, be, part string, padded, ct bool, md, idle i
 	sf.PLBBytes = plb
 	sf.PLBConst = pcs
 	sf.Overlap = ov
+	sf.MemSched = sched
+	if sched == "frfcfs" {
+		sf.MemQueue = qd
+	}
 	// Validate the axis values now by building a Spec once; the runner
 	// builds its own fresh one per Open.
 	if _, err := sf.Spec(shards); err != nil {
@@ -235,6 +264,12 @@ func (g Grid) point(shards int, pm, be, part string, padded, ct bool, md, idle i
 	if ov > 0 {
 		name += fmt.Sprintf("/ov=%d", ov)
 	}
+	if sched == "frfcfs" {
+		name += "/sched=frfcfs"
+		if qd > 0 {
+			name += fmt.Sprintf("/qd=%d", qd)
+		}
+	}
 	return Point{Name: name, Flags: sf, Shards: shards, Padded: padded}, nil
 }
 
@@ -243,7 +278,8 @@ func (g Grid) point(shards int, pm, be, part string, padded, ct bool, md, idle i
 // runtime. "full" is the EXPERIMENTS.md grid: every axis the paper
 // explores, 64 points across three workloads. "pr8" is the position-map
 // acceleration grid: PLB budget x overlap depth on a recursive
-// dram-backed chain.
+// dram-backed chain. "pr9" is the memory-controller grid: inorder vs
+// FR-FCFS at two queue depths on a 2-shard dram point.
 var Presets = map[string]Grid{
 	"smoke": {
 		Blocks: 1024, BlockSize: 32,
@@ -278,6 +314,19 @@ var Presets = map[string]Grid{
 		Overlaps:  []int{0, 4},
 		Workloads: []string{"uniform", "zipf"},
 	},
+	// "pr9" isolates the memory-controller scheduling axes: a 2-shard
+	// dram-backed sweep over inorder vs the FR-FCFS open queue at two
+	// depths, on both workload shapes. The qd axis canonicalizes to 0 on
+	// inorder points, so the product is 3 configs x 2 workloads.
+	"pr9": {
+		Blocks: 1024, BlockSize: 32,
+		Shards:      []int{2},
+		PosMaps:     []string{"flat"},
+		Backends:    []string{"dram"},
+		MemScheds:   []string{"inorder", "frfcfs"},
+		QueueDepths: []int{0, 16},
+		Workloads:   []string{"uniform", "zipf"},
+	},
 }
 
 // LoadGrid resolves name either as a preset or as a path to a JSON grid
@@ -289,7 +338,7 @@ func LoadGrid(name string) (Grid, error) {
 	f, err := os.Open(name)
 	if err != nil {
 		if !strings.ContainsAny(name, "./\\") {
-			return Grid{}, fmt.Errorf("unknown preset %q (have: smoke, full, pr8) and no such file", name)
+			return Grid{}, fmt.Errorf("unknown preset %q (have: smoke, full, pr8, pr9) and no such file", name)
 		}
 		return Grid{}, err
 	}

@@ -37,6 +37,9 @@ type SpecFlags struct {
 	Channels  int
 	Layout    string
 	DRAMSer   bool
+	MemSched  string
+	MemQueue  int
+	StarveCap int
 	MaxDefer  int
 	CTStash   bool
 	PLBBytes  uint64
@@ -65,6 +68,9 @@ func (sf *SpecFlags) AddFlags(fs *flag.FlagSet) {
 	fs.IntVar(&sf.Channels, "channels", 2, "independent DDR3 channels shared by all shards (with -backend dram)")
 	fs.StringVar(&sf.Layout, "layout", "subtree", "bucket-to-row placement: subtree|naive (with -backend dram)")
 	fs.BoolVar(&sf.DRAMSer, "dram-serialize", false, "modeling baseline: forbid inter-shard overlap on the memory channels (with -backend dram)")
+	fs.StringVar(&sf.MemSched, "mem-sched", "inorder", "memory-controller scheduling: inorder | frfcfs (open per-channel command queue, row hits first; with -backend dram)")
+	fs.IntVar(&sf.MemQueue, "mem-queue", 0, "per-channel command-queue depth (0 = default 8; depth 1 reproduces inorder exactly; with -mem-sched frfcfs)")
+	fs.IntVar(&sf.StarveCap, "starve-cap", 0, "row-hit bypasses before the oldest request is forced (0 = default 4; with -mem-sched frfcfs)")
 	fs.IntVar(&sf.MaxDefer, "max-deferred", 0, "deferred write-back queue depth = modeled write-buffer depth (0 = default 8; with -async)")
 	fs.BoolVar(&sf.CTStash, "ct-stash", false, "constant-time stash scans: fixed-length masked lookups on every tree (closes the stash timing channel)")
 	fs.Uint64Var(&sf.PLBBytes, "plb-bytes", 0, "position-map lookaside cache budget per shard in bytes, split across the chain's interfaces; hits skip the elided levels (0 = off; with -posmap recursive)")
@@ -85,9 +91,16 @@ func Explicit(fs *flag.FlagSet) map[string]bool {
 // explicit is the set of flag names the user passed (see Explicit).
 func (sf *SpecFlags) CheckExplicit(explicit map[string]bool) error {
 	if sf.Backend != "dram" {
-		for _, name := range []string{"channels", "layout", "dram-serialize"} {
+		for _, name := range []string{"channels", "layout", "dram-serialize", "mem-sched"} {
 			if explicit[name] {
 				return fmt.Errorf("-%s only affects the timed backend; combine it with -backend dram", name)
+			}
+		}
+	}
+	if sf.MemSched != "frfcfs" {
+		for _, name := range []string{"mem-queue", "starve-cap"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s parameterizes the open command queue; combine it with -mem-sched frfcfs", name)
 			}
 		}
 	}
@@ -162,6 +175,15 @@ func (sf *SpecFlags) Spec(shards int) (pathoram.Spec, error) {
 	default:
 		return pathoram.Spec{}, fmt.Errorf("unknown -layout %q", sf.Layout)
 	}
+	var sched pathoram.MemSched
+	switch sf.MemSched {
+	case "inorder":
+		sched = pathoram.MemSchedInOrder
+	case "frfcfs":
+		sched = pathoram.MemSchedFRFCFS
+	default:
+		return pathoram.Spec{}, fmt.Errorf("unknown -mem-sched %q", sf.MemSched)
+	}
 	spec := pathoram.Spec{
 		Blocks: sf.Blocks, BlockSize: sf.BlockSize,
 		Shards:           shards,
@@ -179,6 +201,11 @@ func (sf *SpecFlags) Spec(shards int) (pathoram.Spec, error) {
 		spec.DRAMChannels = sf.Channels
 		spec.DRAMLayout = lay
 		spec.DRAMSerialize = sf.DRAMSer
+		spec.DRAMSched = sched
+		if sched == pathoram.MemSchedFRFCFS {
+			spec.DRAMQueueDepth = sf.MemQueue
+			spec.DRAMStarveCap = sf.StarveCap
+		}
 	}
 	if sf.PosMap == "recursive" {
 		spec.PosMap = pathoram.PosMapRecursive

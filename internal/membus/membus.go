@@ -39,15 +39,18 @@
 // Concurrency: shard workers call their ports concurrently; every charge
 // takes the bus lock, so the dram.System only ever sees one request stream.
 // The lock serializes real time, not modeled time — modeled interleaving
-// comes from the per-port arrival clocks. One honesty note: the shared
-// bank/bus state is mutated in real submission order, so under concurrent
-// clients the goroutine schedule picks which shard's stage shapes the row
-// and turnaround state first, and cross-shard contention — and with it the
-// exact cycle totals — varies slightly run to run even with fixed seeds.
-// Each shard's own pipeline (its arrival clocks and leaf sequence) stays
-// deterministic, and single-client replays are exactly reproducible; a
-// fully order-independent bus needs the event-ordered controller queue on
-// the ROADMAP.
+// comes from the per-port arrival clocks. Arbitration is event-ordered:
+// a charge enqueues its stage (with the arrival floor captured at
+// submission) on the port's FIFO, and stages retire into the shared
+// dram.System in global (arrival cycle, port index) order — a stage is
+// applied only once every other port either exposes a later-keyed head or
+// is provably unable to submit an earlier one (its floor and in-flight
+// window bound its next arrival from below). Retirement order is therefore
+// a function of the per-port stage streams alone, not of the goroutine
+// schedule: with deterministic per-shard streams, multi-shard cycle totals
+// are exactly reproducible across runs and GOMAXPROCS settings (see
+// eventq.go for the argument and its two documented caveats: explicit
+// drains at stats/ReadyAt queries, and the overflow valve).
 package membus
 
 import (
@@ -88,7 +91,19 @@ type Config struct {
 	// measurement baseline for the intra-access overlap result; leave it
 	// false for the actual model.
 	Serialize bool
+	// Sched selects the shared controller's command scheduling
+	// (dram.SchedConfig). The zero value is the strictly in-order issue
+	// path; Policy dram.SchedFRFCFS turns on the open per-channel queue,
+	// and additionally lets the bus merge contemporaneous stages from
+	// different ports into one scheduling window (see eventq.go).
+	Sched dram.SchedConfig
 }
+
+// CyclesPerSecond converts modeled memory cycles to modeled seconds:
+// every Timing parameter is denominated in DDR3-1333 bus clocks at
+// 666.67 MHz. Paced serving divides ops by (frontier advance /
+// CyclesPerSecond) to report ops per modeled second.
+const CyclesPerSecond = 666_666_667
 
 // Stats is one port's (or, merged, the whole bus's) modeled-timing view.
 type Stats struct {
@@ -192,9 +207,19 @@ type Bus struct {
 	sys       *dram.System
 	layout    Layout
 	serialize bool
+	frfcfs    bool   // controller policy is dram.SchedFRFCFS
 	frontier  uint64 // global last completion cycle
 	nextBase  uint64 // physical base address for the next attached shard
 	ports     []*Port
+
+	// Event-ordered arbitration state (see eventq.go).
+	queued     int // stages enqueued across all ports, not yet retired
+	valveCount uint64
+	timedBuf   []dram.TimedRequest // merged-window request batch (reused)
+	batchPorts []*Port             // merged-window members (reused)
+	batchArr   []uint64
+	tagDone    []uint64
+	tagStats   []dram.Stats
 }
 
 // New builds a bus with the paper's DDR3 geometry and timing.
@@ -211,7 +236,15 @@ func New(cfg Config) (*Bus, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Bus{sys: sys, layout: cfg.Layout, serialize: cfg.Serialize}, nil
+	if err := sys.SetSched(cfg.Sched); err != nil {
+		return nil, err
+	}
+	return &Bus{
+		sys:       sys,
+		layout:    cfg.Layout,
+		serialize: cfg.Serialize,
+		frfcfs:    cfg.Sched.Policy == dram.SchedFRFCFS,
+	}, nil
 }
 
 // Geometry returns the shared memory system's shape.
@@ -263,10 +296,12 @@ func (b *Bus) AttachShard(leafLevel, bucketBytes int) (*Port, error) {
 }
 
 // Stats returns the bus-wide view: every port's counters merged. Equal to
-// the underlying dram.System's totals on the DRAM side.
+// the underlying dram.System's totals on the DRAM side. Like every stats
+// query it is a quiesce point: all enqueued stages retire first.
 func (b *Bus) Stats() Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.drainAllLocked()
 	var merged Stats
 	for _, p := range b.ports {
 		merged = merged.Merge(p.stats)
@@ -280,6 +315,7 @@ func (b *Bus) Stats() Stats {
 func (b *Bus) ShardStats() []Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.drainAllLocked()
 	out := make([]Stats, len(b.ports))
 	for i, p := range b.ports {
 		out[i] = p.stats
@@ -289,11 +325,26 @@ func (b *Bus) ShardStats() []Stats {
 
 // SystemStats exposes the shared memory system's own counters (tests pin
 // them against the merged port view).
-func (b *Bus) SystemStats() dram.Stats { b.mu.Lock(); defer b.mu.Unlock(); return b.sys.Stats() }
+func (b *Bus) SystemStats() dram.Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.drainAllLocked()
+	return b.sys.Stats()
+}
 
 // Cycles returns the global completion frontier: the modeled cycle at
 // which the last charged request of any shard finished.
-func (b *Bus) Cycles() uint64 { b.mu.Lock(); defer b.mu.Unlock(); return b.frontier }
+func (b *Bus) Cycles() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.drainAllLocked()
+	return b.frontier
+}
+
+// Frontier returns the completion frontier of the stages retired so far
+// without forcing queued stages through — a cheap, slightly stale modeled
+// clock for pacing loops (Cycles is the exact, quiescing read).
+func (b *Bus) Frontier() uint64 { b.mu.Lock(); defer b.mu.Unlock(); return b.frontier }
 
 // Port is one shard's window onto the bus. It implements core.PathTimer:
 // the shard's TimedStore charges stage-2 path reads and stage-5 path
@@ -316,16 +367,27 @@ type Port struct {
 	ringHead int
 	stats    Stats
 	reqBuf   []dram.Request // per-stage column-access batch (reused)
+
+	// Pending-stage FIFO for event-ordered arbitration: charges enqueue
+	// here and retire in global key order (see eventq.go). evq is a ring
+	// buffer; skipPool recycles the copied skip masks.
+	evq      []stageEvent
+	evHead   int
+	evCount  int
+	skipPool [][]bool
 }
 
 // Shard returns the port's attach index.
 func (p *Port) Shard() int { return p.shard }
 
 // ReadyAt returns the port's modeled clock: the completion cycle of its
-// last charged stage (0 before any traffic).
+// last charged stage (0 before any traffic). A quiesce point: all
+// enqueued stages retire first, so chained single-threaded drivers (the
+// hierarchy's levelTimer) observe exactly the pre-event-queue model.
 func (p *Port) ReadyAt() uint64 {
 	p.bus.mu.Lock()
 	defer p.bus.mu.Unlock()
+	p.bus.drainAllLocked()
 	return p.readyAt
 }
 
@@ -360,6 +422,7 @@ func (p *Port) SetMaxInFlight(depth int) {
 	}
 	p.bus.mu.Lock()
 	defer p.bus.mu.Unlock()
+	p.bus.drainAllLocked()
 	p.doneRing = make([]uint64, depth)
 	for i := range p.doneRing {
 		p.doneRing[i] = p.readyAt
@@ -367,10 +430,12 @@ func (p *Port) SetMaxInFlight(depth int) {
 	p.ringHead = 0
 }
 
-// Stats returns a snapshot of this port's counters.
+// Stats returns a snapshot of this port's counters (a quiesce point: all
+// enqueued stages retire first).
 func (p *Port) Stats() Stats {
 	p.bus.mu.Lock()
 	defer p.bus.mu.Unlock()
+	p.bus.drainAllLocked()
 	return p.stats
 }
 
@@ -385,27 +450,47 @@ func (p *Port) ReadPath(leaf uint64, skip []bool) { p.charge(leaf, skip, false, 
 // deeper write buffer buys (fewer read/write bus turnarounds).
 func (p *Port) WritePath(leaf uint64, deferred bool) { p.charge(leaf, nil, true, deferred) }
 
-// charge submits one stage's column accesses. Within the stage, requests
-// go through dram.System.AccessAll's per-channel in-order queue — a
-// controller issues a path's accesses one after another per channel, it
-// does not activate every bank of a path simultaneously — while the
-// arrival cycle of the whole stage is this port's modeled clock (or the
-// global frontier under Serialize).
+// charge submits one stage's column accesses. The stage does not touch
+// the shared bank state here: it is enqueued on this port's FIFO with the
+// arrival floor captured at submission, and retires in global (arrival,
+// port) order once no other port can contribute an earlier stage — the
+// event-ordered arbitration of eventq.go. Under Serialize the stage
+// arrives at the global frontier, which is only meaningful at application
+// time, so serialized buses quiesce and apply in submission order (the
+// legacy baseline semantics).
 func (p *Port) charge(leaf uint64, skip []bool, write, deferred bool) {
 	b := p.bus
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	// Arrival: the explicit floor (AdvanceTo high-water mark), no earlier
-	// than the completion of the stage maxInFlight submissions back — the
-	// bounded in-flight window. With the default depth 1 the ring holds the
-	// previous stage's completion, i.e. the strictly serial readyAt model.
-	at := p.floor
-	if oldest := p.doneRing[p.ringHead]; oldest > at {
-		at = oldest
+	if b.serialize {
+		b.drainAllLocked()
+		at := p.floor
+		if oldest := p.doneRing[p.ringHead]; oldest > at {
+			at = oldest
+		}
+		if b.frontier > at {
+			at = b.frontier
+		}
+		p.applyStage(at, leaf, skip, write, deferred)
+		return
 	}
-	if b.serialize && b.frontier > at {
-		at = b.frontier
+	p.enqueue(leaf, skip, write, deferred)
+	b.drainReadyLocked()
+	if b.queued > maxQueuedStages {
+		// Overflow valve: a port has gone quiet without a quiesce point
+		// while others keep submitting. Forcing the backlog through keeps
+		// memory bounded at the cost of the determinism guarantee for this
+		// (unsupported) driving pattern.
+		b.valveCount++
+		b.drainAllLocked()
 	}
+}
+
+// applyStage plays one stage's column accesses into the shared memory
+// system at the given arrival cycle and does the port's completion and
+// attribution bookkeeping. Caller holds the bus lock.
+func (p *Port) applyStage(at uint64, leaf uint64, skip []bool, write, deferred bool) {
+	b := p.bus
 	g := uint64(b.sys.Geometry().AccessBytes)
 	reqs := p.reqBuf[:0]
 	for d := 0; d <= p.tree.LeafLevel(); d++ {
@@ -425,6 +510,20 @@ func (p *Port) charge(leaf uint64, skip []bool, write, deferred bool) {
 		done = b.sys.AccessAll(at, reqs)
 	}
 	after := b.sys.Stats()
+	delta := after.Sub(before)
+	// The high-water fields carry this port's own view: its stage's
+	// completion (a fully skipped stage advances nothing globally) and the
+	// system's cumulative queue peak, so merging ports reproduces the
+	// system maxima.
+	delta.LastCompletionCycle = done
+	delta.QueueOccupancyPeak = after.QueueOccupancyPeak
+	p.finishStage(at, done, delta, write, deferred)
+}
+
+// finishStage records one retired stage's completion and counters.
+// Caller holds the bus lock.
+func (p *Port) finishStage(at, done uint64, delta dram.Stats, write, deferred bool) {
+	b := p.bus
 	p.doneRing[p.ringHead] = done
 	p.ringHead = (p.ringHead + 1) % len(p.doneRing)
 	if done > p.readyAt {
@@ -433,10 +532,6 @@ func (p *Port) charge(leaf uint64, skip []bool, write, deferred bool) {
 	if done > b.frontier {
 		b.frontier = done
 	}
-	delta := after.Sub(before)
-	// The port's completion high-water mark is its own stage's completion,
-	// not the interval arithmetic (a fully skipped stage advances nothing).
-	delta.LastCompletionCycle = done
 	p.stats.DRAM = p.stats.DRAM.Merge(delta)
 	if p.stats.Cycles < done {
 		p.stats.Cycles = done

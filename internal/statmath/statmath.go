@@ -1,0 +1,42 @@
+// Package statmath holds the snapshot-diff arithmetic shared by the
+// timed layer's counter structs (dram.Stats, membus.Stats). Both keep
+// "subtract an earlier snapshot of the same counters" methods whose field
+// enumeration used to be written out twice; SubCounters is the single
+// reflective implementation both delegate to, so a field added to either
+// struct is diffed correctly by construction.
+package statmath
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// SubCounters returns cur minus prev, field by field: uint64 fields
+// subtract (plain counters become interval counts; monotone frontiers and
+// high-water marks become their advance over the interval), nested structs
+// recurse, and int fields — configuration constants carried in snapshots,
+// like an access granularity — are kept from cur unchanged. Any other
+// field kind panics: the counter structs are closed-world, and a new kind
+// must decide its diff semantics here explicitly.
+func SubCounters[T any](cur, prev T) T {
+	cv := reflect.ValueOf(&cur).Elem()
+	subStruct(cv, reflect.ValueOf(prev))
+	return cur
+}
+
+func subStruct(cv, pv reflect.Value) {
+	for i := 0; i < cv.NumField(); i++ {
+		f := cv.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(f.Uint() - pv.Field(i).Uint())
+		case reflect.Struct:
+			subStruct(f, pv.Field(i))
+		case reflect.Int:
+			// Configuration constant (e.g. AccessBytes): carried, not diffed.
+		default:
+			panic(fmt.Sprintf("statmath: field %s has unsupported kind %s",
+				cv.Type().Field(i).Name, f.Kind()))
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package statmath
+
+import "testing"
+
+type inner struct {
+	Hits, Frontier uint64
+}
+
+type outer struct {
+	In    inner
+	Count uint64
+	Bytes int
+}
+
+func TestSubCountersDiffsNestedCounters(t *testing.T) {
+	cur := outer{In: inner{Hits: 10, Frontier: 900}, Count: 7, Bytes: 64}
+	prev := outer{In: inner{Hits: 4, Frontier: 300}, Count: 2, Bytes: 64}
+	got := SubCounters(cur, prev)
+	want := outer{In: inner{Hits: 6, Frontier: 600}, Count: 5, Bytes: 64}
+	if got != want {
+		t.Errorf("SubCounters = %+v, want %+v", got, want)
+	}
+	// Inputs are passed by value: cur must be untouched.
+	if cur.Count != 7 || cur.In.Hits != 10 {
+		t.Errorf("SubCounters mutated its input: %+v", cur)
+	}
+}
+
+func TestSubCountersSelfIsZeroExceptConfig(t *testing.T) {
+	s := outer{In: inner{Hits: 3, Frontier: 5}, Count: 9, Bytes: 32}
+	got := SubCounters(s, s)
+	if got.In.Hits != 0 || got.In.Frontier != 0 || got.Count != 0 {
+		t.Errorf("self-diff left nonzero counters: %+v", got)
+	}
+	if got.Bytes != 32 {
+		t.Errorf("self-diff dropped the config constant: %+v", got)
+	}
+}
+
+func TestSubCountersRejectsUnknownKinds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SubCounters accepted a float field without deciding its semantics")
+		}
+	}()
+	type bad struct{ Rate float64 }
+	SubCounters(bad{Rate: 1}, bad{Rate: 2})
+}

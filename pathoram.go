@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/dram"
 	"repro/internal/encrypt"
 	"repro/internal/integrity"
 	"repro/internal/membus"
@@ -55,6 +56,23 @@ const (
 	// LayoutNaive stores buckets flat in heap order — the placement
 	// baseline.
 	LayoutNaive
+)
+
+// MemSched selects the memory controller's command scheduling under
+// BackendDRAM (the open-queue axis of the design space).
+type MemSched int
+
+const (
+	// MemSchedInOrder issues each channel's column accesses strictly in
+	// arrival order, one in flight — the closed controller the model
+	// started with, bit for bit. The default.
+	MemSchedInOrder MemSched = iota
+	// MemSchedFRFCFS holds an open per-channel command queue and issues
+	// row-buffer hits first, then oldest (first-ready FCFS), with a
+	// starvation cap bounding how long row hits may bypass the oldest
+	// request — the DRAMSim2-class reordering the paper's design-space
+	// numbers assume. See DRAMQueueDepth and DRAMStarveCap.
+	MemSchedFRFCFS
 )
 
 // Stats re-exports the protocol counters.
@@ -155,6 +173,19 @@ type Config struct {
 	// the intra-access-overlap gain of the shared scheduler is measurable
 	// (EXPERIMENTS.md); leave it false for the actual model.
 	DRAMSerialize bool
+	// DRAMSched selects the controller's command scheduling under
+	// BackendDRAM: MemSchedInOrder (default) or MemSchedFRFCFS, the open
+	// per-channel queue that reorders for row-buffer locality and
+	// bank-level parallelism.
+	DRAMSched MemSched
+	// DRAMQueueDepth is the open-queue window per channel under
+	// MemSchedFRFCFS (0 = default 8; depth 1 reproduces in-order issue
+	// exactly).
+	DRAMQueueDepth int
+	// DRAMStarveCap bounds how many times younger row hits may bypass the
+	// oldest queued request under MemSchedFRFCFS before it is forced
+	// (0 = default 4).
+	DRAMStarveCap int
 	// bus, when set, attaches this ORAM to an existing shared memory
 	// scheduler instead of creating one — NewSharded injects the bus it
 	// built so all shards contend for the same channels.
@@ -221,6 +252,17 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.DRAMChannels < 0 {
 		return fmt.Errorf("pathoram: DRAMChannels=%d must be >= 1", c.DRAMChannels)
+	}
+	switch c.DRAMSched {
+	case MemSchedInOrder, MemSchedFRFCFS:
+	default:
+		return fmt.Errorf("pathoram: unknown memory scheduler %d", c.DRAMSched)
+	}
+	if c.DRAMQueueDepth < 0 || c.DRAMStarveCap < 0 {
+		return fmt.Errorf("pathoram: DRAMQueueDepth/DRAMStarveCap must be >= 0")
+	}
+	if c.DRAMSched != MemSchedFRFCFS && (c.DRAMQueueDepth != 0 || c.DRAMStarveCap != 0) {
+		return fmt.Errorf("pathoram: DRAMQueueDepth/DRAMStarveCap parameterize the open queue; set DRAMSched: MemSchedFRFCFS")
 	}
 	if c.Key == nil {
 		c.Key = make([]byte, encrypt.KeySize)
@@ -296,6 +338,7 @@ func (c *Config) attachTiming(store core.PathStore, scheme encrypt.Scheme) (core
 			Channels:  c.DRAMChannels,
 			Layout:    c.DRAMLayout.membusLayout(),
 			Serialize: c.DRAMSerialize,
+			Sched:     c.dramSchedConfig(),
 		}); err != nil {
 			return nil, nil, err
 		}
@@ -316,6 +359,20 @@ func (l DRAMLayout) membusLayout() membus.Layout {
 		return membus.LayoutNaive
 	}
 	return membus.LayoutSubtree
+}
+
+// dramSchedConfig translates the public scheduler knobs into the
+// controller's configuration.
+func (c *Config) dramSchedConfig() dram.SchedConfig {
+	policy := dram.SchedInOrder
+	if c.DRAMSched == MemSchedFRFCFS {
+		policy = dram.SchedFRFCFS
+	}
+	return dram.SchedConfig{
+		Policy:        policy,
+		QueueDepth:    c.DRAMQueueDepth,
+		StarvationCap: c.DRAMStarveCap,
+	}
 }
 
 // New builds an ORAM from the configuration.

@@ -15,16 +15,21 @@
 # lookaside cache's hit path resolves the leaf without touching the
 # posmap ORAMs and must stay on the pooled-buffer discipline, so a warm
 # all-hits run is held to the same allocs/op budget.
+#
+# BenchmarkSchedFRFCFS2Shard is in the gate (PR 9): the open-queue
+# serving path — event rings, skip-mask pool, merged-window batch
+# scratch, and the per-channel scheduling window — must reach steady
+# state without per-op allocation, same as the in-order path it extends.
 set -eu
 
 out="${1:-BENCH_pr6.json}"
 benchtime="${BENCHTIME:-2000x}"
 
 go test -run xxx \
-  -bench 'BenchmarkAccessMetadataOnly|BenchmarkAccessPlaintext|BenchmarkAccessCounterEncrypted|BenchmarkAccessConstantTimeStash|BenchmarkAccessRecursivePLBHit|BenchmarkShardedThroughput$|BenchmarkShardedThroughputEncrypted|BenchmarkShardedDRAM' \
+  -bench 'BenchmarkAccessMetadataOnly|BenchmarkAccessPlaintext|BenchmarkAccessCounterEncrypted|BenchmarkAccessConstantTimeStash|BenchmarkAccessRecursivePLBHit|BenchmarkShardedThroughput$|BenchmarkShardedThroughputEncrypted|BenchmarkShardedDRAM|BenchmarkSchedFRFCFS2Shard' \
   -benchtime "$benchtime" -benchmem . |
   go run ./cmd/oram-benchjson -out "$out" \
-    -gate 'BenchmarkAccessPlaintext|BenchmarkAccessCounterEncrypted|BenchmarkAccessConstantTimeStash|BenchmarkAccessRecursivePLBHit|BenchmarkShardedThroughput' \
+    -gate 'BenchmarkAccessPlaintext|BenchmarkAccessCounterEncrypted|BenchmarkAccessConstantTimeStash|BenchmarkAccessRecursivePLBHit|BenchmarkShardedThroughput|BenchmarkSchedFRFCFS2Shard' \
     -max-allocs 1
 
 echo "wrote $out"

@@ -12,10 +12,17 @@
 # dram-backed chain) must also complete and validate, covering its 4
 # configurations x 2 workloads; its report lands in BENCH_pr8.json (or
 # $2).
+#
+# The pr9 grid does too: the memory-controller sweep (inorder vs the
+# FR-FCFS open queue at two depths, 2 shards on the timed backend) must
+# complete and validate, covering its 3 configurations x 2 workloads;
+# its report lands in BENCH_pr9-explore.json (or $3). The frfcfs points
+# carry the ops/modeled-s column the paced loop headlines.
 set -eu
 
 out="${1:-BENCH_pr7.json}"
 out8="${2:-BENCH_pr8.json}"
+out9="${3:-BENCH_pr9-explore.json}"
 ops="${EXPLORE_OPS:-512}"
 warmup="${EXPLORE_WARMUP:-128}"
 
@@ -28,3 +35,8 @@ go run ./cmd/oram-explore -grid pr8 -ops "$ops" -warmup "$warmup" -seed 1 -out "
 go run ./cmd/oram-explore -check "$out8" -min-configs 4
 
 echo "wrote $out8"
+
+go run ./cmd/oram-explore -grid pr9 -ops "$ops" -warmup "$warmup" -seed 1 -out "$out9"
+go run ./cmd/oram-explore -check "$out9" -min-configs 3
+
+echo "wrote $out9"

@@ -270,6 +270,7 @@ func newSharded(cfg ShardedConfig, needKeys bool, build engineFactory) (*Sharded
 			Channels:  cfg.DRAMChannels,
 			Layout:    cfg.DRAMLayout.membusLayout(),
 			Serialize: cfg.DRAMSerialize,
+			Sched:     cfg.dramSchedConfig(),
 		})
 		if err != nil {
 			return nil, err
@@ -838,6 +839,19 @@ func (s *Sharded) SchedulerStats() SchedulerStats { return s.pool.Stats() }
 // returned cycle counts always include every write-back owed by the
 // traffic observed so far. The bool is false under BackendMem.
 func (s *Sharded) TimingStats() (TimingStats, bool) { return s.pool.TimingStats() }
+
+// ModeledFrontier returns the shared memory bus's completion frontier —
+// the modeled cycle of the latest retired stage — without quiescing the
+// event queue, so it is cheap enough to poll per operation and may lag
+// the exact frontier by the stages still in the reorder window. Paced
+// load drivers use it as the modeled clock. The bool is false under
+// BackendMem.
+func (s *Sharded) ModeledFrontier() (uint64, bool) {
+	if s.bus == nil {
+		return 0, false
+	}
+	return s.bus.Frontier(), true
+}
 
 // Flush completes every shard's deferred state — staged write-backs and
 // background eviction under AsyncEviction, dirty PLB labels under a
