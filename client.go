@@ -267,8 +267,20 @@ type Spec struct {
 	// under BackendDRAM, the modeled write-buffer depth.
 	MaxDeferredWriteBacks int
 
-	// Backend selects the storage cost model (default BackendMem).
+	// Backend selects the storage cost model (default BackendMem;
+	// BackendFile persists every tree under Dir).
 	Backend Backend
+	// Dir is the directory holding the tree (and WAL) files under
+	// BackendFile: one file per tree, named per shard and per hierarchy
+	// level. Required there, rejected elsewhere.
+	Dir string
+	// WAL wraps every tree file in a write-ahead log under BackendFile,
+	// making the deferred write-back pipeline crash-consistent: logged
+	// before acknowledged, checkpointed on Flush, replayed on reopen.
+	WAL bool
+	// WALDepth self-checkpoints each tree's log after that many path
+	// frames (0 = only on Flush/Close). Requires WAL.
+	WALDepth int
 	// DRAMChannels, DRAMLayout, DRAMSerialize parameterize the shared
 	// DDR3 model under BackendDRAM (see Config).
 	DRAMChannels  int
@@ -391,6 +403,9 @@ func Open(spec Spec) (Client, error) {
 			DRAMSched:             spec.DRAMSched,
 			DRAMQueueDepth:        spec.DRAMQueueDepth,
 			DRAMStarveCap:         spec.DRAMStarveCap,
+			Dir:                   spec.Dir,
+			WAL:                   spec.WAL,
+			WALDepth:              spec.WALDepth,
 			Rand:                  spec.Rand,
 		},
 	}
@@ -407,6 +422,15 @@ func Open(spec Spec) (Client, error) {
 	}
 	if spec.DRAMSched != MemSchedFRFCFS && (spec.DRAMQueueDepth != 0 || spec.DRAMStarveCap != 0) {
 		return nil, fmt.Errorf("pathoram: DRAMQueueDepth/DRAMStarveCap parameterize the open queue; set DRAMSched: MemSchedFRFCFS")
+	}
+	if spec.Backend != BackendFile && (spec.Dir != "" || spec.WAL || spec.WALDepth != 0) {
+		return nil, fmt.Errorf("pathoram: Dir/WAL/WALDepth parameterize the persistent backend; set Backend: BackendFile")
+	}
+	if spec.Backend == BackendFile && spec.Dir == "" {
+		return nil, fmt.Errorf("pathoram: BackendFile needs Dir (where the tree files live)")
+	}
+	if !spec.WAL && spec.WALDepth != 0 {
+		return nil, fmt.Errorf("pathoram: WALDepth bounds the write-ahead log; set WAL: true")
 	}
 	switch spec.PosMap {
 	case PosMapOnChip:
@@ -469,8 +493,12 @@ func Open(spec Spec) (Client, error) {
 				PLBBytes:              spec.PLBBytes,
 				PLBConstantShape:      spec.PLBConstantShape,
 				Overlap:               spec.Overlap,
+				Dir:                   sc.Dir,
+				WAL:                   sc.WAL,
+				WALDepth:              sc.WALDepth,
 				Rand:                  sc.Rand,
 				bus:                   sc.bus,
+				storeName:             sc.storeName,
 			}
 			if spec.OnPathAccess != nil {
 				hook, sh := spec.OnPathAccess, i

@@ -57,7 +57,7 @@ func main() {
 		maxAllocs = flag.Float64("max-allocs", 1, "max allocs/op a gated benchmark may report")
 		requires  requireList
 	)
-	flag.Var(&requires, "require", "cross-benchmark metric assertion 'BenchA:metric<BenchB:metric' (or '>'); repeatable, all must hold")
+	flag.Var(&requires, "require", "cross-benchmark metric assertion 'BenchA:metric<BenchB:metric' (or '>'); either side may be scaled 'K*Bench:metric'; repeatable, all must hold")
 	flag.Parse()
 
 	src := io.Reader(os.Stdin)
@@ -117,10 +117,13 @@ func (r *requireList) Set(v string) error {
 
 // requireMetric enforces one 'BenchA:metric<BenchB:metric' assertion
 // (or '>'): both benchmarks must be present, both must report the named
-// metric, and the comparison must hold strictly. This is how CI pins
-// relative performance claims — e.g. that the FR-FCFS scheduler beats
-// the in-order baseline on modeled cycles per op — instead of absolute
-// thresholds that drift with hardware.
+// metric, and the comparison must hold strictly. Either side may carry a
+// constant scale 'K*BenchName:metric' — e.g.
+// 'BenchmarkFileBackendAccess:ns/op<8*BenchmarkAccessCounterEncrypted:ns/op'
+// pins a bounded slowdown ratio. This is how CI pins relative performance
+// claims — e.g. that the FR-FCFS scheduler beats the in-order baseline on
+// modeled cycles per op — instead of absolute thresholds that drift with
+// hardware.
 func requireMetric(benches []Benchmark, expr string) error {
 	opIdx := strings.IndexAny(expr, "<>")
 	if opIdx < 0 {
@@ -128,9 +131,17 @@ func requireMetric(benches []Benchmark, expr string) error {
 	}
 	op := expr[opIdx]
 	lookup := func(side string) (float64, error) {
+		scale := 1.0
+		if k, rest, ok := strings.Cut(side, "*"); ok {
+			f, err := strconv.ParseFloat(k, 64)
+			if err != nil {
+				return 0, fmt.Errorf("bad -require scale %q: want a number before '*'", k)
+			}
+			scale, side = f, rest
+		}
 		name, metric, ok := strings.Cut(side, ":")
 		if !ok {
-			return 0, fmt.Errorf("bad -require side %q: want 'BenchName:metric'", side)
+			return 0, fmt.Errorf("bad -require side %q: want '[K*]BenchName:metric'", side)
 		}
 		for _, b := range benches {
 			if b.Name != name {
@@ -140,7 +151,7 @@ func requireMetric(benches []Benchmark, expr string) error {
 			if !ok {
 				return 0, fmt.Errorf("%s reports no %q metric", name, metric)
 			}
-			return v, nil
+			return scale * v, nil
 		}
 		return 0, fmt.Errorf("benchmark %q not found in input", name)
 	}

@@ -19,6 +19,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -107,6 +108,10 @@ func main() {
 			fmt.Printf("paced: closed loop on the modeled clock, think=%d cycles/op\n", *mthink)
 		}
 	}
+	if sf.Storage == "file" {
+		fmt.Printf("storage: file (dir=%s, wal=%v, wal-depth=%d) — latencies include real I/O\n",
+			sf.Dir, sf.WAL, sf.WALDepth)
+	}
 	fmt.Printf("load: %d clients, %d ops/config, batch=%d, writefrac=%.2f, think=%v, GOMAXPROCS=%d\n\n",
 		*clients, *ops, *batch, *writeFrac, *think, runtime.GOMAXPROCS(0))
 
@@ -119,6 +124,11 @@ func main() {
 		spec, err := sf.Spec(n)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if spec.Backend == pathoram.BackendFile {
+			// Tree-file geometry depends on the shard count, so each sweep
+			// point gets its own subdirectory under -dir.
+			spec.Dir = filepath.Join(spec.Dir, fmt.Sprintf("shards%d", n))
 		}
 		res, err := runConfig(spec, load{
 			clients: *clients, ops: *ops, batch: *batch, writeFrac: *writeFrac,
@@ -201,13 +211,20 @@ type result struct {
 	rowHit, bytesPerCyc, readCyc, mcycles, modelOps string
 }
 
-func runConfig(spec pathoram.Spec, c load) (result, error) {
+func runConfig(spec pathoram.Spec, c load) (res result, err error) {
 	client, err := pathoram.Open(spec)
 	if err != nil {
 		return result{}, err
 	}
 	s := client.(*pathoram.Sharded)
-	defer s.Close()
+	// A Close error is a real result under -storage file: a failed final
+	// checkpoint/msync means the measured run's durable state is suspect,
+	// so it must surface (and main exits non-zero on it).
+	defer func() {
+		if cerr := s.Close(); cerr != nil && err == nil {
+			res, err = result{}, fmt.Errorf("closing: %w", cerr)
+		}
+	}()
 
 	// Pre-fill so the measurement sees steady state, then reset clocks.
 	buf := make([]byte, spec.BlockSize)
@@ -369,7 +386,7 @@ func runConfig(spec pathoram.Spec, c load) (result, error) {
 		}
 	}
 	mean := float64(total) / float64(len(sched.ExecutedPerShard))
-	res := result{
+	res = result{
 		levels:       s.NumORAMs(),
 		posmapBytes:  s.OnChipPositionMapBytes(),
 		wall:         wall,

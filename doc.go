@@ -40,7 +40,12 @@
 //     with recursive position maps on a shared timed memory bus are one
 //     config literal. Hierarchical shards attach one membus port per
 //     level, making the recursion's Figure 5 orderings and Table 2
-//     latencies come from live recursive traffic.
+//     latencies come from live recursive traffic;
+//   - pluggable persistent storage (Spec.Backend: BackendFile, Spec.WAL):
+//     the ciphertext tree in an mmap'd file with an optional write-ahead
+//     log, so the deferred write-back pipeline survives crashes — and a
+//     multi-tenant HTTP front end (cmd/oram-server) with per-tenant
+//     derived keys and graceful SIGTERM drain.
 //
 // # Architecture
 //
@@ -86,6 +91,15 @@
 //     (Equations 1-2, Sections 2.2-2.4 and 3.1.4).
 //   - internal/stats — histograms and running summaries for the
 //     experiment harnesses (Figure 3's tail probabilities).
+//   - internal/storage — the bucket-granularity persistence seam under
+//     internal/encrypt: an in-memory arena, the mmap'd flat tree file,
+//     and the write-ahead log that makes acknowledged deferred
+//     write-backs crash-durable (checkpoint = log fsync, apply, msync,
+//     truncate).
+//   - internal/service — the multi-tenant HTTP serving layer behind
+//     cmd/oram-server: one Client per tenant under a domain-separated
+//     derived key, JSON and streaming NDJSON batch endpoints, graceful
+//     drain.
 //   - internal/exp — the experiment runners regenerating every figure and
 //     table of the evaluation; cmd/* are their command-line drivers, and
 //     cmd/oram-serve drives the sharded serving layer.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/encrypt"
 	"repro/internal/hierarchy"
 	"repro/internal/membus"
+	"repro/internal/storage"
 	"repro/internal/treemath"
 )
 
@@ -109,6 +110,15 @@ type HierarchyConfig struct {
 	// tree. 0 keeps the strictly serial 5(a) chain clock. Requires
 	// BackendDRAM without DRAMSerialize.
 	Overlap int
+	// Dir is the directory holding the per-level tree (and WAL) files
+	// under BackendFile: every ORAM of the chain persists in its own
+	// file, named <prefix>-l<level>. Required there, rejected elsewhere.
+	Dir string
+	// WAL wraps every level's tree file in a write-ahead log under
+	// BackendFile (see Config.WAL); WALDepth bounds each log between
+	// Flushes (see Config.WALDepth).
+	WAL      bool
+	WALDepth int
 	// Rand makes the construction deterministic (simulation only).
 	Rand *rand.Rand
 	// OnPathAccess, when set, observes every path access in the whole
@@ -121,6 +131,9 @@ type HierarchyConfig struct {
 	// scheduler instead of creating one — Open injects the bus it built so
 	// all shards (and all their levels) contend for the same channels.
 	bus *membus.Bus
+	// storeName is the per-chain file-name prefix under BackendFile
+	// ("oram" standalone; NewSharded injects a per-shard prefix).
+	storeName string
 }
 
 // Hierarchy is a hierarchical Path ORAM. Like ORAM it is single-threaded —
@@ -136,6 +149,9 @@ type Hierarchy struct {
 	ports []*membus.Port
 	// footprints collects the per-level external-memory accountants.
 	footprints []interface{ MemoryBytes() uint64 }
+	// persists holds each level's durable storage under BackendFile, in
+	// construction order: Flush syncs them all, Close closes them all.
+	persists []storage.Storage
 }
 
 // chainSched is the modeled clock of one hierarchy's recursion chain. In
@@ -252,8 +268,24 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 	}
 	switch cfg.Backend {
 	case BackendMem, BackendDRAM:
+		if cfg.Dir != "" || cfg.WAL || cfg.WALDepth != 0 {
+			return nil, fmt.Errorf("pathoram: Dir/WAL/WALDepth parameterize the persistent backend; set Backend: BackendFile")
+		}
+	case BackendFile:
+		if cfg.Dir == "" {
+			return nil, fmt.Errorf("pathoram: BackendFile needs Dir (where the tree files live)")
+		}
+		if cfg.BlockSize == 0 {
+			return nil, fmt.Errorf("pathoram: BackendFile persists payloads; metadata-only mode (BlockSize 0) has nothing to persist")
+		}
+		if !cfg.WAL && cfg.WALDepth != 0 {
+			return nil, fmt.Errorf("pathoram: WALDepth bounds the write-ahead log; set WAL: true")
+		}
 	default:
 		return nil, fmt.Errorf("pathoram: unknown backend %d", cfg.Backend)
+	}
+	if cfg.storeName == "" {
+		cfg.storeName = "oram"
 	}
 	switch cfg.DRAMLayout {
 	case LayoutSubtree, LayoutNaive:
@@ -302,12 +334,40 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 
 	h := &Hierarchy{cfg: cfg}
 
+	// openLevelPersist builds one level's durable storage stack under
+	// BackendFile: Dir/<prefix>-l<level>.tree (+ .wal), tracked on the
+	// hierarchy for Flush-time sync and Close-time release.
+	openLevelPersist := func(level int, numBuckets uint64, stride int) (storage.Storage, error) {
+		pc := Config{
+			Dir: cfg.Dir, WAL: cfg.WAL, WALDepth: cfg.WALDepth,
+			storeName: fmt.Sprintf("%s-l%d", cfg.storeName, level),
+		}
+		p, err := pc.openPersist(numBuckets, stride)
+		if err != nil {
+			return nil, err
+		}
+		h.persists = append(h.persists, p)
+		return p, nil
+	}
+
 	// makeStore builds one level's bucket store and reports the byte
 	// footprint a bucket occupies on the modeled memory bus.
 	makeStore := func(level int, leafLevel, z, blockBytes int) (core.PathStore, int, error) {
 		if cfg.Encryption == EncryptNone || blockBytes == 0 {
 			// Metadata-only data ORAMs have nothing to encrypt; plain
 			// stores still move their headers over the modeled bus.
+			if cfg.Backend == BackendFile {
+				persist, err := openLevelPersist(level, treemath.New(leafLevel).NumBuckets(), storage.PlainRecordBytes(z, blockBytes))
+				if err != nil {
+					return nil, 0, err
+				}
+				ps, err := storage.NewPathStore(persist, leafLevel, z, blockBytes)
+				if err != nil {
+					return nil, 0, err
+				}
+				h.footprints = append(h.footprints, ps)
+				return ps, modeledBucketBytes(nil, z, blockBytes), nil
+			}
 			ms, err := core.NewMemStore(leafLevel, z, blockBytes)
 			return ms, modeledBucketBytes(nil, z, blockBytes), err
 		}
@@ -325,6 +385,13 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 		}
 		if cfg.Integrity {
 			scfg.Auth = encrypt.NewAuthTree(leafLevel, z, blockBytes, scheme)
+		}
+		if cfg.Backend == BackendFile {
+			persist, err := openLevelPersist(level, treemath.New(leafLevel).NumBuckets(), encrypt.PaddedBucketBytes(scheme, z, blockBytes))
+			if err != nil {
+				return nil, 0, err
+			}
+			scfg.Backing = persist
 		}
 		es, err := encrypt.NewStore(scfg)
 		if err != nil {
@@ -407,6 +474,9 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 	}
 	inner, err := hierarchy.New(hcfg)
 	if err != nil {
+		for _, p := range h.persists {
+			p.Close()
+		}
 		return nil, err
 	}
 	h.inner = inner
@@ -495,18 +565,41 @@ func (h *Hierarchy) StepBackground(allowEviction bool) (BackgroundWork, error) {
 
 // Flush completes every level's deferred write-backs and fully drains
 // coordinated background eviction, leaving the chain in a state the
-// synchronous protocol could have produced. A no-op without
-// AsyncEviction.
-func (h *Hierarchy) Flush() error { return h.inner.Flush() }
+// synchronous protocol could have produced. Under BackendFile it is also
+// the durability epoch for every level's tree file (msync, WAL
+// checkpoint). A no-op without AsyncEviction on volatile backends.
+func (h *Hierarchy) Flush() error {
+	if err := h.inner.Flush(); err != nil {
+		return err
+	}
+	var first error
+	for _, p := range h.persists {
+		if err := p.Sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // PendingWriteBacks returns the total deferred path write-backs across
 // all levels not yet completed (always 0 without AsyncEviction).
 func (h *Hierarchy) PendingWriteBacks() int { return h.inner.PendingWriteBacks() }
 
-// Close quiesces the hierarchy (Flush). Like ORAM.Close it does not
+// Close quiesces the hierarchy (Flush). On volatile backends it does not
 // invalidate the receiver — the chain owns no goroutines; Close is the
-// Client interface's quiesce point.
-func (h *Hierarchy) Close() error { return h.inner.Flush() }
+// Client interface's quiesce point. Under BackendFile it additionally
+// checkpoints and closes every level's tree file (and WAL); the chain
+// then rejects further I/O, and the first backend error is the one
+// reported even when later levels close cleanly.
+func (h *Hierarchy) Close() error {
+	err := h.inner.Flush()
+	for _, p := range h.persists {
+		if e := p.Close(); err == nil {
+			err = e
+		}
+	}
+	return err
+}
 
 // NumORAMs returns H, the number of ORAMs in the chain.
 func (h *Hierarchy) NumORAMs() int { return h.inner.NumORAMs() }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/integrity"
+	"repro/internal/storage"
 	"repro/internal/treemath"
 )
 
@@ -35,6 +36,12 @@ type StoreConfig struct {
 	RandomizeMemory io.Reader
 	// OnBucketAccess observes external-memory traffic (bucket granularity).
 	OnBucketAccess func(flat uint64, write bool)
+	// Backing, when non-nil, is the storage the padded ciphertext buckets
+	// live in (a file, a WAL-wrapped file, ...). Its geometry must match
+	// this store: NumBuckets for the leaf level and a stride of
+	// PaddedBucketBytes. Nil means a private in-memory arena — the
+	// zero-overhead default.
+	Backing storage.Storage
 }
 
 // Store is a core.PathStore that serializes buckets byte-aligned, encrypts
@@ -48,7 +55,7 @@ type Store struct {
 	cbytes int // raw ciphertext bucket bytes
 	stride int // padded ciphertext bucket bytes
 
-	mem     []byte
+	backing storage.Storage
 	written []bool // per bucket; used instead of valid bits when Auth == nil
 
 	// outstanding counts, per leaf, ReadPaths not yet matched by a
@@ -65,11 +72,15 @@ type Store struct {
 	// selects which levels OpenPath decrypts (nil = skip); idsBuf carries
 	// the flat bucket IDs of the current path; reachBuf backs
 	// pathReachability when there is no auth tree.
+	// sealBufs holds one stride-sized store-owned record per level:
+	// WritePath seals into it and then hands the whole path to the
+	// backing in one WriteBuckets call — the seam the WAL logs at.
 	plainPath [][]byte
 	openRefs  [][]byte
 	idsBuf    []uint64
 	reachBuf  []bool
 	ctRefs    [][]byte
+	sealBufs  [][]byte
 
 	bucketReads, bucketWrites uint64
 }
@@ -124,7 +135,19 @@ func NewStore(cfg StoreConfig) (*Store, error) {
 	if r := s.stride % PadGranularity; r != 0 {
 		s.stride += PadGranularity - r
 	}
-	s.mem = make([]byte, tree.NumBuckets()*uint64(s.stride))
+	if cfg.Backing != nil {
+		if cfg.Backing.NumBuckets() != tree.NumBuckets() || cfg.Backing.Stride() != s.stride {
+			return nil, fmt.Errorf("encrypt: backing geometry (%d buckets, stride %d) does not match store (%d buckets, stride %d)",
+				cfg.Backing.NumBuckets(), cfg.Backing.Stride(), tree.NumBuckets(), s.stride)
+		}
+		s.backing = cfg.Backing
+	} else {
+		mem, err := storage.NewMem(tree.NumBuckets(), s.stride)
+		if err != nil {
+			return nil, err
+		}
+		s.backing = mem
+	}
 	s.written = make([]bool, tree.NumBuckets())
 	s.outstanding = make(map[uint64]int)
 	s.plainPath = make([][]byte, tree.Levels())
@@ -136,23 +159,42 @@ func NewStore(cfg StoreConfig) (*Store, error) {
 	s.idsBuf = make([]uint64, tree.Levels())
 	s.reachBuf = make([]bool, tree.Levels())
 	s.ctRefs = make([][]byte, tree.Levels())
+	s.sealBufs = make([][]byte, tree.Levels())
+	sealArena := make([]byte, tree.Levels()*s.stride)
+	for d := range s.sealBufs {
+		s.sealBufs[d] = sealArena[d*s.stride : (d+1)*s.stride : (d+1)*s.stride]
+	}
 	if cfg.RandomizeMemory != nil {
-		if _, err := io.ReadFull(cfg.RandomizeMemory, s.mem); err != nil {
-			return nil, fmt.Errorf("encrypt: randomizing memory: %w", err)
+		rec := make([]byte, s.stride)
+		for flat := uint64(0); flat < tree.NumBuckets(); flat++ {
+			if _, err := io.ReadFull(cfg.RandomizeMemory, rec); err != nil {
+				return nil, fmt.Errorf("encrypt: randomizing memory: %w", err)
+			}
+			if err := s.backing.WriteBucket(flat, rec); err != nil {
+				return nil, fmt.Errorf("encrypt: randomizing memory: %w", err)
+			}
 		}
 	}
 	return s, nil
 }
 
 // MemoryBytes returns the external-memory footprint of the tree.
-func (s *Store) MemoryBytes() uint64 { return uint64(len(s.mem)) }
+func (s *Store) MemoryBytes() uint64 { return s.backing.MemoryBytes() }
+
+// Backing returns the storage the ciphertext buckets live in.
+func (s *Store) Backing() storage.Storage { return s.backing }
 
 // Traffic returns cumulative bucket reads and writes.
 func (s *Store) Traffic() (reads, writes uint64) { return s.bucketReads, s.bucketWrites }
 
+// bucketSlice returns the live ciphertext of one bucket, aliasing the
+// backing (test hooks only: the hot paths use the batched calls).
 func (s *Store) bucketSlice(flat uint64) []byte {
-	off := flat * uint64(s.stride)
-	return s.mem[off : off+uint64(s.cbytes)]
+	rec, err := s.backing.ReadBucket(flat)
+	if err != nil {
+		panic(fmt.Sprintf("encrypt: bucketSlice(%d): %v", flat, err))
+	}
+	return rec[:s.cbytes]
 }
 
 // ReadPath implements core.PathStore: decrypt (and verify) the path,
@@ -177,8 +219,13 @@ func (s *Store) ReadPath(leaf uint64, skip []bool, dst [][]core.Slot) ([][]core.
 	for d := 0; d <= s.tree.LeafLevel(); d++ {
 		flat := s.tree.PathBucket(leaf, d)
 		s.idsBuf[d] = flat
-		s.ctRefs[d] = s.bucketSlice(flat)
 		s.noteAccess(flat, false)
+	}
+	if err := s.backing.ReadBuckets(s.idsBuf, s.ctRefs); err != nil {
+		return dst, err
+	}
+	for d := range s.ctRefs {
+		s.ctRefs[d] = s.ctRefs[d][:s.cbytes]
 	}
 	if s.cfg.Auth != nil {
 		if err := s.cfg.Auth.VerifyPath(leaf, s.ctRefs); err != nil {
@@ -279,11 +326,16 @@ func (s *Store) WritePath(leaf uint64, buckets [][]core.Slot) error {
 				}
 			}
 		}
-		s.ctRefs[d] = s.bucketSlice(s.idsBuf[d])
+		s.ctRefs[d] = s.sealBufs[d][:s.cbytes]
 	}
-	// Seal the whole path in one call into the in-place ciphertext slices,
-	// then account for the bucket writes.
+	// Seal the whole path in one call into the store-owned record
+	// buffers, then commit it to the backing as one batch — the unit the
+	// WAL logs atomically. The pad tail of each sealBuf is never written
+	// and stays zero.
 	if err := s.cfg.Scheme.SealPath(s.idsBuf, s.plainPath, s.z, s.ctRefs); err != nil {
+		return err
+	}
+	if err := s.backing.WriteBuckets(s.idsBuf, s.sealBufs); err != nil {
 		return err
 	}
 	for d := 0; d <= s.tree.LeafLevel(); d++ {

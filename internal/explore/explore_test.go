@@ -132,12 +132,76 @@ func TestPR8PresetOpens(t *testing.T) {
 	}
 }
 
+// TestStorageGridCanonicalization pins the inert-axis collapse for the
+// persistence axes: the wal axis rides only on file-storage points, and
+// the storage axis collapses to mem on dram-backed points.
+func TestStorageGridCanonicalization(t *testing.T) {
+	g := Grid{
+		Blocks: 256, BlockSize: 16,
+		Backends: []string{"mem", "dram"},
+		Storages: []string{"mem", "file"},
+		WALs:     []bool{false, true},
+		Dir:      t.TempDir(),
+	}
+	points, err := g.Points(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// be=mem: stor=mem 1 (wal inert) + stor=file 2 (wal {off,on}); be=dram:
+	// 1 (both axes inert).
+	if len(points) != 4 {
+		names := make([]string, len(points))
+		for i, p := range points {
+			names[i] = p.Name
+		}
+		t.Fatalf("got %d points %v, want 4 (inert persistence axes canonicalized away)", len(points), names)
+	}
+	for _, p := range points {
+		if strings.Contains(p.Name, "be=dram") && strings.Contains(p.Name, "stor=file") {
+			t.Errorf("dram point %q carries file storage", p.Name)
+		}
+		if strings.Contains(p.Name, "+wal") && !strings.Contains(p.Name, "stor=file") {
+			t.Errorf("point %q logs without file storage", p.Name)
+		}
+	}
+}
+
+// TestPR10PresetOpens checks the pr10 persistence preset enumerates the
+// mem/file x wal x write-back sweep and that every point constructs (each
+// in its own directory, the way the runner isolates them).
+func TestPR10PresetOpens(t *testing.T) {
+	points, err := Presets["pr10"].Points(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("pr10 preset enumerates %d points, want 6 (stor {mem,file+wal axis} x defer {0,8})", len(points))
+	}
+	for _, p := range points {
+		spec, err := p.Spec()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if spec.Backend == pathoram.BackendFile {
+			spec.Dir = t.TempDir()
+		}
+		c, err := pathoram.Open(spec)
+		if err != nil {
+			t.Fatalf("%s: Open: %v", p.Name, err)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", p.Name, err)
+		}
+	}
+}
+
 func TestGridRejectsUnknownAxisValues(t *testing.T) {
 	for _, g := range []Grid{
 		{Backends: []string{"disk"}},
 		{PosMaps: []string{"cuckoo"}},
 		{Partitions: []string{"hash"}},
 		{Workloads: []string{"nosuch"}},
+		{Storages: []string{"tape"}},
 	} {
 		if _, err := g.Points(1); err == nil {
 			t.Errorf("grid %+v: Points accepted an unknown axis value", g)

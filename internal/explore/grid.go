@@ -47,6 +47,19 @@ type Grid struct {
 	// QueueDepths sweeps the FR-FCFS per-channel command-queue depth
 	// (0 = the default 8); inert on inorder points (canonicalized to 0).
 	QueueDepths []int `json:"queuedepths"` // default [0]
+	// Storages sweeps the bucket-storage substrate: "file" points run on
+	// real mmap'd tree files (a fresh per-point temp directory under Dir),
+	// so their latencies include real I/O. Inert on dram-backed points
+	// (canonicalized to "mem") — the timed model and real files are
+	// different substrates of the same Backend axis.
+	Storages []string `json:"storages"` // "mem" | "file"; default ["mem"]
+	// WALs sweeps write-ahead logging on file-storage points (inert —
+	// canonicalized to false — on mem-storage points).
+	WALs []bool `json:"wals"` // default [false]
+	// Dir is the base directory for file-storage points ("" = the OS temp
+	// directory). Each point runs in its own fresh subdirectory, removed
+	// after the point completes.
+	Dir string `json:"dir"`
 
 	// OnChipMax / PosBlock parameterize recursive-posmap points only.
 	OnChipMax uint64 `json:"onchipmax"` // default 2048 B
@@ -116,6 +129,12 @@ func (g *Grid) normalize() {
 	if len(g.QueueDepths) == 0 {
 		g.QueueDepths = []int{0}
 	}
+	if len(g.Storages) == 0 {
+		g.Storages = []string{"mem"}
+	}
+	if len(g.WALs) == 0 {
+		g.WALs = []bool{false}
+	}
 	if g.OnChipMax == 0 {
 		g.OnChipMax = 2048
 	}
@@ -179,15 +198,28 @@ func (g Grid) Points(seed int64) ([]Point, error) {
 														if sched != "frfcfs" {
 															qd = 0
 														}
-														p, err := g.point(shards, pm, be, part, padded, ct, md, idle, plb, pcs, ov, sched, qd, seed, len(points))
-														if err != nil {
-															return nil, err
+														for _, stor := range g.Storages {
+															for _, wal := range g.WALs {
+																if be != "mem" {
+																	// The timed model and real files
+																	// are different substrates;
+																	// canonicalize both axes.
+																	stor = "mem"
+																}
+																if stor != "file" {
+																	wal = false
+																}
+																p, err := g.point(shards, pm, be, part, padded, ct, md, idle, plb, pcs, ov, sched, qd, stor, wal, seed, len(points))
+																if err != nil {
+																	return nil, err
+																}
+																if seen[p.Name] {
+																	continue
+																}
+																seen[p.Name] = true
+																points = append(points, p)
+															}
 														}
-														if seen[p.Name] {
-															continue
-														}
-														seen[p.Name] = true
-														points = append(points, p)
 													}
 												}
 											}
@@ -204,7 +236,7 @@ func (g Grid) Points(seed int64) ([]Point, error) {
 	return points, nil
 }
 
-func (g Grid) point(shards int, pm, be, part string, padded, ct bool, md, idle int, plb uint64, pcs bool, ov int, sched string, qd int, seed int64, idx int) (Point, error) {
+func (g Grid) point(shards int, pm, be, part string, padded, ct bool, md, idle int, plb uint64, pcs bool, ov int, sched string, qd int, stor string, wal bool, seed int64, idx int) (Point, error) {
 	// The mode-dependent knobs (recursion, DRAM) are populated
 	// unconditionally: SpecFlags.Spec copies them into the Spec only when
 	// their mode is selected, exactly as the flag defaults behave.
@@ -236,6 +268,16 @@ func (g Grid) point(shards int, pm, be, part string, padded, ct bool, md, idle i
 	sf.MemSched = sched
 	if sched == "frfcfs" {
 		sf.MemQueue = qd
+	}
+	sf.Storage = stor
+	if stor == "file" {
+		sf.WAL = wal
+		// Placeholder for validation only: the runner substitutes a fresh
+		// per-point temp directory before Open (see runPoint).
+		sf.Dir = g.Dir
+		if sf.Dir == "" {
+			sf.Dir = os.TempDir()
+		}
 	}
 	// Validate the axis values now by building a Spec once; the runner
 	// builds its own fresh one per Open.
@@ -270,6 +312,12 @@ func (g Grid) point(shards int, pm, be, part string, padded, ct bool, md, idle i
 			name += fmt.Sprintf("/qd=%d", qd)
 		}
 	}
+	if stor == "file" {
+		name += "/stor=file"
+		if wal {
+			name += "+wal"
+		}
+	}
 	return Point{Name: name, Flags: sf, Shards: shards, Padded: padded}, nil
 }
 
@@ -279,7 +327,9 @@ func (g Grid) point(shards int, pm, be, part string, padded, ct bool, md, idle i
 // explores, 64 points across three workloads. "pr8" is the position-map
 // acceleration grid: PLB budget x overlap depth on a recursive
 // dram-backed chain. "pr9" is the memory-controller grid: inorder vs
-// FR-FCFS at two queue depths on a 2-shard dram point.
+// FR-FCFS at two queue depths on a 2-shard dram point. "pr10" is the
+// persistence grid: mem vs file storage x WAL x write-back mode, where
+// the async win is measured against real I/O instead of modeled cycles.
 var Presets = map[string]Grid{
 	"smoke": {
 		Blocks: 1024, BlockSize: 32,
@@ -327,6 +377,20 @@ var Presets = map[string]Grid{
 		QueueDepths: []int{0, 16},
 		Workloads:   []string{"uniform", "zipf"},
 	},
+	// "pr10" isolates the persistence axes: mem vs file storage, WAL on
+	// and off, sync vs deferred write-back — 6 configs after the wal axis
+	// canonicalizes to false on mem points. File-point latencies include
+	// real mmap/msync I/O, which is where async should show a much larger
+	// win than it did against modeled cycles.
+	"pr10": {
+		Blocks: 1024, BlockSize: 32,
+		Shards:      []int{1},
+		PosMaps:     []string{"flat"},
+		Storages:    []string{"mem", "file"},
+		WALs:        []bool{false, true},
+		MaxDeferred: []int{0, 8},
+		Workloads:   []string{"uniform"},
+	},
 }
 
 // LoadGrid resolves name either as a preset or as a path to a JSON grid
@@ -338,7 +402,7 @@ func LoadGrid(name string) (Grid, error) {
 	f, err := os.Open(name)
 	if err != nil {
 		if !strings.ContainsAny(name, "./\\") {
-			return Grid{}, fmt.Errorf("unknown preset %q (have: smoke, full, pr8, pr9) and no such file", name)
+			return Grid{}, fmt.Errorf("unknown preset %q (have: smoke, full, pr8, pr9, pr10) and no such file", name)
 		}
 		return Grid{}, err
 	}

@@ -3,6 +3,7 @@ package explore
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
 	"time"
 
@@ -73,6 +74,17 @@ func runPoint(g Grid, p Point, opts Options) ([]Row, error) {
 	spec, err := p.Spec()
 	if err != nil {
 		return nil, err
+	}
+	if spec.Backend == pathoram.BackendFile {
+		// Fresh directory per point: tree files carry no client state
+		// (position map, stash), so a point must never decode another
+		// run's leftovers. Removed when the point completes.
+		dir, err := os.MkdirTemp(g.Dir, "oram-point-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		spec.Dir = dir
 	}
 	client, err := pathoram.Open(spec)
 	if err != nil {

@@ -45,6 +45,10 @@ type SpecFlags struct {
 	PLBBytes  uint64
 	PLBConst  bool
 	Overlap   int
+	Storage   string
+	Dir       string
+	WAL       bool
+	WALDepth  int
 }
 
 // AddFlags registers every Spec axis on fs. The shard count is
@@ -76,6 +80,10 @@ func (sf *SpecFlags) AddFlags(fs *flag.FlagSet) {
 	fs.Uint64Var(&sf.PLBBytes, "plb-bytes", 0, "position-map lookaside cache budget per shard in bytes, split across the chain's interfaces; hits skip the elided levels (0 = off; with -posmap recursive)")
 	fs.BoolVar(&sf.PLBConst, "plb-constant-shape", false, "pad PLB hits with dummy accesses to the elided levels so hits and misses look identical on the wire (with -plb-bytes)")
 	fs.IntVar(&sf.Overlap, "overlap", 0, "Figure 5(b) speculative chain overlap: up to N consecutive requests pipeline across the recursion chain (0 = serial 5(a); with -posmap recursive -backend dram)")
+	fs.StringVar(&sf.Storage, "storage", "mem", "bucket storage: mem (in-process arena) | file (one mmap'd tree file per ORAM under -dir, msync on Flush)")
+	fs.StringVar(&sf.Dir, "dir", "", "directory holding the tree files (with -storage file)")
+	fs.BoolVar(&sf.WAL, "wal", false, "write-ahead log: path writes are logged before ack and checkpointed into the tree file on Flush, making the deferred write-back pipeline crash-consistent (with -storage file)")
+	fs.IntVar(&sf.WALDepth, "wal-depth", 0, "auto-checkpoint after this many logged path writes (0 = checkpoint only on Flush/close; with -wal)")
 }
 
 // Explicit returns the set of flag names the user actually passed on fs.
@@ -122,6 +130,16 @@ func (sf *SpecFlags) CheckExplicit(explicit map[string]bool) error {
 		// path's pinned memory either way) — but only under -async.
 		return fmt.Errorf("-max-deferred sizes the deferred write-back queue; combine it with -async")
 	}
+	if sf.Storage != "file" {
+		for _, name := range []string{"dir", "wal", "wal-depth"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s parameterizes the persistent backend; combine it with -storage file", name)
+			}
+		}
+	}
+	if explicit["wal-depth"] && !sf.WAL {
+		return fmt.Errorf("-wal-depth bounds the write-ahead log; combine it with -wal")
+	}
 	return nil
 }
 
@@ -166,6 +184,21 @@ func (sf *SpecFlags) Spec(shards int) (pathoram.Spec, error) {
 	default:
 		return pathoram.Spec{}, fmt.Errorf("unknown -backend %q", sf.Backend)
 	}
+	switch sf.Storage {
+	case "mem":
+	case "file":
+		// The timed model and the persistent backend are different
+		// substrates of the same Backend axis: pick one.
+		if back == pathoram.BackendDRAM {
+			return pathoram.Spec{}, fmt.Errorf("-storage file persists on real files, -backend dram simulates DDR3 timing; pick one")
+		}
+		if sf.Dir == "" {
+			return pathoram.Spec{}, fmt.Errorf("-storage file needs -dir (where the tree files live)")
+		}
+		back = pathoram.BackendFile
+	default:
+		return pathoram.Spec{}, fmt.Errorf("unknown -storage %q", sf.Storage)
+	}
 	var lay pathoram.DRAMLayout
 	switch sf.Layout {
 	case "subtree":
@@ -196,6 +229,11 @@ func (sf *SpecFlags) Spec(shards int) (pathoram.Spec, error) {
 		AsyncEviction:         sf.Async,
 		MaxDeferredWriteBacks: sf.MaxDefer,
 		Backend:               back,
+	}
+	if back == pathoram.BackendFile {
+		spec.Dir = sf.Dir
+		spec.WAL = sf.WAL
+		spec.WALDepth = sf.WALDepth
 	}
 	if back == pathoram.BackendDRAM {
 		spec.DRAMChannels = sf.Channels

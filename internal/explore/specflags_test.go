@@ -211,10 +211,79 @@ func TestSpecFlagsTable(t *testing.T) {
 			shards:  1,
 			specErr: `unknown -layout "spiral"`,
 		},
+		{
+			name:   "file storage carries its knobs and Open accepts",
+			args:   []string{"-blocks", "256", "-blocksize", "16", "-storage", "file", "-dir", "@TMP", "-wal", "-wal-depth", "4"},
+			shards: 2,
+			wantSpec: func(t *testing.T, s pathoram.Spec) {
+				if s.Backend != pathoram.BackendFile || s.Dir == "" || !s.WAL || s.WALDepth != 4 {
+					t.Errorf("file knobs not carried: backend=%v dir=%q wal=%v depth=%d",
+						s.Backend, s.Dir, s.WAL, s.WALDepth)
+				}
+			},
+			wantOpenOK: true,
+		},
+		{
+			// The inert-knob regression for the persistence axis: mem
+			// storage must leave Dir/WAL/WALDepth zero so Open accepts.
+			name:   "mem storage leaves persistence knobs zero",
+			args:   []string{"-blocks", "256", "-blocksize", "16"},
+			shards: 1,
+			wantSpec: func(t *testing.T, s pathoram.Spec) {
+				if s.Dir != "" || s.WAL || s.WALDepth != 0 {
+					t.Errorf("mem spec carries persistence knobs: dir=%q wal=%v depth=%d",
+						s.Dir, s.WAL, s.WALDepth)
+				}
+			},
+			wantOpenOK: true,
+		},
+		{
+			name:     "explicit wal without file storage rejected",
+			args:     []string{"-wal"},
+			shards:   1,
+			checkErr: "-wal parameterizes the persistent backend",
+		},
+		{
+			name:     "explicit dir without file storage rejected",
+			args:     []string{"-dir", "@TMP"},
+			shards:   1,
+			checkErr: "-dir parameterizes the persistent backend",
+		},
+		{
+			name:     "wal-depth without wal rejected",
+			args:     []string{"-storage", "file", "-dir", "@TMP", "-wal-depth", "8"},
+			shards:   1,
+			checkErr: "-wal-depth bounds the write-ahead log",
+		},
+		{
+			name:    "file storage without dir rejected",
+			args:    []string{"-storage", "file"},
+			shards:  1,
+			specErr: "-storage file needs -dir",
+		},
+		{
+			name:    "file storage under dram backend rejected",
+			args:    []string{"-backend", "dram", "-storage", "file", "-dir", "@TMP"},
+			shards:  1,
+			specErr: "pick one",
+		},
+		{
+			name:    "unknown storage rejected",
+			args:    []string{"-storage", "tape"},
+			shards:  1,
+			specErr: `unknown -storage "tape"`,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			sf, explicit := parse(t, tc.args...)
+			args := make([]string, len(tc.args))
+			for i, a := range tc.args {
+				if a == "@TMP" {
+					a = t.TempDir()
+				}
+				args[i] = a
+			}
+			sf, explicit := parse(t, args...)
 			err := sf.CheckExplicit(explicit)
 			if tc.checkErr != "" {
 				if err == nil || !strings.Contains(err.Error(), tc.checkErr) {

@@ -1,0 +1,122 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+)
+
+// Mem is the in-memory Storage: one flat arena, stride bytes per bucket.
+// It is the zero-overhead backing for the encrypting store's hot path —
+// reads alias the arena and writes are a bounds-checked copy, so the
+// seam adds no per-operation allocations.
+type Mem struct {
+	numBuckets uint64
+	stride     int
+	arena      []byte
+	closed     bool
+}
+
+// NewMem allocates a zeroed arena for numBuckets records of stride bytes.
+func NewMem(numBuckets uint64, stride int) (*Mem, error) {
+	if numBuckets == 0 || stride <= 0 {
+		return nil, fmt.Errorf("storage: bad geometry (%d buckets, stride %d)", numBuckets, stride)
+	}
+	return &Mem{
+		numBuckets: numBuckets,
+		stride:     stride,
+		arena:      make([]byte, numBuckets*uint64(stride)),
+	}, nil
+}
+
+// NumBuckets implements Storage.
+func (m *Mem) NumBuckets() uint64 { return m.numBuckets }
+
+// Stride implements Storage.
+func (m *Mem) Stride() int { return m.stride }
+
+// ReadBucket implements Storage; the returned slice aliases the arena.
+func (m *Mem) ReadBucket(flat uint64) ([]byte, error) {
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if err := checkRecord(m, flat, nil); err != nil {
+		return nil, err
+	}
+	off := flat * uint64(m.stride)
+	return m.arena[off : off+uint64(m.stride) : off+uint64(m.stride)], nil
+}
+
+// WriteBucket implements Storage; rec is copied in.
+func (m *Mem) WriteBucket(flat uint64, rec []byte) error {
+	if m.closed {
+		return ErrClosed
+	}
+	if err := checkRecord(m, flat, rec); err != nil {
+		return err
+	}
+	copy(m.arena[flat*uint64(m.stride):], rec)
+	return nil
+}
+
+// ReadBuckets implements Storage; dst[i] receives an arena alias.
+func (m *Mem) ReadBuckets(flats []uint64, dst [][]byte) error {
+	if m.closed {
+		return ErrClosed
+	}
+	if len(flats) != len(dst) {
+		return fmt.Errorf("storage: %d flats but %d dst slots", len(flats), len(dst))
+	}
+	for i, flat := range flats {
+		if err := checkRecord(m, flat, nil); err != nil {
+			return err
+		}
+		off := flat * uint64(m.stride)
+		dst[i] = m.arena[off : off+uint64(m.stride) : off+uint64(m.stride)]
+	}
+	return nil
+}
+
+// WriteBuckets implements Storage; records are copied in.
+func (m *Mem) WriteBuckets(flats []uint64, recs [][]byte) error {
+	if m.closed {
+		return ErrClosed
+	}
+	if len(flats) != len(recs) {
+		return fmt.Errorf("storage: %d flats but %d records", len(flats), len(recs))
+	}
+	for i, flat := range flats {
+		if err := checkRecord(m, flat, recs[i]); err != nil {
+			return err
+		}
+		copy(m.arena[flat*uint64(m.stride):], recs[i])
+	}
+	return nil
+}
+
+// Sync implements Storage (a no-op: the arena is always "durable" for the
+// lifetime of the process).
+func (m *Mem) Sync() error {
+	if m.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close implements Storage. Closing twice is allowed.
+func (m *Mem) Close() error {
+	m.closed = true
+	return nil
+}
+
+// MemoryBytes implements Storage.
+func (m *Mem) MemoryBytes() uint64 { return uint64(len(m.arena)) }
+
+// Fill overwrites every record with bytes from r (test/simulation hook
+// mirroring encrypt.StoreConfig.RandomizeMemory).
+func (m *Mem) Fill(r io.Reader) error {
+	if m.closed {
+		return ErrClosed
+	}
+	_, err := io.ReadFull(r, m.arena)
+	return err
+}

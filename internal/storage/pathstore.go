@@ -1,0 +1,149 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/treemath"
+)
+
+// slotHeaderBytes is the byte-aligned per-slot header shared with the
+// encrypting store's serialization: 8-byte address stored as Addr+1 (0
+// marks a dummy slot, so a zero-filled fresh file or arena decodes as an
+// all-dummy tree) plus a 4-byte leaf label.
+const slotHeaderBytes = 12
+
+// PlainRecordBytes returns the Storage stride for a plaintext-at-rest
+// bucket of z slots: serialized slots padded to node alignment.
+func PlainRecordBytes(z, blockBytes int) int {
+	raw := z * (slotHeaderBytes + blockBytes)
+	if r := raw % RecordAlign; r != 0 {
+		raw += RecordAlign - r
+	}
+	return raw
+}
+
+// PathStore adapts a Storage to core.PathStore with plaintext
+// serialization — the Backend(file) x Encrypt(none) configurations,
+// where durability is wanted without encryption at rest. It mirrors
+// core.MemStore's ownership contract: WritePath copies payloads into the
+// backing, ReadPath emits Slot.Data slices that alias backing records
+// and stay valid only until the next operation on this store.
+type PathStore struct {
+	backing    Storage
+	tree       treemath.Tree
+	z          int
+	blockBytes int
+
+	// Reusable per-path scratch, sized once at construction.
+	idsBuf  []uint64
+	recRefs [][]byte
+	wrecs   [][]byte
+}
+
+// NewPathStore builds the adapter; the backing's geometry must match
+// PlainRecordBytes for the tree shape.
+func NewPathStore(backing Storage, leafLevel, z, blockBytes int) (*PathStore, error) {
+	if z < 1 {
+		return nil, fmt.Errorf("storage: Z=%d must be >= 1", z)
+	}
+	if blockBytes < 1 {
+		return nil, fmt.Errorf("storage: serialized stores need payloads (BlockBytes >= 1)")
+	}
+	tree := treemath.New(leafLevel)
+	stride := PlainRecordBytes(z, blockBytes)
+	if backing.NumBuckets() != tree.NumBuckets() || backing.Stride() != stride {
+		return nil, fmt.Errorf("storage: backing geometry (%d buckets, stride %d) does not match tree (%d buckets, stride %d)",
+			backing.NumBuckets(), backing.Stride(), tree.NumBuckets(), stride)
+	}
+	s := &PathStore{
+		backing:    backing,
+		tree:       tree,
+		z:          z,
+		blockBytes: blockBytes,
+		idsBuf:     make([]uint64, tree.Levels()),
+		recRefs:    make([][]byte, tree.Levels()),
+		wrecs:      make([][]byte, tree.Levels()),
+	}
+	arena := make([]byte, tree.Levels()*stride)
+	for d := range s.wrecs {
+		s.wrecs[d] = arena[d*stride : (d+1)*stride : (d+1)*stride]
+	}
+	return s, nil
+}
+
+// ReadPath implements core.PathStore.
+func (s *PathStore) ReadPath(leaf uint64, skip []bool, dst [][]core.Slot) ([][]core.Slot, error) {
+	var err error
+	if dst, err = core.PrepareReadBuf(dst, s.tree.Levels()); err != nil {
+		return dst, err
+	}
+	if !s.tree.ValidLeaf(leaf) {
+		return dst, fmt.Errorf("storage: leaf %d out of range", leaf)
+	}
+	for d := 0; d <= s.tree.LeafLevel(); d++ {
+		s.idsBuf[d] = s.tree.PathBucket(leaf, d)
+	}
+	if err := s.backing.ReadBuckets(s.idsBuf, s.recRefs); err != nil {
+		return dst, err
+	}
+	slotBytes := slotHeaderBytes + s.blockBytes
+	for d := 0; d <= s.tree.LeafLevel(); d++ {
+		if skip != nil && skip[d] {
+			// Live content is in the caller's pending write-back.
+			continue
+		}
+		for i := 0; i < s.z; i++ {
+			rec := s.recRefs[d][i*slotBytes : (i+1)*slotBytes]
+			addr1 := binary.LittleEndian.Uint64(rec[:8])
+			if addr1 == 0 {
+				continue // dummy slot
+			}
+			dst[d] = append(dst[d], core.Slot{
+				Addr: addr1 - 1,
+				Leaf: binary.LittleEndian.Uint32(rec[8:12]),
+				Data: rec[slotHeaderBytes:slotBytes:slotBytes],
+			})
+		}
+	}
+	return dst, nil
+}
+
+// WritePath implements core.PathStore.
+func (s *PathStore) WritePath(leaf uint64, buckets [][]core.Slot) error {
+	if !s.tree.ValidLeaf(leaf) {
+		return fmt.Errorf("storage: leaf %d out of range", leaf)
+	}
+	if len(buckets) != s.tree.Levels() {
+		return fmt.Errorf("storage: got %d buckets, want %d", len(buckets), s.tree.Levels())
+	}
+	slotBytes := slotHeaderBytes + s.blockBytes
+	for d := 0; d <= s.tree.LeafLevel(); d++ {
+		if len(buckets[d]) > s.z {
+			return fmt.Errorf("storage: bucket at level %d overfull (%d > %d)", d, len(buckets[d]), s.z)
+		}
+		s.idsBuf[d] = s.tree.PathBucket(leaf, d)
+		rec := s.wrecs[d]
+		for i := 0; i < s.z; i++ {
+			slot := rec[i*slotBytes : (i+1)*slotBytes]
+			if i < len(buckets[d]) {
+				b := buckets[d][i]
+				binary.LittleEndian.PutUint64(slot[:8], b.Addr+1)
+				binary.LittleEndian.PutUint32(slot[8:12], b.Leaf)
+				if len(b.Data) != s.blockBytes {
+					return fmt.Errorf("storage: block %d payload %dB, want %dB", b.Addr, len(b.Data), s.blockBytes)
+				}
+				copy(slot[slotHeaderBytes:], b.Data)
+			} else {
+				for j := range slot {
+					slot[j] = 0
+				}
+			}
+		}
+	}
+	return s.backing.WriteBuckets(s.idsBuf, s.wrecs)
+}
+
+// MemoryBytes reports the backing's external-memory footprint.
+func (s *PathStore) MemoryBytes() uint64 { return s.backing.MemoryBytes() }

@@ -1,0 +1,65 @@
+// Package storage is the bucket-granularity persistence seam beneath the
+// ORAM tree stores. A Storage holds one fixed-stride record per flat
+// bucket index and nothing else — no serialization, no encryption, no
+// path semantics — so the same interface can be backed by an in-memory
+// arena (Mem), a flat mmap'd tree file (File), or a write-ahead log
+// wrapping either (WAL). The encrypting store (internal/encrypt) writes
+// its padded ciphertext buckets through a Storage, and PathStore in this
+// package adapts a Storage directly to core.PathStore for the
+// plaintext-at-rest configurations, so every pathoram.Backend composes
+// with every Storage.
+package storage
+
+import "fmt"
+
+// RecordAlign is the node alignment of bucket records: every record
+// length is padded to a multiple of it, matching the DRAM access
+// granularity used by the encrypting store (encrypt.PadGranularity) so a
+// record never straddles an access-granule boundary in the file or the
+// arena.
+const RecordAlign = 64
+
+// Storage stores one fixed-length record per bucket of a flattened ORAM
+// tree. Records are exactly Stride() bytes; flat indices run
+// [0, NumBuckets()).
+//
+// ReadBucket and ReadBuckets may return slices aliasing internal memory
+// (the arena or the mmap'd file); aliases stay valid until the next write
+// of the same bucket, and mutating them bypasses the write path (only the
+// tamper-simulation test hooks do). WriteBucket and WriteBuckets copy the
+// caller's records in — callers keep their buffers.
+//
+// WriteBuckets commits the records of one path as a unit: the WAL
+// implementation logs the whole call as a single atomic frame, so a
+// crash either keeps all of a path write-back or none of it.
+//
+// Sync is the epoch barrier: when it returns, every write acknowledged
+// before the call is durable (msync for File, checkpoint-and-truncate
+// for WAL, no-op for Mem). Close releases OS resources after a final
+// Sync; a closed Storage rejects further I/O.
+type Storage interface {
+	NumBuckets() uint64
+	Stride() int
+	ReadBucket(flat uint64) ([]byte, error)
+	WriteBucket(flat uint64, rec []byte) error
+	ReadBuckets(flats []uint64, dst [][]byte) error
+	WriteBuckets(flats []uint64, recs [][]byte) error
+	Sync() error
+	Close() error
+	// MemoryBytes reports the external-memory footprint of the tree
+	// (arena bytes, mapped file bytes, plus any overlay the WAL holds).
+	MemoryBytes() uint64
+}
+
+// ErrClosed is returned by operations on a closed Storage.
+var ErrClosed = fmt.Errorf("storage: closed")
+
+func checkRecord(s Storage, flat uint64, rec []byte) error {
+	if flat >= s.NumBuckets() {
+		return fmt.Errorf("storage: bucket %d out of range (have %d)", flat, s.NumBuckets())
+	}
+	if rec != nil && len(rec) != s.Stride() {
+		return fmt.Errorf("storage: record is %dB, want stride %dB", len(rec), s.Stride())
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+package storage_test
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/treemath"
+)
+
+func fillRand(r *rand.Rand, b []byte) {
+	for i := range b {
+		b[i] = byte(r.Intn(256))
+	}
+}
+
+// TestStorageMemFileEquivalence drives the same random write/read
+// sequence through the arena and the file backend and requires identical
+// records, then reopens the file and requires the bytes to have
+// persisted.
+func TestStorageMemFileEquivalence(t *testing.T) {
+	const (
+		numBuckets = 31
+		stride     = 128
+	)
+	dir := t.TempDir()
+	mem, err := storage.NewMem(numBuckets, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "tree.oram")
+	file, err := storage.OpenFile(path, numBuckets, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	rec := make([]byte, stride)
+	for i := 0; i < 500; i++ {
+		flat := uint64(r.Intn(numBuckets))
+		fillRand(r, rec)
+		if err := mem.WriteBucket(flat, rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := file.WriteBucket(flat, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for flat := uint64(0); flat < numBuckets; flat++ {
+		a, err := mem.ReadBucket(flat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := file.ReadBucket(flat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("bucket %d differs between mem and file", flat)
+		}
+	}
+	if err := file.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := file.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := file.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	re, err := storage.OpenFile(path, numBuckets, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for flat := uint64(0); flat < numBuckets; flat++ {
+		a, _ := mem.ReadBucket(flat)
+		b, err := re.ReadBucket(flat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("bucket %d lost across reopen", flat)
+		}
+	}
+}
+
+// TestStorageFileGeometryValidation pins the header checks: a reopen
+// with the wrong stride, bucket count, or magic must fail loudly.
+func TestStorageFileGeometryValidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tree.oram")
+	f, err := storage.OpenFile(path, 15, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := storage.OpenFile(path, 15, 128); err == nil {
+		t.Fatal("stride mismatch not rejected")
+	}
+	if _, err := storage.OpenFile(path, 31, 64); err == nil {
+		t.Fatal("bucket-count mismatch not rejected")
+	}
+	if _, err := storage.OpenFile(path, 15, 63); err == nil {
+		t.Fatal("unaligned stride not rejected")
+	}
+}
+
+// TestStorageBatchedVariants pins the path-granularity calls and the
+// bounds checks shared by every backend.
+func TestStorageBatchedVariants(t *testing.T) {
+	backends := map[string]storage.Storage{}
+	mem, err := storage.NewMem(7, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends["mem"] = mem
+	file, err := storage.OpenFile(filepath.Join(t.TempDir(), "t.oram"), 7, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends["file"] = file
+	wal, err := storage.OpenWAL(mustMem(t, 7, 64), filepath.Join(t.TempDir(), "t.wal"), storage.WALConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends["wal"] = wal
+	for name, s := range backends {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			flats := []uint64{0, 2, 6}
+			recs := make([][]byte, len(flats))
+			r := rand.New(rand.NewSource(7))
+			for i := range recs {
+				recs[i] = make([]byte, 64)
+				fillRand(r, recs[i])
+			}
+			if err := s.WriteBuckets(flats, recs); err != nil {
+				t.Fatal(err)
+			}
+			dst := make([][]byte, len(flats))
+			if err := s.ReadBuckets(flats, dst); err != nil {
+				t.Fatal(err)
+			}
+			for i := range flats {
+				if !bytes.Equal(dst[i], recs[i]) {
+					t.Fatalf("bucket %d round-trip mismatch", flats[i])
+				}
+			}
+			if err := s.WriteBucket(7, recs[0]); err == nil {
+				t.Fatal("out-of-range bucket accepted")
+			}
+			if err := s.WriteBucket(0, recs[0][:10]); err == nil {
+				t.Fatal("short record accepted")
+			}
+			if _, err := s.ReadBucket(7); err == nil {
+				t.Fatal("out-of-range read accepted")
+			}
+			if err := s.WriteBuckets(flats, recs[:2]); err == nil {
+				t.Fatal("length-mismatched batch accepted")
+			}
+		})
+	}
+}
+
+func mustMem(t *testing.T, buckets uint64, stride int) *storage.Mem {
+	t.Helper()
+	m, err := storage.NewMem(buckets, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestStoragePathStoreMatchesMemStore replays a random path workload
+// through the plain serializing adapter (over mem and file backings) and
+// core.MemStore and requires identical ReadPath results throughout —
+// the adapter is a drop-in PathStore.
+func TestStoragePathStoreMatchesMemStore(t *testing.T) {
+	const (
+		leafLevel  = 4
+		z          = 4
+		blockBytes = 24
+	)
+	tree := treemath.New(leafLevel)
+	ref, err := core.NewMemStore(leafLevel, z, blockBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := storage.PlainRecordBytes(z, blockBytes)
+	adapters := map[string]*storage.PathStore{}
+	memBack := mustMem(t, tree.NumBuckets(), stride)
+	a1, err := storage.NewPathStore(memBack, leafLevel, z, blockBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapters["mem"] = a1
+	fileBack, err := storage.OpenFile(filepath.Join(t.TempDir(), "p.oram"), tree.NumBuckets(), stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fileBack.Close()
+	a2, err := storage.NewPathStore(fileBack, leafLevel, z, blockBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapters["file"] = a2
+
+	r := rand.New(rand.NewSource(42))
+	leaves := tree.NumLeaves()
+	var nextAddr uint64 = 1
+	for step := 0; step < 300; step++ {
+		leaf := uint64(r.Intn(int(leaves)))
+		got, err := ref.ReadPath(leaf, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snapshots := map[string][][]core.Slot{}
+		for name, a := range adapters {
+			g, err := a.ReadPath(leaf, nil, nil)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			snapshots[name] = g
+		}
+		for name, g := range snapshots {
+			if len(g) != len(got) {
+				t.Fatalf("%s: level count mismatch", name)
+			}
+			for d := range got {
+				if len(g[d]) != len(got[d]) {
+					t.Fatalf("%s: step %d level %d: %d slots, want %d", name, step, d, len(g[d]), len(got[d]))
+				}
+				for i := range got[d] {
+					if g[d][i].Addr != got[d][i].Addr || g[d][i].Leaf != got[d][i].Leaf || !bytes.Equal(g[d][i].Data, got[d][i].Data) {
+						t.Fatalf("%s: step %d level %d slot %d mismatch", name, step, d, i)
+					}
+				}
+			}
+		}
+		// Write a fresh random path back everywhere.
+		buckets := make([][]core.Slot, tree.Levels())
+		for d := range buckets {
+			n := r.Intn(z + 1)
+			for i := 0; i < n; i++ {
+				data := make([]byte, blockBytes)
+				fillRand(r, data)
+				buckets[d] = append(buckets[d], core.Slot{Addr: nextAddr, Leaf: uint32(leaf), Data: data})
+				nextAddr++
+			}
+		}
+		if err := ref.WritePath(leaf, buckets); err != nil {
+			t.Fatal(err)
+		}
+		for name, a := range adapters {
+			if err := a.WritePath(leaf, buckets); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+}

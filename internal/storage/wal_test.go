@@ -1,0 +1,291 @@
+package storage_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// walFixture writes n random single-path frames (3 buckets each) through
+// a WAL over a file backend without checkpointing, and returns the paths
+// plus a mem shadow holding what was acknowledged.
+func walFixture(t *testing.T, dir string, numBuckets uint64, stride, frames int, seed int64) (tree, wal string, shadow *storage.Mem) {
+	t.Helper()
+	tree = filepath.Join(dir, "tree.oram")
+	wal = filepath.Join(dir, "tree.wal")
+	inner, err := storage.OpenFile(tree, numBuckets, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := storage.OpenWAL(inner, wal, storage.WALConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow = mustMem(t, numBuckets, stride)
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < frames; i++ {
+		flats := make([]uint64, 3)
+		recs := make([][]byte, 3)
+		for j := range flats {
+			flats[j] = uint64(r.Intn(int(numBuckets)))
+			recs[j] = make([]byte, stride)
+			fillRand(r, recs[j])
+		}
+		if err := w.WriteBuckets(flats, recs); err != nil {
+			t.Fatal(err)
+		}
+		if err := shadow.WriteBuckets(flats, recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulated crash: drop the WAL without checkpointing. The log file
+	// keeps the appended frames; the tree file keeps only the (empty)
+	// checkpoint image.
+	return tree, wal, shadow
+}
+
+func requireSameBytes(t *testing.T, s storage.Storage, shadow *storage.Mem) {
+	t.Helper()
+	for flat := uint64(0); flat < s.NumBuckets(); flat++ {
+		a, err := s.ReadBucket(flat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := shadow.ReadBucket(flat)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("bucket %d differs from shadow", flat)
+		}
+	}
+}
+
+// TestWALRecoveryReplaysAcknowledgedFrames pins log-before-ack: frames
+// acknowledged but never checkpointed must reappear after a reopen.
+func TestWALRecoveryReplaysAcknowledgedFrames(t *testing.T) {
+	const (
+		numBuckets = 15
+		stride     = 64
+		frames     = 40
+	)
+	tree, wal, shadow := walFixture(t, t.TempDir(), numBuckets, stride, frames, 3)
+
+	inner, err := storage.OpenFile(tree, numBuckets, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := storage.OpenWAL(inner, wal, storage.WALConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if got := w.Recovered(); got != frames {
+		t.Fatalf("recovered %d frames, want %d", got, frames)
+	}
+	requireSameBytes(t, w, shadow)
+	// Recovery checkpointed: the log must be empty again.
+	if st, err := os.Stat(wal); err != nil || st.Size() != 0 {
+		t.Fatalf("log not truncated after recovery: size=%v err=%v", st.Size(), err)
+	}
+}
+
+// TestWALTornTailRecovery truncates the log at every prefix length and
+// requires recovery to replay exactly the longest valid frame prefix —
+// never an error, never a partial frame.
+func TestWALTornTailRecovery(t *testing.T) {
+	const (
+		numBuckets = 15
+		stride     = 64
+		frames     = 8
+	)
+	dir := t.TempDir()
+	_, wal, _ := walFixture(t, dir, numBuckets, stride, frames, 5)
+	logBytes, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameLen := len(logBytes) / frames
+	if frameLen*frames != len(logBytes) {
+		t.Fatalf("unexpected log size %d for %d frames", len(logBytes), frames)
+	}
+	for cut := 0; cut <= len(logBytes); cut++ {
+		tornPath := filepath.Join(dir, fmt.Sprintf("torn-%d.wal", cut))
+		if err := os.WriteFile(tornPath, logBytes[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		applied := 0
+		n, err := storage.ReplayLog(tornPath, stride, func(flats []uint64, recs [][]byte) error {
+			applied++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if want := cut / frameLen; n != want || applied != want {
+			t.Fatalf("cut %d: replayed %d frames, want %d", cut, n, want)
+		}
+		os.Remove(tornPath)
+	}
+}
+
+// TestWALCorruptTailStopsReplay flips a byte in the last frame and
+// requires replay to stop right before it.
+func TestWALCorruptTailStopsReplay(t *testing.T) {
+	const (
+		numBuckets = 15
+		stride     = 64
+		frames     = 6
+	)
+	dir := t.TempDir()
+	_, wal, _ := walFixture(t, dir, numBuckets, stride, frames, 9)
+	logBytes, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameLen := len(logBytes) / frames
+	logBytes[(frames-1)*frameLen+frameLen/2] ^= 0xff
+	if err := os.WriteFile(wal, logBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := storage.ReplayLog(wal, stride, func([]uint64, [][]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != frames-1 {
+		t.Fatalf("replayed %d frames, want %d", n, frames-1)
+	}
+}
+
+// TestWALCheckpointTruncatesAndPersists pins the epoch protocol: after
+// Sync the log is empty, the overlay is drained into the inner file, and
+// a plain reopen of the tree file (no WAL) sees the bytes.
+func TestWALCheckpointTruncatesAndPersists(t *testing.T) {
+	const (
+		numBuckets = 15
+		stride     = 64
+	)
+	dir := t.TempDir()
+	tree := filepath.Join(dir, "tree.oram")
+	wal := filepath.Join(dir, "tree.wal")
+	inner, err := storage.OpenFile(tree, numBuckets, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := storage.OpenWAL(inner, wal, storage.WALConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := mustMem(t, numBuckets, stride)
+	r := rand.New(rand.NewSource(11))
+	rec := make([]byte, stride)
+	for i := 0; i < 30; i++ {
+		flat := uint64(r.Intn(numBuckets))
+		fillRand(r, rec)
+		if err := w.WriteBucket(flat, rec); err != nil {
+			t.Fatal(err)
+		}
+		shadow.WriteBucket(flat, rec)
+	}
+	if w.PendingFrames() == 0 {
+		t.Fatal("expected pending frames before checkpoint")
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if w.PendingFrames() != 0 {
+		t.Fatal("pending frames survived checkpoint")
+	}
+	if st, err := os.Stat(wal); err != nil || st.Size() != 0 {
+		t.Fatalf("log not truncated: size=%v err=%v", st.Size(), err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := storage.OpenFile(tree, numBuckets, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	requireSameBytes(t, re, shadow)
+}
+
+// TestWALAutoCheckpoint pins CheckpointEvery: the overlay self-bounds.
+func TestWALAutoCheckpoint(t *testing.T) {
+	const (
+		numBuckets = 15
+		stride     = 64
+	)
+	dir := t.TempDir()
+	inner, err := storage.OpenFile(filepath.Join(dir, "t.oram"), numBuckets, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := storage.OpenWAL(inner, filepath.Join(dir, "t.wal"), storage.WALConfig{CheckpointEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	rec := make([]byte, stride)
+	for i := 0; i < 10; i++ {
+		if err := w.WriteBucket(uint64(i%numBuckets), rec); err != nil {
+			t.Fatal(err)
+		}
+		if w.PendingFrames() >= 4 {
+			t.Fatalf("after write %d: %d pending frames, checkpoint at 4 never fired", i, w.PendingFrames())
+		}
+	}
+}
+
+// TestWALFaultWedges pins the crash simulation: once the fault hook
+// fires, the faulted step does not happen and every later operation
+// fails with the same error.
+func TestWALFaultWedges(t *testing.T) {
+	const (
+		numBuckets = 15
+		stride     = 64
+	)
+	dir := t.TempDir()
+	inner, err := storage.OpenFile(filepath.Join(dir, "t.oram"), numBuckets, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killAt := uint64(3)
+	boom := fmt.Errorf("boom")
+	w, err := storage.OpenWAL(inner, filepath.Join(dir, "t.wal"), storage.WALConfig{
+		Fault: func(op storage.Op, seq uint64) error {
+			if seq >= killAt {
+				return boom
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]byte, stride)
+	var firstErr error
+	for i := 0; i < 6; i++ {
+		if err := w.WriteBucket(uint64(i), rec); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == nil {
+		t.Fatal("fault never fired")
+	}
+	if err := w.WriteBucket(0, rec); err == nil {
+		t.Fatal("wedged WAL accepted a write")
+	}
+	if _, err := w.ReadBucket(0); err == nil {
+		t.Fatal("wedged WAL served a read")
+	}
+	if err := w.Sync(); err == nil {
+		t.Fatal("wedged WAL accepted a sync")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("wedged WAL closed cleanly")
+	}
+}

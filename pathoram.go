@@ -4,12 +4,15 @@ import (
 	crand "crypto/rand"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/encrypt"
 	"repro/internal/integrity"
 	"repro/internal/membus"
+	"repro/internal/storage"
 	"repro/internal/treemath"
 )
 
@@ -43,6 +46,12 @@ const (
 	// bit-identical to BackendMem (timing is observation-only); see
 	// DESIGN.md's "Timed serving layer".
 	BackendDRAM
+	// BackendFile persists each bucket tree in one flat mmap'd file under
+	// Config.Dir (internal/storage.File): reads alias the mapping, writes
+	// copy into it, and Flush is the durability epoch (msync). Combine
+	// with Config.WAL for crash consistency of the deferred write-back
+	// pipeline. Logical behavior is bit-identical to BackendMem.
+	BackendFile
 )
 
 // DRAMLayout selects the bucket-to-physical-address placement under
@@ -186,10 +195,29 @@ type Config struct {
 	// oldest queued request under MemSchedFRFCFS before it is forced
 	// (0 = default 4).
 	DRAMStarveCap int
+	// Dir is the directory holding the tree (and WAL) files under
+	// BackendFile. Required there, rejected elsewhere: a directory that
+	// silently does nothing would be an inert knob.
+	Dir string
+	// WAL, under BackendFile, wraps the tree file in a write-ahead log
+	// (internal/storage.WAL): every path write-back is logged before it
+	// is acknowledged, Flush checkpoints the log into the tree file and
+	// truncates it, and reopening after a crash replays the logged
+	// prefix — the deferred write-back FIFO becomes crash-consistent.
+	// Requires BackendFile (a WAL over volatile memory is an inert knob).
+	WAL bool
+	// WALDepth, when > 0, bounds the WAL between Flushes: after that many
+	// logged path frames the log self-checkpoints. 0 checkpoints only on
+	// Flush/Close. Requires WAL.
+	WALDepth int
 	// bus, when set, attaches this ORAM to an existing shared memory
 	// scheduler instead of creating one — NewSharded injects the bus it
 	// built so all shards contend for the same channels.
 	bus *membus.Bus
+	// storeName is the per-tree file-name prefix under BackendFile
+	// ("oram" standalone; NewSharded and NewHierarchy derive unique
+	// prefixes per shard and per recursion level).
+	storeName string
 	// Rand, when set, makes all randomness (leaf selection, per-block
 	// keys) deterministic for reproducible simulation. Production use
 	// must leave it nil: leaves then come from crypto/rand. NewSharded
@@ -242,8 +270,30 @@ func (c *Config) applyDefaults() error {
 	}
 	switch c.Backend {
 	case BackendMem, BackendDRAM:
+		if c.Dir != "" {
+			return fmt.Errorf("pathoram: Dir names the tree-file directory; set Backend: BackendFile")
+		}
+		if c.WAL || c.WALDepth != 0 {
+			return fmt.Errorf("pathoram: WAL/WALDepth make the file backend crash-consistent; set Backend: BackendFile")
+		}
+	case BackendFile:
+		if c.Dir == "" {
+			return fmt.Errorf("pathoram: BackendFile needs Dir (where the tree files live)")
+		}
+		if c.BlockSize == 0 {
+			return fmt.Errorf("pathoram: BackendFile persists payloads; metadata-only mode (BlockSize 0) has nothing to persist")
+		}
+		if !c.WAL && c.WALDepth != 0 {
+			return fmt.Errorf("pathoram: WALDepth bounds the write-ahead log; set WAL: true")
+		}
 	default:
 		return fmt.Errorf("pathoram: unknown backend %d", c.Backend)
+	}
+	if c.WALDepth < 0 {
+		return fmt.Errorf("pathoram: WALDepth=%d must be >= 0", c.WALDepth)
+	}
+	if c.storeName == "" {
+		c.storeName = "oram"
 	}
 	switch c.DRAMLayout {
 	case LayoutSubtree, LayoutNaive:
@@ -305,12 +355,13 @@ func (c *Config) buildScheme(numBuckets uint64) (encrypt.Scheme, error) {
 // the batch operations run their requests back to back on the calling
 // goroutine.
 type ORAM struct {
-	cfg   Config
-	inner *core.ORAM
-	auth  *integrity.Tree
-	pos   *core.OnChipPositionMap
-	store interface{ MemoryBytes() uint64 }
-	port  *membus.Port // BackendDRAM: this tree's window onto the shared bus
+	cfg     Config
+	inner   *core.ORAM
+	auth    *integrity.Tree
+	pos     *core.OnChipPositionMap
+	store   interface{ MemoryBytes() uint64 }
+	port    *membus.Port    // BackendDRAM: this tree's window onto the shared bus
+	persist storage.Storage // BackendFile: the durable storage under the store
 }
 
 // modeledBucketBytes returns the byte footprint one bucket occupies on the
@@ -375,6 +426,30 @@ func (c *Config) dramSchedConfig() dram.SchedConfig {
 	}
 }
 
+// openPersist builds the BackendFile storage stack for one tree: the
+// mmap'd flat tree file at Dir/<name>.tree, optionally wrapped in the
+// write-ahead log at Dir/<name>.wal (replaying any crash-left prefix).
+func (c *Config) openPersist(numBuckets uint64, stride int) (storage.Storage, error) {
+	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pathoram: creating Dir: %w", err)
+	}
+	base := filepath.Join(c.Dir, c.storeName)
+	var st storage.Storage
+	st, err := storage.OpenFile(base+".tree", numBuckets, stride)
+	if err != nil {
+		return nil, err
+	}
+	if c.WAL {
+		w, err := storage.OpenWAL(st, base+".wal", storage.WALConfig{CheckpointEvery: c.WALDepth})
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		st = w
+	}
+	return st, nil
+}
+
 // New builds an ORAM from the configuration.
 func New(cfg Config) (*ORAM, error) {
 	if err := cfg.applyDefaults(); err != nil {
@@ -388,12 +463,27 @@ func New(cfg Config) (*ORAM, error) {
 	var scheme encrypt.Scheme
 	var auth *integrity.Tree
 	var footprint interface{ MemoryBytes() uint64 }
+	var persist storage.Storage
 	if cfg.Encryption == EncryptNone {
-		ms, err := core.NewMemStore(cfg.LeafLevel, cfg.Z, cfg.BlockSize)
-		if err != nil {
-			return nil, err
+		if cfg.Backend == BackendFile {
+			var err error
+			persist, err = cfg.openPersist(tree.NumBuckets(), storage.PlainRecordBytes(cfg.Z, cfg.BlockSize))
+			if err != nil {
+				return nil, err
+			}
+			ps, err := storage.NewPathStore(persist, cfg.LeafLevel, cfg.Z, cfg.BlockSize)
+			if err != nil {
+				persist.Close()
+				return nil, err
+			}
+			store, footprint = ps, ps
+		} else {
+			ms, err := core.NewMemStore(cfg.LeafLevel, cfg.Z, cfg.BlockSize)
+			if err != nil {
+				return nil, err
+			}
+			store = ms
 		}
-		store = ms
 	} else {
 		var err error
 		if scheme, err = cfg.buildScheme(tree.NumBuckets()); err != nil {
@@ -407,8 +497,18 @@ func New(cfg Config) (*ORAM, error) {
 			auth = encrypt.NewAuthTree(cfg.LeafLevel, cfg.Z, cfg.BlockSize, scheme)
 			scfg.Auth = auth
 		}
+		if cfg.Backend == BackendFile {
+			persist, err = cfg.openPersist(tree.NumBuckets(), encrypt.PaddedBucketBytes(scheme, cfg.Z, cfg.BlockSize))
+			if err != nil {
+				return nil, err
+			}
+			scfg.Backing = persist
+		}
 		es, err := encrypt.NewStore(scfg)
 		if err != nil {
+			if persist != nil {
+				persist.Close()
+			}
 			return nil, err
 		}
 		store = es
@@ -446,7 +546,7 @@ func New(cfg Config) (*ORAM, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ORAM{cfg: cfg, inner: inner, auth: auth, pos: pos, store: footprint, port: port}, nil
+	return &ORAM{cfg: cfg, inner: inner, auth: auth, pos: pos, store: footprint, port: port, persist: persist}, nil
 }
 
 // Read returns a copy of the block at addr (zero-filled if never written).
@@ -539,8 +639,19 @@ func (o *ORAM) StepBackground(allowEviction bool) (BackgroundWork, error) {
 
 // Flush completes every deferred path write-back and fully drains
 // background eviction, leaving the ORAM in a state the synchronous
-// protocol could have produced. A no-op without AsyncEviction.
-func (o *ORAM) Flush() error { return o.inner.Flush() }
+// protocol could have produced. Under BackendFile it is also the
+// durability epoch: the tree file is msync'd (and the WAL, if enabled,
+// checkpointed and truncated) before Flush returns. A no-op without
+// AsyncEviction on volatile backends.
+func (o *ORAM) Flush() error {
+	if err := o.inner.Flush(); err != nil {
+		return err
+	}
+	if o.persist != nil {
+		return o.persist.Sync()
+	}
+	return nil
+}
 
 // PendingWriteBacks returns the number of deferred path write-backs not
 // yet completed (always 0 without AsyncEviction).
@@ -597,10 +708,21 @@ func (o *ORAM) OnChipBytes() uint64 {
 }
 
 // Close quiesces the ORAM: every deferred write-back is completed and
-// background eviction fully drained (Flush). A standalone ORAM owns no
-// goroutines or external handles, so unlike Sharded.Close it does not
+// background eviction fully drained (Flush). On volatile backends it owns
+// no goroutines or external handles, so unlike Sharded.Close it does not
 // invalidate the receiver — it is the Client interface's quiesce point.
-func (o *ORAM) Close() error { return o.inner.Flush() }
+// Under BackendFile it additionally checkpoints and closes the tree file
+// (and WAL); the ORAM then rejects further I/O, and the first backend
+// error — flush, sync, or close — is the one reported.
+func (o *ORAM) Close() error {
+	err := o.inner.Flush()
+	if o.persist != nil {
+		if e := o.persist.Close(); err == nil {
+			err = e
+		}
+	}
+	return err
+}
 
 // ExternalMemoryBytes returns the external storage footprint (0 for plain
 // in-memory stores).

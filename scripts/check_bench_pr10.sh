@@ -1,0 +1,26 @@
+#!/bin/sh
+# Runs the persistent-backend benchmarks (PR 10) and holds them to the
+# acceptance gate, all relative so nothing drifts with host hardware:
+# the mmap'd file backend must stay within 3x of the in-memory
+# counter-encrypted baseline (same geometry, so the ratio is pure storage
+# overhead), write-ahead logging must cost something on top of the bare
+# file (each op appends a log frame), and paying the epoch barrier inline
+# (checkpoint every 32 ops) must cost more still. The file serving paths
+# are simultaneously held to the zero-allocation budget (budget 1 absorbs
+# warm-up rounding, as in check_alloc_gate.sh). Parsed results land in
+# BENCH_pr10.json (or $1).
+set -eu
+
+out="${1:-BENCH_pr10.json}"
+benchtime="${BENCHTIME:-2000x}"
+
+go test -run xxx -bench 'BenchmarkAccessCounterEncrypted$|BenchmarkFileBackend' \
+  -benchtime "$benchtime" -benchmem . |
+  go run ./cmd/oram-benchjson -out "$out" \
+    -gate 'BenchmarkFileBackendAccess|BenchmarkFileBackendWAL$' \
+    -max-allocs 1 \
+    -require 'BenchmarkFileBackendAccess:ns/op<3*BenchmarkAccessCounterEncrypted:ns/op' \
+    -require 'BenchmarkFileBackendAccess:ns/op<BenchmarkFileBackendWAL:ns/op' \
+    -require 'BenchmarkFileBackendWAL:ns/op<BenchmarkFileBackendWALEpochFlush:ns/op'
+
+echo "wrote $out"

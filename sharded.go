@@ -147,6 +147,7 @@ type Sharded struct {
 // Load's public Block group type with the scheduler's core.Slot).
 type clientEngine interface {
 	shard.Engine
+	Close() error
 	Stats() Stats
 	ResetStats()
 	StashSize() int
@@ -282,6 +283,9 @@ func newSharded(cfg ShardedConfig, needKeys bool, build engineFactory) (*Sharded
 	for i := range s.engines {
 		sc := cfg.Config
 		sc.Blocks = s.shardBlocks(i)
+		// Per-shard file names: shard i's trees live under Dir as
+		// "shard<i>[-l<level>]" so shards never collide in one directory.
+		sc.storeName = fmt.Sprintf("shard%d", i)
 		if keys != nil {
 			sc.Key = keys[i]
 		}
@@ -346,7 +350,22 @@ func newSharded(cfg ShardedConfig, needKeys bool, build engineFactory) (*Sharded
 const (
 	domainHierarchy byte = 'H' // per-level keys of the recursive position map
 	domainShard     byte = 'S' // per-shard keys of the sharded serving layer
+	domainTenant    byte = 'T' // per-tenant master keys of the oram-server service
 )
+
+// DeriveTenantKey expands a 16-byte service master key into the
+// independent master key for tenant index i, in the same domain-separated
+// KDF the sharded and hierarchical constructions use ('T' tag). Each
+// tenant's ORAM then derives its own per-shard/per-level subkeys from
+// that tenant master, so no two tenants — and no two structures within a
+// tenant — ever encrypt under the same key. cmd/oram-server assigns
+// indices monotonically as tenants are created.
+func DeriveTenantKey(master []byte, index uint64) ([]byte, error) {
+	if len(master) != encrypt.KeySize {
+		return nil, fmt.Errorf("pathoram: service master key is %d bytes, want %d", len(master), encrypt.KeySize)
+	}
+	return deriveSubKey(master, domainTenant, index)
+}
 
 // deriveSubKey expands the 16-byte master key into an independent subkey
 // with one AES block: AES_master(index ‖ 0… ‖ domain). AES as a PRP:
@@ -912,8 +931,19 @@ func (s *Sharded) ExternalMemoryBytes() uint64 {
 }
 
 // Close stops accepting new requests, waits until every request already
-// accepted has completed (in-flight work is drained, never dropped), and
-// stops the shard workers. Operations submitted after Close fail with
-// ErrClosed. Close is idempotent; Stats and ShardStats keep working on the
-// quiescent shards afterwards.
-func (s *Sharded) Close() error { return s.pool.Close() }
+// accepted has completed (in-flight work is drained, never dropped),
+// stops the shard workers, and closes every shard's engine (under
+// BackendFile that checkpoints and closes the per-shard tree files and
+// WALs). Operations submitted after Close fail with ErrClosed. Close is
+// idempotent; Stats and ShardStats keep working on the quiescent shards
+// afterwards. The FIRST error — pool drain or any shard's backend — is
+// the one reported, even when later shards close cleanly.
+func (s *Sharded) Close() error {
+	err := s.pool.Close()
+	for _, e := range s.engines {
+		if cerr := e.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
